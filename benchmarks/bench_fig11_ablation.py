@@ -1,0 +1,16 @@
+"""Benchmark: Figure 11 — ablation of LlamaTune's components."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig11_ablation(benchmark, quick_scale):
+    report = run_and_print(benchmark, "fig11", quick_scale)
+    for workload in ("ycsb-a", "ycsb-b", "tpcc"):
+        finals = report.data[workload]
+        # Paper shape: every LlamaTune variant performs about as well as or
+        # better than the SMAC baseline.
+        for label in ("Low-Dim", "Low-Dim + SVB", "LlamaTune (full)"):
+            assert finals[label] > 0.9 * finals["SMAC"]
+    # SVB's value concentrates on YCSB-B.
+    ycsb_b = report.data["ycsb-b"]
+    assert ycsb_b["Low-Dim + SVB"] > 0.95 * ycsb_b["Low-Dim"]

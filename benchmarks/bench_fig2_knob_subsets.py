@@ -1,0 +1,23 @@
+"""Benchmark: Figure 2 — tuning knob subsets and transferring them.
+
+Reproduction note (see EXPERIMENTS.md): the *mechanism* reproduces — the
+rankings overlap but differ, and 8-knob subspaces converge much faster than
+the 90-knob space — but the paper's unreliability/non-transfer findings do
+NOT emerge on the simulator, whose importance structure is cleaner and more
+shared across workloads than a real system's.  The assertions below pin the
+robust part of the shape only.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig2_knob_subsets(benchmark, quick_scale):
+    report = run_and_print(benchmark, "fig2", quick_scale)
+    ycsb = report.data["(a) YCSB-A"]
+    tpcc = report.data["(b) TPC-C"]
+    # Every arm should find meaningful gains over the defaults.
+    assert min(ycsb.values()) > 14_000  # default is 13,800 req/s
+    assert min(tpcc.values()) > 1_500  # default is 1,400 req/s
+    # Low-dimensional subsets remain competitive with the full space.
+    assert ycsb["Hand-picked (top-8)"] > 0.7 * ycsb["All knobs"]
+    assert ycsb["SHAP (top-8)"] > 0.7 * ycsb["All knobs"]

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 3 — REMBO vs HeSBO projections on YCSB-A."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig3_projections(benchmark, quick_scale):
+    report = run_and_print(benchmark, "fig3", quick_scale)
+    finals = report.data
+    baseline = finals["High-Dim (baseline)"]
+    # Paper shape: HeSBO ends within ~5% of (or above) the baseline for all
+    # d; REMBO's clipping leaves it clearly below for larger d.
+    for d in (8, 16, 24):
+        assert finals[f"HESBO-{d}"] > 0.93 * baseline
+    assert min(finals[f"REMBO-{d}"] for d in (16, 24)) < baseline

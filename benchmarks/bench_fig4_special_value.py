@@ -1,0 +1,13 @@
+"""Benchmark: Figure 4 — backend_flush_after special-value discontinuity."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig4_special_value(benchmark, quick_scale):
+    report = run_and_print(benchmark, "fig4", quick_scale)
+    results = {int(k): v for k, v in report.data.items()}
+    # Paper shape: 0 (special) is the best value and its numeric
+    # neighbours (1-10) are the worst region.
+    assert results[0] == max(results.values())
+    assert results[0] > 1.3 * results[1]
+    assert results[256] > results[1]

@@ -1,0 +1,13 @@
+"""Benchmark: Figure 6 — special-value biasing sweep (YCSB-A/B)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig6_svb(benchmark, quick_scale):
+    report = run_and_print(benchmark, "fig6", quick_scale)
+    ycsb_b = report.data["ycsb-b"]
+    ycsb_a = report.data["ycsb-a"]
+    # Paper shape: SVB clearly helps YCSB-B...
+    assert ycsb_b["SVB=20%"] > ycsb_b["No Special Value Biasing"]
+    # ...while YCSB-A's final throughput is not materially hurt.
+    assert ycsb_a["SVB=20%"] > 0.9 * ycsb_a["No Special Value Biasing"]

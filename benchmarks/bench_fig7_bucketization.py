@@ -1,0 +1,13 @@
+"""Benchmark: Figure 7 — bucketization sweep (YCSB-A/B)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig7_bucketization(benchmark, quick_scale):
+    report = run_and_print(benchmark, "fig7", quick_scale)
+    for workload in ("ycsb-a", "ycsb-b"):
+        finals = report.data[workload]
+        unbucketized = finals["No Bucketization"]
+        # Paper shape: bucketized spaces end comparable or better.
+        best_bucketized = max(v for k, v in finals.items() if k != "No Bucketization")
+        assert best_bucketized > 0.95 * unbucketized

@@ -1,0 +1,79 @@
+"""Micro-benchmarks for the performance-critical building blocks.
+
+These time the inner loops of the tuning stack (simulator evaluation,
+projection, surrogate fit/predict, full suggest step) so performance
+regressions show up independently of the end-to-end experiment benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import LlamaTuneAdapter, llamatune_adapter
+from repro.dbms.engine import PostgresSimulator
+from repro.optimizers.forest import RandomForestRegressor
+from repro.optimizers.gp import GaussianProcess
+from repro.optimizers.smac import SMACOptimizer
+from repro.space.postgres import postgres_v96_space
+from repro.space.sampling import uniform_configurations
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def space():
+    return postgres_v96_space()
+
+
+def test_simulator_evaluate(benchmark, space):
+    simulator = PostgresSimulator(get_workload("tpcc"), noise_std=0.0)
+    config = space.default_configuration()
+    simulator.evaluate(config)  # warm the calibration cache
+    benchmark(simulator.evaluate, config)
+
+
+def test_hesbo_projection_to_target(benchmark, space):
+    adapter = llamatune_adapter(space, seed=0)
+    config = adapter.optimizer_space.default_configuration()
+    benchmark(adapter.to_target, config)
+
+
+def test_svb_only_conversion(benchmark, space):
+    adapter = LlamaTuneAdapter(space, projection=None, bias=0.2, max_values=None)
+    config = space.default_configuration()
+    benchmark(adapter.to_target, config)
+
+
+def test_forest_fit_100x90(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.random((100, 90))
+    y = rng.normal(size=100)
+    benchmark(lambda: RandomForestRegressor(n_trees=20, seed=0).fit(X, y))
+
+
+def test_forest_predict_1000_candidates(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.random((100, 90))
+    y = rng.normal(size=100)
+    forest = RandomForestRegressor(n_trees=20, seed=0).fit(X, y)
+    candidates = rng.random((1000, 90))
+    benchmark(forest.predict_mean_var, candidates)
+
+
+def test_gp_fit_100x16(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.random((100, 16))
+    y = rng.normal(size=100)
+    is_cat = np.zeros(16, dtype=bool)
+    benchmark(lambda: GaussianProcess(is_cat, seed=0).fit(X, y))
+
+
+def test_smac_suggest_after_50_observations(benchmark, space):
+    rng = np.random.default_rng(0)
+    optimizer = SMACOptimizer(space, seed=0, n_init=10)
+    simulator = PostgresSimulator(get_workload("ycsb-a"), noise_std=0.0)
+    for config in uniform_configurations(space, 50, rng):
+        try:
+            value = simulator.evaluate(config).throughput
+        except Exception:
+            value = 1000.0
+        optimizer.observe(config, value)
+    benchmark(optimizer.suggest)

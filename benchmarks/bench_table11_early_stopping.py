@@ -1,0 +1,13 @@
+"""Benchmark: Table 11 (Appendix A) — early-stopping policies."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table11_early_stopping(benchmark, quick_scale):
+    report = run_and_print(benchmark, "table11", quick_scale)
+    for workload, policies in report.data.items():
+        impatient = policies["(0.01,10)"]
+        patient = policies["(0.01,20)"]
+        # Paper shape: more patience stops later and keeps at least as much
+        # of the improvement (within noise).
+        assert patient["iterations"] >= impatient["iterations"]

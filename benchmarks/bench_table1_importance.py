@@ -1,0 +1,12 @@
+"""Benchmark: Table 1 — SHAP vs hand-picked knob ranking (YCSB-A)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table1_importance(benchmark, quick_scale):
+    report = run_and_print(benchmark, "table1", quick_scale)
+    shap_top8 = report.data["shap_top8"]
+    assert len(shap_top8) == 8
+    # Paper shape: the rankings overlap but are not identical.
+    overlap = report.data["overlap"]
+    assert 0 <= overlap < 8

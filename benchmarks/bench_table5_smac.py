@@ -1,0 +1,21 @@
+"""Benchmark: Table 5 (+ Figures 9/10) — LlamaTune vs vanilla SMAC."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table5_smac(benchmark, quick_scale):
+    report = run_and_print(benchmark, "table5", quick_scale)
+    workloads = ("ycsb-a", "ycsb-b", "tpcc", "seats", "twitter", "resourcestresser")
+    improvements = {w: report.data[w]["improvement"] for w in workloads}
+    speedups = {w: report.data[w]["speedup"] for w in workloads}
+    # Paper shape: gains on average with YCSB-B the biggest winner and RS
+    # near zero; the mean time-to-optimal speedup is well above 1.  (At
+    # quick scale individual workloads — SEATS especially — can land
+    # negative on 2 seeds; EXPERIMENTS.md records the 3-seed/100-iteration
+    # outcome where all six are positive.)
+    assert sum(improvements.values()) / len(improvements) > 0.0
+    assert all(v > -0.15 for v in improvements.values())
+    assert improvements["ycsb-b"] > improvements["resourcestresser"]
+    assert sum(speedups.values()) / len(speedups) > 1.5
+    # Figure 10 mapping exists for every workload and is 1-based.
+    assert all(min(m) >= 1 for m in report.data["fig10"].values())

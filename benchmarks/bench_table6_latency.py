@@ -1,0 +1,13 @@
+"""Benchmark: Table 6 — tuning for 95th-percentile latency."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table6_latency(benchmark, quick_scale):
+    report = run_and_print(benchmark, "table6", quick_scale)
+    # Paper shape: LlamaTune reduces final tail latency on all three
+    # workloads and reaches the baseline optimum faster.
+    for workload in ("tpcc", "seats", "twitter"):
+        row = report.data[workload]
+        assert row["improvement"] > -0.05
+        assert row["speedup"] >= 1.0

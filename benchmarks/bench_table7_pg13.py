@@ -1,0 +1,14 @@
+"""Benchmark: Table 7 — LlamaTune on PostgreSQL v13.6."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table7_pg13(benchmark, quick_scale):
+    report = run_and_print(benchmark, "table7", quick_scale)
+    rows = report.data
+    # Paper shape: LlamaTune matches or outperforms vanilla SMAC overall on
+    # the newer DBMS (mean improvement non-negative, mean speedup > 1).
+    improvements = [r["improvement"] for r in rows.values()]
+    speedups = [r["speedup"] for r in rows.values()]
+    assert sum(improvements) / len(improvements) > -0.05
+    assert sum(speedups) / len(speedups) > 1.0

@@ -1,0 +1,12 @@
+"""Benchmark: Table 9 — LlamaTune coupled with DDPG."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table9_ddpg(benchmark, quick_scale):
+    report = run_and_print(benchmark, "table9", quick_scale)
+    rows = report.data
+    assert set(rows) == {"ycsb-b", "tpcc", "twitter", "resourcestresser"}
+    # Paper shape: benefits extend to the RL optimizer on average.
+    assert sum(r["improvement"] for r in rows.values()) / 4 > -0.05
+    assert sum(r["speedup"] for r in rows.values()) / 4 > 1.0

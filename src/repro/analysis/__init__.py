@@ -1,0 +1,28 @@
+"""Analysis utilities: knob importance, convergence curves, statistics."""
+
+from repro.analysis.convergence import (
+    curve_with_band,
+    format_curve,
+    mean_iteration_mapping,
+)
+from repro.analysis.importance import (
+    ImportanceReport,
+    rank_knobs,
+    shapley_importance,
+)
+from repro.analysis.stats import bootstrap_mean_ci, geometric_mean, relative_change
+from repro.analysis.textplot import ascii_plot, plot_results
+
+__all__ = [
+    "ImportanceReport",
+    "ascii_plot",
+    "bootstrap_mean_ci",
+    "curve_with_band",
+    "format_curve",
+    "geometric_mean",
+    "mean_iteration_mapping",
+    "plot_results",
+    "rank_knobs",
+    "relative_change",
+    "shapley_importance",
+]

@@ -1,0 +1,55 @@
+"""Convergence-curve utilities for the paper's figures.
+
+These helpers render the figures' content as text series: best-so-far
+curves with confidence bands (Figures 2, 3, 6, 7, 9, 11) and the
+iteration-equivalence mapping of Figure 10.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tuning.metrics import iteration_mapping
+from repro.tuning.session import TuningResult
+
+
+def curve_with_band(
+    results: Sequence[TuningResult],
+    low: float = 5.0,
+    high: float = 95.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(mean, low, high) best-so-far curves across seeds."""
+    curves = np.stack([r.best_curve for r in results])
+    return (
+        curves.mean(axis=0),
+        np.percentile(curves, low, axis=0),
+        np.percentile(curves, high, axis=0),
+    )
+
+
+def mean_iteration_mapping(
+    treatment_results: Sequence[TuningResult],
+    baseline_results: Sequence[TuningResult],
+    maximize: bool = True,
+) -> np.ndarray:
+    """Figure 10: mean over seeds of the per-iteration equivalence mapping,
+    computed against the seed-matched baseline curve."""
+    mappings = [
+        iteration_mapping(t.best_curve, b.best_curve, maximize)
+        for t, b in zip(treatment_results, baseline_results)
+    ]
+    return np.mean(mappings, axis=0)
+
+
+def format_curve(
+    curve: np.ndarray, every: int = 10, fmt: str = "{:８.0f}".replace("８", "8")
+) -> str:
+    """Compact textual rendering of a best-so-far curve."""
+    points = [
+        f"it{index + 1:>3}: {fmt.format(value)}"
+        for index, value in enumerate(curve)
+        if (index + 1) % every == 0 or index == 0
+    ]
+    return "  ".join(points)

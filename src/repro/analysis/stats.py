@@ -1,0 +1,37 @@
+"""Statistical helpers shared by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def bootstrap_mean_ci(
+    samples: Sequence[float],
+    n_resamples: int = 2000,
+    low: float = 5.0,
+    high: float = 95.0,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Bootstrap percentile CI of the mean."""
+    array = np.asarray(list(samples), dtype=float)
+    if len(array) == 0:
+        raise ValueError("need at least one sample")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, len(array), size=(n_resamples, len(array)))
+    means = array[idx].mean(axis=1)
+    return float(np.percentile(means, low)), float(np.percentile(means, high))
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    """Geometric mean (used for aggregating speedups)."""
+    array = np.asarray(list(samples), dtype=float)
+    if (array <= 0).any():
+        raise ValueError("geometric mean requires positive samples")
+    return float(np.exp(np.log(array).mean()))
+
+
+def relative_change(new: float, old: float) -> float:
+    """(new - old) / |old|."""
+    return (new - old) / abs(old)

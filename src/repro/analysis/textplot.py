@@ -1,0 +1,90 @@
+"""ASCII line plots for convergence curves.
+
+The paper's figures are matplotlib charts; in a terminal-only environment
+we render the same series as ASCII plots.  Used by the quickstart-style
+examples and available to users inspecting tuning sessions interactively.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+#: Markers assigned to series in declaration order.
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render one or more equally long series as an ASCII line chart.
+
+    Args:
+        series: Label -> y-values (all the same length; x is the index).
+        width: Plot-area columns (excluding the axis gutter).
+        height: Plot-area rows.
+        title: Optional title line.
+
+    Returns:
+        A multi-line string: title, y-axis-labelled plot area, x-axis, and
+        a legend mapping markers to labels.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    (n_points,) = lengths
+    if n_points < 2:
+        raise ValueError("series need at least two points")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+
+    all_values = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    y_min, y_max = float(all_values.min()), float(all_values.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for __ in range(height)]
+    for marker, (label, values) in zip(_MARKERS, series.items()):
+        ys = np.asarray(values, dtype=float)
+        xs = np.linspace(0, width - 1, n_points).round().astype(int)
+        rows = ((ys - y_min) / (y_max - y_min) * (height - 1)).round().astype(int)
+        for x, row in zip(xs, rows):
+            grid[height - 1 - row][x] = marker
+
+    gutter = 11
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_max:>10,.0f}"
+        elif i == height - 1:
+            label = f"{y_min:>10,.0f}"
+        else:
+            label = " " * 10
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * gutter + "+" + "-" * width)
+    lines.append(
+        " " * gutter + f"1{'iteration':^{width - 8}}{n_points}"
+    )
+    legend = "   ".join(
+        f"{marker} {label}" for marker, label in zip(_MARKERS, series)
+    )
+    lines.append(" " * gutter + legend)
+    return "\n".join(lines)
+
+
+def plot_results(results_by_label: Mapping[str, Sequence], title: str = "") -> str:
+    """Convenience wrapper: plot the mean best-so-far curves of
+    ``label -> list[TuningResult]``."""
+    series = {
+        label: np.mean([r.best_curve for r in results], axis=0)
+        for label, results in results_by_label.items()
+    }
+    return ascii_plot(series, title=title)

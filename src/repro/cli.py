@@ -1,0 +1,134 @@
+"""User-facing tuning CLI: ``python -m repro [options]``.
+
+Runs one tuning session against the simulated DBMS and reports the result:
+convergence plot, headline numbers, and (optionally) the best configuration
+rendered as a ``postgresql.conf`` fragment or the whole knowledge base as
+JSON.
+
+Examples::
+
+    python -m repro --workload ycsb-a
+    python -m repro --workload tpcc --optimizer gp-bo --iterations 50
+    python -m repro --workload seats --no-llamatune        # vanilla baseline
+    python -m repro --workload tpcc --objective latency --rate 2000
+    python -m repro --workload ycsb-b --conf-out best.conf --kb-out kb.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.textplot import ascii_plot
+from repro.dbms.versions import V96, V136
+from repro.space.render import to_conf
+from repro.tuning.early_stopping import EarlyStoppingPolicy
+from repro.tuning.persistence import save_result
+from repro.tuning.runner import SessionSpec, llamatune_factory
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Tune the simulated PostgreSQL for a workload.",
+    )
+    parser.add_argument("--workload", default="ycsb-a",
+                        help="workload name (ycsb-a, tpcc, seats, ...)")
+    parser.add_argument("--optimizer", default="smac",
+                        choices=["smac", "gp-bo", "ddpg", "random"])
+    parser.add_argument("--iterations", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--objective", default="throughput",
+                        choices=["throughput", "latency"])
+    parser.add_argument("--rate", type=float, default=None,
+                        help="fixed request rate for latency tuning (req/s)")
+    parser.add_argument("--dbms-version", default="9.6", choices=["9.6", "13.6"])
+    parser.add_argument("--no-llamatune", action="store_true",
+                        help="tune the raw knob space (vanilla baseline)")
+    parser.add_argument("--dim", type=int, default=16,
+                        help="LlamaTune projection dimensionality d")
+    parser.add_argument("--bias", type=float, default=0.2,
+                        help="special-value bias probability p")
+    parser.add_argument("--buckets", type=int, default=10_000,
+                        help="bucketization limit K (0 disables)")
+    parser.add_argument("--projection", default="hesbo",
+                        choices=["hesbo", "rembo", "none"])
+    parser.add_argument("--early-stop", metavar="PCT,PATIENCE", default=None,
+                        help="early stopping, e.g. '1,20' for (1%%, 20 iters)")
+    parser.add_argument("--conf-out", metavar="FILE", default=None,
+                        help="write the best configuration as postgresql.conf")
+    parser.add_argument("--kb-out", metavar="FILE", default=None,
+                        help="write the knowledge base as JSON")
+    parser.add_argument("--no-plot", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.objective == "latency" and args.rate is None:
+        print("error: --objective latency requires --rate", file=sys.stderr)
+        return 2
+
+    early_stopping = None
+    if args.early_stop:
+        pct_text, __, patience_text = args.early_stop.partition(",")
+        early_stopping = EarlyStoppingPolicy(
+            min_improvement=float(pct_text) / 100.0,
+            patience=int(patience_text or 10),
+        )
+
+    if args.no_llamatune:
+        adapter = None
+    else:
+        adapter = llamatune_factory(
+            projection=None if args.projection == "none" else args.projection,
+            target_dim=args.dim,
+            bias=args.bias,
+            max_values=args.buckets or None,
+        )
+
+    spec = SessionSpec(
+        workload=args.workload,
+        optimizer=args.optimizer,
+        adapter=adapter,
+        objective=args.objective,
+        version=V96 if args.dbms_version == "9.6" else V136,
+        n_iterations=args.iterations,
+        target_rate=args.rate,
+        early_stopping=early_stopping,
+    )
+    label = "vanilla" if args.no_llamatune else "LlamaTune"
+    print(
+        f"Tuning {args.workload} with {label} {args.optimizer} "
+        f"({args.iterations} iterations, PostgreSQL v{args.dbms_version})"
+    )
+    result = spec.build(args.seed).run()
+
+    unit = "reqs/sec" if args.objective == "throughput" else "ms (p95)"
+    if not args.no_plot:
+        print()
+        print(ascii_plot({label: result.best_curve},
+                         title=f"best {args.objective} so far"))
+    print()
+    print(f"default: {result.default_value:>12,.1f} {unit}")
+    print(f"best:    {result.best_value:>12,.1f} {unit}")
+    print(f"crashed configurations: {result.crash_count}")
+    if result.stopped_early_at is not None:
+        print(f"stopped early at iteration {result.stopped_early_at}")
+
+    best = result.knowledge_base.best_observation().target_config
+    if args.conf_out:
+        with open(args.conf_out, "w") as handle:
+            handle.write(
+                to_conf(best, header=f"best configuration for {args.workload}")
+            )
+        print(f"wrote best configuration to {args.conf_out}")
+    if args.kb_out:
+        save_result(result, args.kb_out)
+        print(f"wrote knowledge base to {args.kb_out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

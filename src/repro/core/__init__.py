@@ -1,0 +1,41 @@
+"""LlamaTune core: projections, special-value biasing, bucketization, pipeline."""
+
+from repro.core.biasing import SpecialValueBiaser
+from repro.core.bucketization import (
+    Bucketizer,
+    bucketize_space,
+    bucketized_fraction,
+    debucketize,
+    quantize_unit,
+)
+from repro.core.pipeline import (
+    IdentityAdapter,
+    LlamaTuneAdapter,
+    SearchSpaceAdapter,
+    SubspaceAdapter,
+    llamatune_adapter,
+)
+from repro.core.projections import (
+    HeSBOProjection,
+    LinearProjection,
+    REMBOProjection,
+    make_projection,
+)
+
+__all__ = [
+    "Bucketizer",
+    "HeSBOProjection",
+    "IdentityAdapter",
+    "LinearProjection",
+    "LlamaTuneAdapter",
+    "REMBOProjection",
+    "SearchSpaceAdapter",
+    "SpecialValueBiaser",
+    "SubspaceAdapter",
+    "bucketize_space",
+    "bucketized_fraction",
+    "debucketize",
+    "llamatune_adapter",
+    "make_projection",
+    "quantize_unit",
+]

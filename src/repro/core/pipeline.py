@@ -1,0 +1,220 @@
+"""The unified LlamaTune search-space adapter (paper, Section 5, Figure 8).
+
+The adapter sits between any optimizer and the DBMS knob space:
+
+1. the optimizer tunes the adapter's :attr:`optimizer_space` — a synthetic
+   low-dimensional space under HeSBO/REMBO projection (optionally
+   bucketized to ``K`` unique values per dimension), or the original space
+   (optionally bucketized) when no projection is used;
+2. a suggested configuration is projected to the normalized knob space
+   ``[-1, 1]^D``;
+3. each coordinate is normalized to ``[0, 1]``;
+4. special-value biasing is applied to hybrid knobs only;
+5. values are rescaled to native knob ranges, yielding the DBMS
+   configuration to evaluate.
+
+Design requirements from the paper: the optimizer only ever sees the
+low-dimensional (bucketized) space; biasing applies strictly after
+projection and only to hybrid knobs; bucketization is exposed to the
+optimizer through the grid of the synthetic knobs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.biasing import SpecialValueBiaser
+from repro.core.bucketization import bucketize_space
+from repro.core.projections import LinearProjection, make_projection
+from repro.space.configspace import Configuration, ConfigurationSpace
+from repro.space.knob import CategoricalKnob, FloatKnob, IntegerKnob
+
+
+class SearchSpaceAdapter(ABC):
+    """Maps optimizer-space configurations onto target-space configurations."""
+
+    def __init__(self, target_space: ConfigurationSpace):
+        self.target_space = target_space
+
+    @property
+    @abstractmethod
+    def optimizer_space(self) -> ConfigurationSpace:
+        """The space the optimizer tunes."""
+
+    @abstractmethod
+    def to_target(self, config: Configuration) -> Configuration:
+        """Convert an optimizer-space suggestion to a DBMS configuration."""
+
+
+class IdentityAdapter(SearchSpaceAdapter):
+    """Baseline: the optimizer tunes the original knob space directly."""
+
+    @property
+    def optimizer_space(self) -> ConfigurationSpace:
+        return self.target_space
+
+    def to_target(self, config: Configuration) -> Configuration:
+        return config
+
+
+class SubspaceAdapter(SearchSpaceAdapter):
+    """Tune only a subset of knobs; the rest stay at their defaults.
+
+    Used by the motivation study (Figure 2): tuning SHAP's or the
+    hand-picked top-8 knobs while the other 82 keep the DBMS defaults.
+    """
+
+    def __init__(self, target_space: ConfigurationSpace, knob_names):
+        super().__init__(target_space)
+        self._subspace = target_space.subspace(knob_names)
+
+    @property
+    def optimizer_space(self) -> ConfigurationSpace:
+        return self._subspace
+
+    def to_target(self, config: Configuration) -> Configuration:
+        return self.target_space.partial_configuration(dict(config))
+
+
+class LlamaTuneAdapter(SearchSpaceAdapter):
+    """The full (and ablatable) LlamaTune pipeline.
+
+    Args:
+        target_space: The DBMS knob space (e.g. the 90-knob v9.6 catalog).
+        projection: ``"hesbo"`` (paper default), ``"rembo"``, or ``None`` to
+            tune the original space (used by the SVB/bucketization-only
+            ablations, Figures 6 and 7).
+        target_dim: Dimensionality ``d`` of the synthetic space (16 default).
+        bias: Special-value bias probability ``p`` (0.2 default; 0 disables).
+        max_values: Bucketization limit ``K`` (10,000 default; ``None``
+            disables bucketization).
+        seed: Seed for the random projection matrix.
+    """
+
+    def __init__(
+        self,
+        target_space: ConfigurationSpace,
+        projection: str | None = "hesbo",
+        target_dim: int = 16,
+        bias: float = 0.2,
+        max_values: int | None = 10_000,
+        seed: int = 0,
+    ):
+        super().__init__(target_space)
+        self.biaser = SpecialValueBiaser(target_space, bias)
+        self.max_values = max_values
+        self.projection: LinearProjection | None = None
+
+        if projection is not None:
+            rng = np.random.default_rng(seed)
+            self.projection = make_projection(
+                projection, target_space.dim, target_dim, rng
+            )
+            self._optimizer_space = self._synthetic_space(projection)
+        elif max_values is not None:
+            self._optimizer_space = bucketize_space(target_space, max_values)
+        else:
+            self._optimizer_space = target_space
+
+    # --- spaces -------------------------------------------------------------
+
+    def _synthetic_space(self, kind: str) -> ConfigurationSpace:
+        assert self.projection is not None
+        bound = self.projection.low_bound
+        knobs = []
+        for j in range(self.projection.target_dim):
+            name = f"{kind}_{j + 1}"
+            if self.max_values is not None:
+                # A discrete grid exposes the bucketized sampling intervals
+                # (Q = 2 * bound / K) to the optimizer.
+                knobs.append(
+                    IntegerKnob(
+                        name=name,
+                        default=(self.max_values - 1) // 2,
+                        lower=0,
+                        upper=self.max_values - 1,
+                        description=f"synthetic {kind} dimension {j + 1} "
+                                    f"(bucketized to {self.max_values})",
+                    )
+                )
+            else:
+                knobs.append(
+                    FloatKnob(
+                        name=name,
+                        default=0.0,
+                        lower=-bound,
+                        upper=bound,
+                        description=f"synthetic {kind} dimension {j + 1}",
+                    )
+                )
+        return ConfigurationSpace(
+            knobs, name=f"{self.target_space.name}/{kind}-{len(knobs)}"
+        )
+
+    @property
+    def optimizer_space(self) -> ConfigurationSpace:
+        return self._optimizer_space
+
+    # --- conversion ------------------------------------------------------------
+
+    def _low_vector(self, config: Configuration) -> np.ndarray:
+        """Low-dimensional point in ``[-bound, bound]^d`` from a suggestion."""
+        assert self.projection is not None
+        bound = self.projection.low_bound
+        low = np.empty(self.projection.target_dim)
+        for j, knob in enumerate(self._optimizer_space):
+            value = config[knob.name]
+            if self.max_values is not None:
+                unit = float(value) / (self.max_values - 1)
+                low[j] = bound * (2.0 * unit - 1.0)
+            else:
+                low[j] = float(value)
+        return low
+
+    def to_target(self, config: Configuration) -> Configuration:
+        if self.projection is not None:
+            high = self.projection.project(self._low_vector(config))
+            unit = (high + 1.0) / 2.0
+            values = {
+                knob.name: self.biaser.value_for(knob, float(unit[i]))
+                for i, knob in enumerate(self.target_space)
+            }
+            return Configuration(self.target_space, values)
+
+        # No projection: pass values through, biasing hybrid knobs and
+        # un-bucketizing index knobs.
+        values = {}
+        for knob in self.target_space:
+            raw = config[knob.name]
+            opt_knob = self._optimizer_space[knob.name]
+            bucketized = opt_knob is not knob
+            if bucketized:
+                unit = float(raw) / (self.max_values - 1)  # type: ignore[operator]
+            elif isinstance(knob, CategoricalKnob):
+                values[knob.name] = raw
+                continue
+            else:
+                unit = knob.to_unit(raw)
+            if self.biaser.is_biased(knob.name):
+                values[knob.name] = self.biaser.value_for(knob, unit)
+            elif bucketized:
+                values[knob.name] = knob.from_unit(unit)
+            else:
+                values[knob.name] = raw
+        return Configuration(self.target_space, values)
+
+
+def llamatune_adapter(
+    target_space: ConfigurationSpace, seed: int = 0
+) -> LlamaTuneAdapter:
+    """The paper-default LlamaTune pipeline: HeSBO-16, 20% SVB, K=10,000."""
+    return LlamaTuneAdapter(
+        target_space,
+        projection="hesbo",
+        target_dim=16,
+        bias=0.2,
+        max_values=10_000,
+        seed=seed,
+    )

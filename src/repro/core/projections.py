@@ -1,0 +1,122 @@
+"""Random low-dimensional linear projections (paper, Section 3.2).
+
+Both methods map a point of the synthetic low-dimensional space
+:math:`X_d` to the normalized high-dimensional knob space
+:math:`X_D = [-1, 1]^D`:
+
+* **REMBO** (Wang et al., 2016): a dense Gaussian projection matrix
+  ``A ∈ R^{D×d}`` with i.i.d. N(0,1) entries; the low space is
+  ``[-√d, √d]^d`` and out-of-range coordinates are *clipped* to ±1 — the
+  behaviour that pins REMBO to the facets of the space and makes it lose to
+  HeSBO in the paper's case study (Figure 3).
+* **HeSBO** (Nayebi et al., 2019): a count-sketch projection — every row of
+  ``A`` has exactly one ±1 entry in a uniformly random column, so each
+  original knob is controlled by exactly one synthetic knob (one-to-many)
+  and no projected point can ever leave ``[-1, 1]^D``.
+
+A projection matrix is generated once per tuning session and stays fixed
+(Algorithm 1, line 1).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class LinearProjection(ABC):
+    """Maps low-dimensional points to the normalized knob space [-1, 1]^D."""
+
+    def __init__(self, input_dim: int, target_dim: int):
+        if not 1 <= target_dim <= input_dim:
+            raise ValueError(
+                f"need 1 <= d <= D, got d={target_dim}, D={input_dim}"
+            )
+        self.input_dim = input_dim  # D
+        self.target_dim = target_dim  # d
+
+    @property
+    @abstractmethod
+    def low_bound(self) -> float:
+        """Half-width of the symmetric low-dimensional box ``[-b, b]^d``."""
+
+    @abstractmethod
+    def project(self, low: np.ndarray) -> np.ndarray:
+        """Project ``low`` (shape ``(d,)``) into ``[-1, 1]^D``."""
+
+    def _check(self, low: np.ndarray) -> np.ndarray:
+        low = np.asarray(low, dtype=float)
+        if low.shape != (self.target_dim,):
+            raise ValueError(
+                f"expected shape ({self.target_dim},), got {low.shape}"
+            )
+        return low
+
+
+class REMBOProjection(LinearProjection):
+    """Dense Gaussian random projection with clipping (REMBO)."""
+
+    def __init__(self, input_dim: int, target_dim: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__(input_dim, target_dim)
+        rng = rng if rng is not None else np.random.default_rng()
+        self.matrix = rng.normal(0.0, 1.0, size=(input_dim, target_dim))
+
+    @property
+    def low_bound(self) -> float:
+        return math.sqrt(self.target_dim)
+
+    def project(self, low: np.ndarray) -> np.ndarray:
+        low = self._check(low)
+        return np.clip(self.matrix @ low, -1.0, 1.0)
+
+    def clip_fraction(self, low: np.ndarray) -> float:
+        """Fraction of coordinates clipped for this point (diagnostics)."""
+        low = self._check(low)
+        raw = self.matrix @ low
+        return float(np.mean(np.abs(raw) > 1.0))
+
+
+class HeSBOProjection(LinearProjection):
+    """Count-sketch projection (Hashing-enhanced Subspace BO)."""
+
+    def __init__(self, input_dim: int, target_dim: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__(input_dim, target_dim)
+        rng = rng if rng is not None else np.random.default_rng()
+        #: h: which synthetic knob controls each original knob.
+        self.column = rng.integers(0, target_dim, size=input_dim)
+        #: sigma: the sign with which it does.
+        self.sign = rng.choice([-1.0, 1.0], size=input_dim)
+
+    @property
+    def low_bound(self) -> float:
+        return 1.0
+
+    def project(self, low: np.ndarray) -> np.ndarray:
+        low = self._check(low)
+        return self.sign * low[self.column]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The equivalent dense ``D × d`` matrix (one ±1 entry per row)."""
+        A = np.zeros((self.input_dim, self.target_dim))
+        A[np.arange(self.input_dim), self.column] = self.sign
+        return A
+
+
+def make_projection(
+    kind: str,
+    input_dim: int,
+    target_dim: int,
+    rng: np.random.Generator | None = None,
+) -> LinearProjection:
+    """Factory for ``"hesbo"`` / ``"rembo"`` projections."""
+    key = kind.lower()
+    if key == "hesbo":
+        return HeSBOProjection(input_dim, target_dim, rng)
+    if key == "rembo":
+        return REMBOProjection(input_dim, target_dim, rng)
+    raise ValueError(f"unknown projection kind {kind!r}")

@@ -1,0 +1,40 @@
+"""Simulator component models.
+
+Each module exposes ``score(ctx) -> float``: a relative speed factor for one
+subsystem of the DBMS (≈1.0 at a neutral setting, above when tuned well,
+below when misconfigured).  The engine combines them as a weighted
+geometric product per workload; see :mod:`repro.dbms.engine`.
+"""
+
+from repro.dbms.components import (
+    buffer,
+    checkpoint,
+    locks,
+    memory,
+    parallel,
+    planner,
+    stats,
+    texture,
+    vacuum,
+    wal,
+    writeback,
+)
+
+#: Evaluation order.  ``memory`` goes first because it can raise
+#: :class:`~repro.dbms.errors.DbmsCrashError`; ``wal`` precedes
+#: ``checkpoint`` because the checkpoint model reads the WAL volume note.
+COMPONENTS = {
+    "memory": memory.score,
+    "buffer": buffer.score,
+    "writeback": writeback.score,
+    "wal_commit": wal.score,
+    "checkpoint": checkpoint.score,
+    "vacuum": vacuum.score,
+    "planner": planner.score,
+    "parallel": parallel.score,
+    "locks": locks.score,
+    "stats": stats.score,
+    "texture": texture.score,
+}
+
+__all__ = ["COMPONENTS"]

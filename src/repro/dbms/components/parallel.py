@@ -1,0 +1,61 @@
+"""Parallel-query and JIT model.
+
+For OLTP, parallel workers mostly add setup overhead (v9.6 default disables
+them: ``max_parallel_workers_per_gather = 0`` is the special value).  On
+v13.6 the JIT compiler exists: with the default ``jit_above_cost`` it still
+fires on the heavier OLTP queries, and the per-query compilation overhead
+outweighs its benefit — disabling JIT via the special value
+``jit_above_cost = -1`` (or ``jit = off``) is the hidden win the paper's
+v13.6 experiments surface (Table 7: SEATS gains the most).
+"""
+
+from __future__ import annotations
+
+from repro.dbms.context import EvalContext
+
+
+def _jit_effect(ctx: EvalContext) -> float:
+    if not ctx.version.has_jit:
+        return 0.0
+    if not ctx.is_on("jit", default="on"):
+        return 0.0
+    above = float(ctx.get("jit_above_cost", 100000.0))
+    if above == -1.0:
+        return 0.0  # special value: JIT disabled
+    wl = ctx.workload
+    # How often queries of this workload cross the JIT cost threshold.
+    trigger = max(0.0, 1.0 - above / 400_000.0) * (0.3 + wl.join_complexity)
+    overhead = 0.22 * trigger
+    inline = float(ctx.get("jit_inline_above_cost", 500000.0))
+    optimize = float(ctx.get("jit_optimize_above_cost", 500000.0))
+    for threshold in (inline, optimize):
+        if threshold != -1.0 and threshold < 200_000.0:
+            overhead += 0.05 * trigger
+    return -overhead
+
+
+def _worker_effect(ctx: EvalContext) -> float:
+    wl = ctx.workload
+    per_gather = int(ctx.get("max_parallel_workers_per_gather"))
+    if per_gather == 0:
+        return 0.0  # special value: parallel query execution disabled
+    if ctx.version.has_jit:
+        # v13 parallelism can help the heavier analytical-ish queries a bit,
+        # then oversubscription costs kick in.
+        helpful = min(per_gather, 4) * 0.015 * wl.join_complexity
+        oversub = 0.004 * max(0, per_gather - 4)
+        effect = helpful - oversub
+    else:
+        effect = -0.010 * min(per_gather, 8) ** 0.5  # v9.6: overhead only
+    if ctx.get("force_parallel_mode", "off") != "off":
+        effect -= 0.08
+    workers = int(ctx.get("max_worker_processes"))
+    if workers > ctx.hardware.cores * 4:
+        effect -= 0.01
+    return effect
+
+
+def score(ctx: EvalContext) -> float:
+    effect = _jit_effect(ctx) + _worker_effect(ctx)
+    ctx.notes["jit_overhead"] = -_jit_effect(ctx)
+    return max(0.3, 1.0 + effect)

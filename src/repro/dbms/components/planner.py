@@ -1,0 +1,108 @@
+"""Query-planner model.
+
+Plan quality matters in proportion to the workload's join complexity.
+Disabling essential plan operators (``enable_*`` toggles) degrades plans —
+a large *negative* main effect with no positive headroom, which is exactly
+the kind of knob SHAP tends to rank as "important" even though tuning it
+cannot help (paper, Section 2.3).  Positive headroom comes from
+SSD-appropriate cost constants (``random_page_cost``), better statistics,
+and a plausible ``effective_cache_size``.  GEQO only engages when the
+FROM-list exceeds ``geqo_threshold``, which none of the OLTP workloads'
+queries do at the default threshold.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dbms.context import EvalContext
+
+GIB = 1024**3
+
+
+def _toggle_penalty(ctx: EvalContext) -> float:
+    wl = ctx.workload
+    complexity = wl.join_complexity
+    penalty = 0.0
+
+    if not ctx.is_on("enable_indexscan"):
+        # Point lookups degrade to scans: hurts every OLTP workload badly,
+        # softened only slightly by index-only scans remaining available.
+        penalty += 0.60 if ctx.is_on("enable_indexonlyscan") else 0.75
+    elif not ctx.is_on("enable_indexonlyscan"):
+        penalty += 0.04 + 0.06 * complexity
+
+    if not ctx.is_on("enable_hashjoin") and not ctx.is_on("enable_mergejoin"):
+        penalty += 0.35 * complexity
+    elif not ctx.is_on("enable_hashjoin"):
+        penalty += 0.08 * complexity
+    if not ctx.is_on("enable_nestloop"):
+        penalty += 0.20 * complexity
+    if not ctx.is_on("enable_sort"):
+        penalty += 0.12 * (complexity + ctx.workload.temp_heavy)
+    if not ctx.is_on("enable_hashagg"):
+        penalty += 0.06 * complexity
+    if not ctx.is_on("enable_seqscan"):
+        penalty += 0.03 * complexity
+    if not ctx.is_on("enable_bitmapscan"):
+        penalty += 0.03 * complexity
+    if not ctx.is_on("enable_material"):
+        penalty += 0.02 * complexity
+    return penalty
+
+
+def _cost_model_gain(ctx: EvalContext) -> float:
+    wl = ctx.workload
+    complexity = wl.join_complexity
+    gain = 0.0
+
+    # SSD-appropriate random_page_cost (optimum near 1.2, default 4.0).
+    rpc = max(0.05, float(ctx.get("random_page_cost")))
+    miss_match = 1.0 - min(1.0, abs(math.log(rpc / 1.2)) / math.log(80.0))
+    gain += 0.08 * complexity * miss_match
+
+    spc = max(0.05, float(ctx.get("seq_page_cost")))
+    ratio_ok = 1.0 if rpc >= spc else 0.0  # inverted costs confuse the planner
+    gain -= 0.05 * complexity * (1.0 - ratio_ok)
+
+    # Better statistics help plans up to a plateau, with a tiny ANALYZE cost.
+    dst = int(ctx.get("default_statistics_target"))
+    gain += 0.04 * complexity * min(1.0, dst / 500.0)
+    gain -= 0.01 * (dst / 10000.0)
+
+    # effective_cache_size close to actual cached memory improves choices.
+    ecs_bytes = int(ctx.get("effective_cache_size")) * 8192
+    actual_cache = ctx.shared_buffers_bytes() + 0.5 * ctx.hardware.ram_bytes
+    closeness = 1.0 - min(1.0, abs(math.log(max(ecs_bytes, 1) / actual_cache)) / 4.0)
+    gain += 0.03 * complexity * closeness
+
+    # Flattening limits below the workload's join count block good orders.
+    needed = max(2, int(round(ctx.workload.tables * 0.7)))
+    if int(ctx.get("join_collapse_limit")) < needed:
+        gain -= 0.04 * complexity
+    if int(ctx.get("from_collapse_limit")) < needed:
+        gain -= 0.02 * complexity
+    return gain
+
+
+def _geqo_effect(ctx: EvalContext) -> float:
+    wl = ctx.workload
+    if not ctx.is_on("geqo"):
+        return 0.0
+    if int(ctx.get("geqo_threshold")) > wl.tables:
+        return 0.0  # GEQO never engages for this workload's queries
+    # Genetic search replaces exhaustive search: cheaper planning but
+    # noisier plans; pool/generation special values (0) pick sane defaults.
+    effort = int(ctx.get("geqo_effort"))
+    pool = int(ctx.get("geqo_pool_size"))
+    pool_ok = pool == 0 or pool >= 50
+    quality = -0.05 * wl.join_complexity * (1.0 if not pool_ok else 0.4)
+    quality += 0.004 * (effort - 5)
+    return quality
+
+
+def score(ctx: EvalContext) -> float:
+    penalty = _toggle_penalty(ctx)
+    gain = _cost_model_gain(ctx) + _geqo_effect(ctx)
+    ctx.notes["plan_quality_penalty"] = penalty
+    return max(0.1, (1.0 - min(0.9, penalty)) * (1.0 + gain))

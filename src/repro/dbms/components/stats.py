@@ -1,0 +1,24 @@
+"""Statistics-collection overhead model.
+
+The ``track_*`` knobs trade a little per-operation bookkeeping for
+observability.  Note the important interaction: turning ``track_counts``
+off also silently disables autovacuum's trigger mechanism — that penalty
+lives in :mod:`repro.dbms.components.vacuum`, which checks the same knob.
+"""
+
+from __future__ import annotations
+
+from repro.dbms.context import EvalContext
+
+
+def score(ctx: EvalContext) -> float:
+    gain = 0.0
+    if not ctx.is_on("track_activities"):
+        gain += 0.004
+    if not ctx.is_on("track_counts"):
+        gain += 0.006  # bookkeeping saved; vacuum.py charges the real cost
+    if ctx.is_on("track_io_timing", default="off"):
+        gain -= 0.010  # two clock reads per block I/O
+    if not ctx.is_on("update_process_title"):
+        gain += 0.003
+    return 1.0 + gain

@@ -1,0 +1,61 @@
+"""Long-tail "texture": small smooth effects from every knob.
+
+Real DBMS response surfaces are not exactly flat in the unimportant knobs:
+every knob nudges performance a little, differently per workload.  This
+component gives each knob a deterministic, smooth, workload-dependent
+contribution of at most a few tenths of a percent, so that
+
+* the effective dimensionality stays low (the component models above carry
+  the real headroom), but
+* no dimension is exactly dead — random projections and importance ranking
+  face the same long tail they face on a real system.
+
+Determinism: coefficients are derived from a stable hash of
+``(workload name, knob name)``, so results are reproducible and identical
+across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+from repro.dbms.context import EvalContext
+
+#: Maximum absolute contribution of a single knob (fractional speed).
+_AMPLITUDE = 0.0035
+
+
+def _knob_coefficients(workload_name: str, knob_name: str) -> tuple[float, float, float]:
+    """Stable pseudo-random (a, b, phase) coefficients in [-1, 1] / [0, 2π)."""
+    digest = hashlib.sha256(f"{workload_name}:{knob_name}".encode()).digest()
+    a = int.from_bytes(digest[0:4], "big") / 2**32 * 2.0 - 1.0
+    b = int.from_bytes(digest[4:8], "big") / 2**32 * 2.0 - 1.0
+    phase = int.from_bytes(digest[8:12], "big") / 2**32 * 2.0 * math.pi
+    return a, b, phase
+
+
+def _unit_value(ctx: EvalContext, name: str) -> float:
+    """Cheap [0, 1] embedding of a knob value for the texture function."""
+    value = ctx.values[name]
+    if isinstance(value, str):
+        digest = hashlib.sha256(value.encode()).digest()
+        return int.from_bytes(digest[:4], "big") / 2**32
+    try:
+        numeric = float(value)
+    except (TypeError, ValueError):
+        return 0.5
+    # Squash to (0, 1) smoothly regardless of the knob's range.
+    return 0.5 + math.atan(numeric / (1.0 + abs(numeric) * 0.5)) / math.pi
+
+
+def score(ctx: EvalContext) -> float:
+    total = 0.0
+    wname = ctx.workload.name
+    for name in ctx.values:
+        a, b, phase = _knob_coefficients(wname, name)
+        u = _unit_value(ctx, name)
+        total += _AMPLITUDE * (
+            a * math.sin(2.0 * math.pi * u + phase) + b * (u - 0.5)
+        )
+    return math.exp(total)

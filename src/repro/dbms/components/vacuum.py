@@ -1,0 +1,63 @@
+"""Autovacuum / dead-tuple model.
+
+Writes create dead tuples; lagging vacuum causes bloat (extra pages per
+access), while an over-aggressive vacuum steals I/O from the workload.  The
+trigger lag follows ``autovacuum_vacuum_scale_factor`` / ``_threshold``; the
+vacuum pace follows the cost-based throttle, whose knobs have -1 special
+values that defer to the plain ``vacuum_cost_*`` settings.  Autovacuum
+silently stops working when ``track_counts`` is off — a cross-knob
+interaction PostgreSQL documents and tuners routinely trip over.
+"""
+
+from __future__ import annotations
+
+from repro.dbms.context import EvalContext
+
+
+def _vacuum_pace(ctx: EvalContext) -> float:
+    """Relative cleaning pace; 1.0 matches the default throttle."""
+    limit = ctx.autovacuum_cost_limit()
+    delay_ms = ctx.autovacuum_cost_delay_ms()
+    page_cost = (
+        float(ctx.get("vacuum_cost_page_hit"))
+        + float(ctx.get("vacuum_cost_page_miss"))
+        + float(ctx.get("vacuum_cost_page_dirty"))
+    ) / 31.0  # defaults sum to 31
+    pace = (limit / 200.0) / ((1.0 + delay_ms) * max(page_cost, 0.05))
+    pace *= min(2.0, int(ctx.get("autovacuum_max_workers")) / 3.0)
+    return pace / 1.05  # default works out slightly above 1
+
+
+def score(ctx: EvalContext) -> float:
+    wl = ctx.workload
+    writes = wl.write_txn_fraction
+
+    autovacuum_works = ctx.is_on("autovacuum") and ctx.is_on("track_counts")
+    if not autovacuum_works:
+        bloat = 0.28 * writes
+        ctx.notes["dead_tuple_ratio"] = 0.30
+        ctx.notes["autovacuum_runs"] = 0.0
+        return 1.0 - bloat
+
+    # Trigger lag: fraction of a table that may be dead before vacuum runs.
+    lag = float(ctx.get("autovacuum_vacuum_scale_factor"))
+    lag += int(ctx.get("autovacuum_vacuum_threshold")) / 2e6
+    lag += min(0.05, int(ctx.get("autovacuum_naptime")) / 7200.0)
+    bloat = writes * min(0.30, 0.80 * lag)
+
+    pace = _vacuum_pace(ctx)
+    # Too slow: cleaning cannot keep up, adding residual bloat.
+    sluggish = 0.10 * writes * max(0.0, 1.0 - pace)
+    # Too fast: vacuum I/O competes with the workload.
+    interference = 0.05 * writes * max(0.0, min(3.0, pace) - 1.2)
+
+    # Stale planner statistics if analyze lags far behind.
+    analyze_lag = float(ctx.get("autovacuum_analyze_scale_factor"))
+    stale_stats = 0.05 * wl.join_complexity * min(1.0, analyze_lag / 0.5)
+
+    ctx.notes["dead_tuple_ratio"] = min(0.30, 0.80 * lag)
+    ctx.notes["autovacuum_runs"] = pace
+    ctx.notes["vacuum_pace"] = pace
+
+    total = bloat + sluggish + interference + stale_stats
+    return max(0.3, 1.0 - total)

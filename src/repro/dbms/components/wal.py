@@ -1,0 +1,96 @@
+"""WAL / commit-path model.
+
+Covers the durable-commit cost (``synchronous_commit``, ``fsync``,
+``wal_sync_method``), group commit (``commit_delay`` + ``commit_siblings``),
+WAL volume modifiers (``full_page_writes``, ``wal_compression``,
+``wal_level``), WAL buffering (``wal_buffers``, including the -1 auto-size
+special value), and the WAL-writer knobs that matter for asynchronous
+commits (``wal_writer_delay``, ``wal_writer_flush_after`` with its
+flush-immediately special value 0).
+"""
+
+from __future__ import annotations
+
+from repro.dbms.context import EvalContext
+
+MIB = 1024**2
+
+#: Relative cost of a durable WAL flush per wal_sync_method.
+_SYNC_METHOD_COST = {
+    "fdatasync": 1.00,
+    "fsync": 1.15,
+    "open_datasync": 0.92,
+    "open_sync": 1.30,
+}
+
+#: WAL volume multiplier per wal_level.
+_WAL_LEVEL_VOLUME = {"minimal": 1.00, "replica": 1.06, "logical": 1.14}
+
+
+def _wal_volume_multiplier(ctx: EvalContext) -> float:
+    volume = _WAL_LEVEL_VOLUME[str(ctx.get("wal_level"))]
+    if not ctx.is_on("full_page_writes"):
+        volume *= 0.62  # no full-page images after checkpoints
+    if ctx.is_on("wal_compression", default="off"):
+        volume *= 0.78
+    return volume
+
+
+def _commit_sync_ms(ctx: EvalContext) -> float:
+    """Time a committing backend spends making its WAL durable."""
+    hw = ctx.hardware
+    wl = ctx.workload
+
+    if not ctx.is_on("fsync"):
+        return 0.13  # writes are not forced; still pay buffered-write CPU
+    if ctx.get("synchronous_commit") == "off":
+        # Commits return before the flush; the WAL writer absorbs the work.
+        wwfa = int(ctx.get("wal_writer_flush_after"))
+        delay_ms = float(ctx.get("wal_writer_delay"))
+        if wwfa == 0:
+            return 0.190  # special value: flush on every WAL-writer pass
+        # Larger flush-after and saner delays amortize flushes better.
+        amortize = min(1.0, (wwfa * 8192) / (2 * MIB)) * min(
+            1.0, delay_ms / 100.0
+        )
+        return 0.175 - 0.065 * amortize
+
+    t_sync = hw.fsync_ms * _SYNC_METHOD_COST[str(ctx.get("wal_sync_method"))]
+
+    delay_us = int(ctx.get("commit_delay"))
+    siblings = int(ctx.get("commit_siblings"))
+    if delay_us > 0 and wl.clients > siblings:
+        # Group commit: the delay batches concurrent committers into one
+        # flush, at the price of added latency for each of them.
+        batch = 1.0 + min(7.0, (delay_us / 150.0) ** 0.8)
+        added_latency_ms = (delay_us / 1000.0) * 0.25
+        return t_sync / batch + added_latency_ms
+    return t_sync
+
+
+def score(ctx: EvalContext) -> float:
+    hw = ctx.hardware
+    wl = ctx.workload
+
+    volume = _wal_volume_multiplier(ctx)
+    t_commit = _commit_sync_ms(ctx)
+
+    # Streaming the WAL bytes themselves (~30 kB per writing transaction).
+    wal_bytes_per_txn = 30_000 * volume
+    t_stream = wal_bytes_per_txn / (hw.seq_write_mb_s * MIB) * 1000.0
+
+    # Undersized WAL buffers stall writers waiting for buffer space.
+    wal_buf = ctx.wal_buffers_bytes()
+    t_stall = 0.15 * max(0.0, 1.0 - wal_buf / (1 * MIB))
+
+    t_cpu = 0.02 if ctx.is_on("wal_compression", default="off") else 0.0
+
+    t_wal = t_commit + t_stream + t_stall + t_cpu
+
+    ctx.notes["wal_bytes_per_txn"] = wal_bytes_per_txn
+    ctx.notes["commit_sync_ms"] = t_commit
+    ctx.notes["wal_volume_multiplier"] = volume
+
+    # Floor represents the non-WAL work of a writing transaction.
+    floor_ms = 0.55
+    return floor_ms / (floor_ms + t_wal * wl.write_txn_fraction * 2.0)

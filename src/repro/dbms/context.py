@@ -1,0 +1,78 @@
+"""Shared evaluation context handed to every simulator component."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.dbms.hardware import Hardware
+from repro.dbms.versions import PostgresVersion
+from repro.space.knob import KnobValue
+from repro.space.postgres import PAGE_SIZE
+from repro.workloads.base import Workload
+
+KIB = 1024
+MIB = 1024**2
+
+
+@dataclass
+class EvalContext:
+    """One configuration evaluation: knob values plus fixed environment.
+
+    Components read knob values through :meth:`get` so that knobs absent from
+    a catalog version fall back to their v13.6 defaults (the paper ports the
+    same pipeline across versions, Section 6.3).  Components may record
+    intermediate quantities in :attr:`notes`; the engine turns a subset of
+    them into the internal DBMS metrics consumed by DDPG.
+    """
+
+    values: Mapping[str, KnobValue]
+    workload: Workload
+    hardware: Hardware
+    version: PostgresVersion
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, name: str, default: KnobValue | None = None) -> KnobValue:
+        if name in self.values:
+            return self.values[name]
+        if default is None:
+            raise KeyError(f"knob {name} absent and no default given")
+        return default
+
+    def is_on(self, name: str, default: str = "on") -> bool:
+        return self.get(name, default) == "on"
+
+    # --- derived knob resolutions (special-value semantics) ---------------
+
+    def shared_buffers_bytes(self) -> int:
+        return int(self.get("shared_buffers")) * PAGE_SIZE
+
+    def wal_buffers_bytes(self) -> int:
+        """Resolve ``wal_buffers``; -1 auto-sizes to 1/32 of shared_buffers,
+        clamped to [64 kB, 16 MB] as the PostgreSQL docs specify."""
+        raw = int(self.get("wal_buffers"))
+        if raw == -1:
+            auto = self.shared_buffers_bytes() // 32
+            return int(min(max(auto, 64 * KIB), 16 * MIB))
+        return raw * PAGE_SIZE
+
+    def autovacuum_work_mem_bytes(self) -> int:
+        """Resolve ``autovacuum_work_mem``; -1 uses maintenance_work_mem."""
+        raw = int(self.get("autovacuum_work_mem"))
+        if raw == -1:
+            return int(self.get("maintenance_work_mem")) * KIB
+        return raw * KIB
+
+    def autovacuum_cost_delay_ms(self) -> float:
+        """Resolve ``autovacuum_vacuum_cost_delay``; -1 uses vacuum_cost_delay."""
+        raw = int(self.get("autovacuum_vacuum_cost_delay"))
+        if raw == -1:
+            return float(self.get("vacuum_cost_delay"))
+        return float(raw)
+
+    def autovacuum_cost_limit(self) -> float:
+        """Resolve ``autovacuum_vacuum_cost_limit``; -1 uses vacuum_cost_limit."""
+        raw = int(self.get("autovacuum_vacuum_cost_limit"))
+        if raw == -1:
+            return float(self.get("vacuum_cost_limit"))
+        return float(raw)

@@ -1,0 +1,20 @@
+"""DBMS simulator error types."""
+
+from __future__ import annotations
+
+
+class DbmsError(Exception):
+    """Base class for simulated-DBMS failures."""
+
+
+class DbmsCrashError(DbmsError):
+    """The DBMS failed to start or crashed under the given configuration.
+
+    The paper's tuning protocol (Section 6.1) handles crashing configurations
+    by assigning one fourth of the worst throughput observed so far; see
+    :class:`repro.tuning.session.TuningSession`.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason

@@ -1,0 +1,39 @@
+"""Hardware profile for the simulated testbed.
+
+Modeled after the paper's CloudLab ``c220g5`` node (Section 6.1): a 10-core
+Intel Xeon Silver 4114, 16 GB of RAM for the DBMS socket, and a 480 GB SATA
+SSD.  The latency constants are typical device characteristics, not
+measurements of that exact node; the simulator's outputs are calibrated
+per-workload (see :mod:`repro.dbms.engine`), so only their *ratios* shape the
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GIB = 1024**3
+
+
+@dataclass(frozen=True)
+class Hardware:
+    """Capacities and device latencies of the simulated machine."""
+
+    ram_bytes: int = 16 * GIB
+    cores: int = 10
+    #: Random 8 kB read from the SSD (milliseconds).
+    ssd_read_ms: float = 0.080
+    #: Copy of a page from the OS page cache into the buffer pool.
+    os_cache_read_ms: float = 0.012
+    #: Hit in the DBMS shared buffer pool.
+    shared_buffer_read_ms: float = 0.0012
+    #: Durable WAL flush (fdatasync) on the SSD.
+    fsync_ms: float = 0.40
+    #: Sequential write bandwidth (MB/s), for WAL/checkpoint streaming.
+    seq_write_mb_s: float = 450.0
+    #: Memory the OS and DBMS code/page tables always consume.
+    fixed_overhead_bytes: int = 1 * GIB
+
+
+#: The default testbed used by all experiments.
+C220G5 = Hardware()

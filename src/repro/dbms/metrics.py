@@ -1,0 +1,101 @@
+"""Internal DBMS metrics.
+
+The paper's DDPG integration (Section 6.4) feeds 27 system-wide PostgreSQL
+metrics, averaged over each iteration, to the actor network as the DBMS
+state.  We derive the same kind of metrics from the simulator's component
+models so the RL path exercises realistic, configuration-dependent state.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+#: Names of the 27 internal metrics, in their canonical vector order.
+METRIC_NAMES: tuple[str, ...] = (
+    "xact_commit_rate",
+    "xact_rollback_rate",
+    "blks_read_rate",
+    "blks_hit_rate",
+    "buffer_hit_ratio",
+    "os_cache_hit_ratio",
+    "tup_returned_rate",
+    "tup_inserted_rate",
+    "tup_updated_rate",
+    "tup_deleted_rate",
+    "wal_bytes_rate",
+    "checkpoints_per_run",
+    "checkpoint_write_time",
+    "buffers_checkpoint",
+    "buffers_clean",
+    "buffers_backend",
+    "maxwritten_clean",
+    "dead_tuple_ratio",
+    "autovacuum_runs",
+    "temp_files_rate",
+    "temp_bytes_rate",
+    "deadlocks_per_min",
+    "lock_wait_fraction",
+    "active_connections",
+    "cpu_utilization",
+    "io_utilization",
+    "memory_pressure",
+)
+
+assert len(METRIC_NAMES) == 27
+
+
+def derive_metrics(
+    notes: Mapping[str, float],
+    throughput: float,
+    clients: int,
+    read_fraction: float,
+) -> dict[str, float]:
+    """Build the 27-metric snapshot from component notes and the outcome."""
+    hit_ratio = float(notes.get("buffer_hit_ratio", 0.5))
+    os_hit = float(notes.get("os_cache_hit_ratio", 0.3))
+    miss = float(notes.get("blks_read_fraction", 0.1))
+    reads_per_txn = 6.0
+    writes = 1.0 - read_fraction
+    wal_bytes = float(notes.get("wal_bytes_per_txn", 30000.0))
+    burst = float(notes.get("checkpoint_burst", 0.3))
+    spill = float(notes.get("temp_spill_ratio", 0.0))
+
+    metrics = {
+        "xact_commit_rate": throughput,
+        "xact_rollback_rate": throughput * 0.01
+        + throughput * float(notes.get("deadlocks_per_min", 0.0)) * 0.001,
+        "blks_read_rate": throughput * reads_per_txn * miss,
+        "blks_hit_rate": throughput * reads_per_txn * hit_ratio,
+        "buffer_hit_ratio": hit_ratio,
+        "os_cache_hit_ratio": os_hit,
+        "tup_returned_rate": throughput * reads_per_txn * 3.0,
+        "tup_inserted_rate": throughput * writes * 1.5,
+        "tup_updated_rate": throughput * writes * 2.5,
+        "tup_deleted_rate": throughput * writes * 0.3,
+        "wal_bytes_rate": throughput * writes * wal_bytes,
+        "checkpoints_per_run": float(notes.get("checkpoints_per_run", 1.0)),
+        "checkpoint_write_time": burst * 100.0,
+        "buffers_checkpoint": throughput * writes * burst * 2.0,
+        "buffers_clean": float(notes.get("bgwriter_flushes", 1.0)) * 100.0,
+        "buffers_backend": throughput * writes * 0.5,
+        "maxwritten_clean": burst * 10.0,
+        "dead_tuple_ratio": float(notes.get("dead_tuple_ratio", 0.05)),
+        "autovacuum_runs": float(notes.get("autovacuum_runs", 1.0)),
+        "temp_files_rate": throughput * spill * 0.1,
+        "temp_bytes_rate": throughput * spill * 1e5,
+        "deadlocks_per_min": float(notes.get("deadlocks_per_min", 0.0)),
+        "lock_wait_fraction": float(notes.get("lock_wait_fraction", 0.0)),
+        "active_connections": float(clients),
+        "cpu_utilization": min(1.0, 0.3 + 0.5 * hit_ratio),
+        "io_utilization": min(1.0, miss * 2.0 + writes * 0.4),
+        "memory_pressure": float(notes.get("memory_pressure", 0.3)),
+    }
+    return metrics
+
+
+def metrics_vector(metrics: Mapping[str, float]) -> np.ndarray:
+    """Metrics in canonical order, log-compressed for use as an RL state."""
+    raw = np.array([metrics[name] for name in METRIC_NAMES], dtype=float)
+    return np.sign(raw) * np.log1p(np.abs(raw))

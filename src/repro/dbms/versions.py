@@ -1,0 +1,57 @@
+"""PostgreSQL version profiles.
+
+The paper evaluates v9.6 throughout and ports LlamaTune to v13.6
+(Section 6.3).  v13.6 brings just-in-time query compilation, better parallel
+execution, and improved writeback handling; these shift both the baseline
+performance and which knobs carry headroom (e.g. the YCSB-B writeback gap
+narrows, Table 7, while new JIT hybrid knobs appear).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class PostgresVersion:
+    """Behavioural profile of one simulated PostgreSQL release."""
+
+    name: str
+    #: Whether the JIT subsystem (and its knobs) exists.
+    has_jit: bool
+    #: Scales the impact of the forced-writeback knobs; v13.6 handles
+    #: writeback far better, narrowing the backend_flush_after win.
+    writeback_impact: float
+    #: Per-workload multiplier on baseline (default-config) throughput.
+    base_multiplier: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "base_multiplier", MappingProxyType(dict(self.base_multiplier))
+        )
+
+    def baseline_scale(self, workload_name: str) -> float:
+        return self.base_multiplier.get(workload_name, 1.0)
+
+
+V96 = PostgresVersion(
+    name="9.6",
+    has_jit=False,
+    writeback_impact=1.0,
+)
+
+V136 = PostgresVersion(
+    name="13.6",
+    has_jit=True,
+    writeback_impact=0.30,
+    base_multiplier={
+        "ycsb-a": 1.08,
+        "ycsb-b": 1.40,
+        "tpcc": 1.30,
+        "seats": 1.05,
+        "twitter": 1.15,
+        "resourcestresser": 1.05,
+    },
+)

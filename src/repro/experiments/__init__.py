@@ -1,0 +1,59 @@
+"""Paper-experiment harness: one module per table/figure.
+
+Run from the command line::
+
+    python -m repro.experiments table5            # one experiment
+    python -m repro.experiments all --scale quick # everything, reduced scale
+"""
+
+from repro.experiments import (
+    fig2_knob_subsets,
+    fig3_projections,
+    fig4_special_value,
+    fig6_svb,
+    fig7_bucketization,
+    fig11_ablation,
+    table1_importance,
+    table5_smac,
+    table6_latency,
+    table7_pg13,
+    table8_gpbo,
+    table9_ddpg,
+    table10_overhead,
+    table11_early_stopping,
+)
+from repro.experiments.common import ExperimentReport, Scale
+
+#: Experiment id -> runner.  Fig. 9 and Fig. 10 are produced by the Table 5
+#: module (they visualize the same runs), hence the aliases.
+EXPERIMENTS = {
+    "table1": table1_importance.run,
+    "fig2": fig2_knob_subsets.run,
+    "fig3": fig3_projections.run,
+    "fig4": fig4_special_value.run,
+    "fig6": fig6_svb.run,
+    "fig7": fig7_bucketization.run,
+    "table5": table5_smac.run,
+    "fig9": table5_smac.run,
+    "fig10": table5_smac.run,
+    "table6": table6_latency.run,
+    "table7": table7_pg13.run,
+    "table8": table8_gpbo.run,
+    "table9": table9_ddpg.run,
+    "fig11": fig11_ablation.run,
+    "table10": table10_overhead.run,
+    "table11": table11_early_stopping.run,
+}
+
+
+def run_experiment(experiment_id: str, scale: Scale | None = None) -> ExperimentReport:
+    """Run one experiment by id (e.g. ``"table5"``)."""
+    key = experiment_id.lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key](scale)
+
+
+__all__ = ["EXPERIMENTS", "ExperimentReport", "Scale", "run_experiment"]

@@ -1,0 +1,82 @@
+"""CLI entry point: ``python -m repro.experiments <id|all> [--scale ...]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, Scale, run_experiment
+
+#: Unique experiment ids in a sensible execution order (aliases removed).
+ORDERED_IDS = (
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig6",
+    "fig7",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "fig11",
+    "table10",
+    "table11",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*ORDERED_IDS, "fig9", "fig10", "all"],
+        help="experiment id, or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["paper", "default", "quick"],
+        default="default",
+        help="execution scale (seeds/iterations)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write each report's machine-readable data to DIR/<id>.json",
+    )
+    args = parser.parse_args(argv)
+    scale = {"paper": Scale.paper, "default": Scale.default, "quick": Scale.quick}[
+        args.scale
+    ]()
+
+    ids = ORDERED_IDS if args.experiment == "all" else (args.experiment,)
+    for experiment_id in ids:
+        started = time.perf_counter()
+        report = run_experiment(experiment_id, scale)
+        elapsed = time.perf_counter() - started
+        print(report.text())
+        print(f"[{experiment_id} completed in {elapsed:.1f}s]")
+        print()
+        if args.json:
+            out_dir = pathlib.Path(args.json)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "experiment": report.experiment_id,
+                "title": report.title,
+                "elapsed_seconds": elapsed,
+                "data": report.data,
+            }
+            path = out_dir / f"{experiment_id}.json"
+            path.write_text(json.dumps(payload, indent=2, default=float))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Shared scaffolding for the paper-experiment harness.
+
+Every experiment module exposes ``run(scale) -> ExperimentReport``.  A
+:class:`Scale` bundles the knobs that trade fidelity for wall-clock time:
+the paper's protocol is ``Scale.paper()`` (5 seeds × 100 iterations); CI and
+pytest-benchmark use ``Scale.quick()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Execution scale of an experiment."""
+
+    seeds: tuple[int, ...] = (1, 2, 3, 4, 5)
+    n_iterations: int = 100
+    lhs_samples: int = 2000  # importance-study sample count (paper: 2500)
+    shap_permutations: int = 600
+
+    @classmethod
+    def paper(cls) -> "Scale":
+        return cls()
+
+    @classmethod
+    def default(cls) -> "Scale":
+        """Moderate scale for the recorded EXPERIMENTS.md runs."""
+        return cls(seeds=(1, 2, 3), n_iterations=100, lhs_samples=1200,
+                   shap_permutations=400)
+
+    @classmethod
+    def quick(cls) -> "Scale":
+        """Small scale for benchmarks/CI (shapes still observable)."""
+        return cls(seeds=(1, 2), n_iterations=40, lhs_samples=300,
+                   shap_permutations=120)
+
+
+@dataclass
+class ExperimentReport:
+    """A reproduced table/figure: printable rows plus machine-readable data."""
+
+    experiment_id: str
+    title: str
+    lines: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def add(self, line: str = "") -> None:
+        self.lines.append(line)
+
+    def add_rows(self, rows: Sequence[str]) -> None:
+        self.lines.extend(rows)
+
+    def text(self) -> str:
+        header = f"=== {self.experiment_id}: {self.title} ==="
+        return "\n".join([header, *self.lines])
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text()
+
+
+def format_series(label: str, values, every: int = 10) -> str:
+    """One figure series as compact text (sampled every N iterations)."""
+    points = [
+        f"{i + 1:>3}:{float(v):,.0f}"
+        for i, v in enumerate(values)
+        if (i + 1) % every == 0 or i == 0
+    ]
+    return f"  {label:32s} " + "  ".join(points)

@@ -1,0 +1,64 @@
+"""Table 11 (Appendix A): early-stopping policies on LlamaTune sessions.
+
+Three (min-improvement, patience) policies stop LlamaTune early; the final
+best is compared against a full-budget vanilla-SMAC baseline.  Expected
+shape: (1%, 20) keeps near-full gains at ~70 iterations; the impatient
+policies stop after ~25-45 iterations with reduced (sometimes negative)
+improvements, RS being the most fragile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentReport, Scale
+from repro.experiments.table5_smac import WORKLOADS
+from repro.tuning.early_stopping import EarlyStoppingPolicy
+from repro.tuning.metrics import final_improvement
+from repro.tuning.runner import SessionSpec, llamatune_factory, run_spec
+
+POLICIES = ((0.005, 10), (0.01, 10), (0.01, 20))
+
+
+def run(scale: Scale | None = None) -> ExperimentReport:
+    scale = scale or Scale.default()
+    report = ExperimentReport(
+        "table11", "Early-stopping policies (min-improvement, patience)"
+    )
+    header = f"{'Workload':18s}" + "".join(
+        f"  ({int(x * 1000) / 10:g}%, {k}): impr / iters"
+        for x, k in POLICIES
+    )
+    report.add(header)
+
+    for workload in WORKLOADS:
+        baseline = run_spec(
+            SessionSpec(workload=workload, n_iterations=scale.n_iterations),
+            scale.seeds,
+        )
+        baseline_final = float(np.mean([r.best_value for r in baseline]))
+        cells = []
+        report.data[workload] = {}
+        for min_improvement, patience in POLICIES:
+            spec = SessionSpec(
+                workload=workload,
+                adapter=llamatune_factory(),
+                n_iterations=scale.n_iterations,
+                early_stopping=EarlyStoppingPolicy(min_improvement, patience),
+            )
+            results = run_spec(spec, scale.seeds)
+            improvement = float(
+                np.mean([r.best_value / baseline_final - 1.0 for r in results])
+            )
+            iters = float(
+                np.mean(
+                    [r.stopped_early_at or scale.n_iterations for r in results]
+                )
+            )
+            cells.append(f"  {improvement * 100:+6.2f}% / {iters:5.1f}")
+            report.data[workload][f"({min_improvement},{patience})"] = {
+                "improvement": improvement,
+                "iterations": iters,
+            }
+        report.add(f"{workload:18s}" + "".join(f"{c:>24s}" for c in cells))
+    return report

@@ -1,0 +1,50 @@
+"""Table 5 (+ Figures 9 and 10): LlamaTune vs. vanilla SMAC, six workloads.
+
+The paper's headline result: LlamaTune coupled with SMAC reaches the
+baseline's final best configuration ~5.6× faster on average and improves
+final throughput on all six workloads.  Figure 9 plots the convergence
+curves for YCSB-A, TPC-C and Twitter; Figure 10 maps each LlamaTune
+iteration to the earliest baseline iteration of equal quality.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.convergence import mean_iteration_mapping
+from repro.experiments.common import ExperimentReport, Scale, format_series
+from repro.experiments.main_tables import main_table
+from repro.tuning.runner import mean_best_curve
+
+WORKLOADS = ("ycsb-a", "ycsb-b", "tpcc", "seats", "twitter", "resourcestresser")
+FIG9_WORKLOADS = ("ycsb-a", "tpcc", "twitter")
+
+
+def run(scale: Scale | None = None) -> ExperimentReport:
+    scale = scale or Scale.default()
+    report, raw = main_table(
+        "table5",
+        "Gains of LlamaTune coupled with SMAC (throughput)",
+        WORKLOADS,
+        optimizer="smac",
+        scale=scale,
+    )
+
+    report.add()
+    report.add("Figure 9: best-throughput convergence (mean over seeds)")
+    for workload in FIG9_WORKLOADS:
+        baseline_results, treatment_results = raw[workload]
+        report.add(f" {workload}:")
+        report.add(format_series("SMAC", mean_best_curve(baseline_results)))
+        report.add(
+            format_series("LlamaTune (SMAC)", mean_best_curve(treatment_results))
+        )
+
+    report.add()
+    report.add("Figure 10: baseline iteration matching each LlamaTune iteration")
+    fig10 = {}
+    for workload in WORKLOADS:
+        baseline_results, treatment_results = raw[workload]
+        mapping = mean_iteration_mapping(treatment_results, baseline_results)
+        fig10[workload] = [float(v) for v in mapping]
+        report.add(format_series(workload, mapping, every=20))
+    report.data["fig10"] = fig10
+    return report

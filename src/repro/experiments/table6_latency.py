@@ -1,0 +1,31 @@
+"""Table 6: tuning for 95th-percentile latency at a fixed request rate.
+
+The paper fixes the arrival rate at roughly half the best throughput from
+the Table 5 runs (TPC-C: 2,000 req/s, SEATS: 8,000, Twitter: 60,000) and
+minimizes p95 latency.  Expected shape: LlamaTune reduces final tail
+latency and reaches the baseline optimum earlier on all three workloads.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentReport, Scale
+from repro.experiments.main_tables import main_table
+
+#: Fixed request rates (requests/second), per the paper.
+TARGET_RATES = {"tpcc": 2_000.0, "seats": 8_000.0, "twitter": 60_000.0}
+
+
+def run(scale: Scale | None = None) -> ExperimentReport:
+    scale = scale or Scale.default()
+    report, __ = main_table(
+        "table6",
+        "LlamaTune (SMAC) tuning for 95th-percentile latency",
+        tuple(TARGET_RATES),
+        optimizer="smac",
+        scale=scale,
+        objective="latency",
+        target_rates=TARGET_RATES,
+    )
+    report.add()
+    report.add("('Improvement' is the relative reduction of final p95 latency.)")
+    return report

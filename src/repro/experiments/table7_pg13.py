@@ -1,0 +1,27 @@
+"""Table 7: porting LlamaTune to PostgreSQL v13.6 (112 knobs, 23 hybrid).
+
+Same pipeline hyperparameters as v9.6 (HeSBO-16, 20% SVB, K=10,000) on the
+newer DBMS.  Expected shape: LlamaTune matches or beats vanilla SMAC
+everywhere; the YCSB-B gap narrows (v13.6 handles writeback better) while
+SEATS gains the most (JIT hybrid knobs).
+"""
+
+from __future__ import annotations
+
+from repro.dbms.versions import V136
+from repro.experiments.common import ExperimentReport, Scale
+from repro.experiments.main_tables import main_table
+from repro.experiments.table5_smac import WORKLOADS
+
+
+def run(scale: Scale | None = None) -> ExperimentReport:
+    scale = scale or Scale.default()
+    report, __ = main_table(
+        "table7",
+        "LlamaTune (SMAC) on PostgreSQL v13.6",
+        WORKLOADS,
+        optimizer="smac",
+        scale=scale,
+        version=V136,
+    )
+    return report

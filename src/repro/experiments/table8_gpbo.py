@@ -1,0 +1,23 @@
+"""Table 8: LlamaTune coupled with GP-BO (Gaussian-process surrogate).
+
+Same experiment as Table 5 with the GP-BO optimizer underneath — showing
+the pipeline's gains generalize across BO methods.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentReport, Scale
+from repro.experiments.main_tables import main_table
+from repro.experiments.table5_smac import WORKLOADS
+
+
+def run(scale: Scale | None = None) -> ExperimentReport:
+    scale = scale or Scale.default()
+    report, __ = main_table(
+        "table8",
+        "Gains of LlamaTune coupled with GP-BO (throughput)",
+        WORKLOADS,
+        optimizer="gp-bo",
+        scale=scale,
+    )
+    return report

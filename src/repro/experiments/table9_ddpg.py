@@ -1,0 +1,25 @@
+"""Table 9: LlamaTune coupled with the DDPG RL optimizer (CDBTune-style).
+
+The RL agent consumes 27 internal DBMS metrics as its state.  The paper
+evaluates four workloads here; expected shape: LlamaTune improves both
+metrics, with the largest final-throughput gain on YCSB-B.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentReport, Scale
+from repro.experiments.main_tables import main_table
+
+WORKLOADS = ("ycsb-b", "tpcc", "twitter", "resourcestresser")
+
+
+def run(scale: Scale | None = None) -> ExperimentReport:
+    scale = scale or Scale.default()
+    report, __ = main_table(
+        "table9",
+        "Gains of LlamaTune coupled with DDPG (throughput)",
+        WORKLOADS,
+        optimizer="ddpg",
+        scale=scale,
+    )
+    return report

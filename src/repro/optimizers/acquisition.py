@@ -1,0 +1,33 @@
+"""Acquisition functions for Bayesian optimization (maximization form)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+
+def expected_improvement(
+    mean: np.ndarray,
+    std: np.ndarray,
+    best: float,
+    xi: float = 0.01,
+) -> np.ndarray:
+    """Expected improvement over the incumbent ``best`` (maximization).
+
+    ``xi`` is the usual exploration jitter.  Points with (numerically) zero
+    predictive standard deviation get zero EI.
+    """
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    improvement = mean - best - xi
+    with np.errstate(divide="ignore", invalid="ignore"):
+        z = np.where(std > 0, improvement / std, 0.0)
+        ei = improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z)
+    return np.where(std > 1e-12, np.maximum(ei, 0.0), 0.0)
+
+
+def upper_confidence_bound(
+    mean: np.ndarray, std: np.ndarray, beta: float = 2.0
+) -> np.ndarray:
+    """GP-UCB acquisition (maximization)."""
+    return np.asarray(mean, dtype=float) + beta * np.asarray(std, dtype=float)

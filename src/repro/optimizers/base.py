@@ -1,0 +1,101 @@
+"""Optimizer interface shared by SMAC, GP-BO, DDPG, and random search.
+
+All optimizers *maximize* the observed value; the tuning session negates
+latencies when minimizing.  The suggest/observe protocol matches the
+paper's tuning loop (Figure 1): the optimizer proposes one configuration
+per iteration, then receives the measured performance (and, for DDPG, the
+internal DBMS metrics used as RL state).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+import numpy as np
+
+from repro.optimizers.encoding import SpaceEncoding
+from repro.space.configspace import Configuration, ConfigurationSpace
+
+
+class Optimizer(ABC):
+    """Sequential black-box maximizer over a configuration space.
+
+    Args:
+        space: The search space the optimizer sees (for LlamaTune this is
+            the synthetic low-dimensional space).
+        seed: Seed for all of the optimizer's randomness.
+        n_init: Number of initial space-filling (LHS) samples before the
+            model-guided phase begins (10 in the paper).
+    """
+
+    def __init__(self, space: ConfigurationSpace, seed: int = 0, n_init: int = 10):
+        self.space = space
+        self.encoding = SpaceEncoding(space)
+        self.rng = np.random.default_rng(seed)
+        self.n_init = n_init
+        self._X: list[np.ndarray] = []
+        self._y: list[float] = []
+        self._init_points: list[np.ndarray] | None = None
+
+    # --- protocol -----------------------------------------------------------
+
+    def suggest(self) -> Configuration:
+        """Propose the next configuration to evaluate."""
+        if len(self._y) < self.n_init or not self._y:
+            return self.encoding.decode(self._next_init_vector())
+        return self._suggest_model()
+
+    def observe(
+        self,
+        config: Configuration,
+        value: float,
+        metrics: Mapping[str, float] | None = None,
+    ) -> None:
+        """Record the measured objective value for a configuration."""
+        self._X.append(self.encoding.encode(config))
+        self._y.append(float(value))
+
+    @abstractmethod
+    def _suggest_model(self) -> Configuration:
+        """Model-guided suggestion, called after the init phase."""
+
+    # --- shared helpers ------------------------------------------------------
+
+    @property
+    def num_observations(self) -> int:
+        return len(self._y)
+
+    @property
+    def best_value(self) -> float:
+        if not self._y:
+            raise RuntimeError("no observations yet")
+        return max(self._y)
+
+    @property
+    def best_config(self) -> Configuration:
+        if not self._y:
+            raise RuntimeError("no observations yet")
+        best = int(np.argmax(self._y))
+        return self.encoding.decode(self._X[best])
+
+    def _next_init_vector(self) -> np.ndarray:
+        """Pre-generated LHS design, consumed one point per suggestion."""
+        if self._init_points is None:
+            self._init_points = list(
+                self.encoding.lhs_vectors(self.n_init, self.rng)
+            )
+        index = len(self._y)
+        if index < len(self._init_points):
+            return self._init_points[index]
+        return self.encoding.random_vector(self.rng)
+
+    def _data(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.array(self._X), np.array(self._y)
+
+
+class RandomSearchOptimizer(Optimizer):
+    """Uniform random search (the no-model baseline)."""
+
+    def _suggest_model(self) -> Configuration:
+        return self.encoding.decode(self.encoding.random_vector(self.rng))

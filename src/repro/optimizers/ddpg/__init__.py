@@ -1,0 +1,14 @@
+"""DDPG reinforcement-learning optimizer (CDBTune-style)."""
+
+from repro.optimizers.ddpg.agent import DDPGOptimizer, cdbtune_reward
+from repro.optimizers.ddpg.networks import MLP, Adam, OrnsteinUhlenbeckNoise
+from repro.optimizers.ddpg.replay import ReplayBuffer
+
+__all__ = [
+    "Adam",
+    "DDPGOptimizer",
+    "MLP",
+    "OrnsteinUhlenbeckNoise",
+    "ReplayBuffer",
+    "cdbtune_reward",
+]

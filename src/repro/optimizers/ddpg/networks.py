@@ -1,0 +1,142 @@
+"""Minimal numpy neural networks for the DDPG optimizer.
+
+PyTorch is not available offline, so this module implements exactly what
+CDBTune's actor/critic need: fully connected layers with ReLU hidden
+activations, an optional squashing output, manual backprop, and Adam.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Adam:
+    """Adam optimizer over a flat list of parameter arrays (in-place)."""
+
+    def __init__(self, params: list[np.ndarray], lr: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8):
+        self.params = params
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.m = [np.zeros_like(p) for p in params]
+        self.v = [np.zeros_like(p) for p in params]
+        self.t = 0
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        self.t += 1
+        for p, g, m, v in zip(self.params, grads, self.m, self.v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g**2
+            m_hat = m / (1.0 - self.beta1**self.t)
+            v_hat = v / (1.0 - self.beta2**self.t)
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class MLP:
+    """Fully connected network with ReLU hidden layers.
+
+    Args:
+        sizes: Layer widths including input and output.
+        out_activation: ``None`` (linear), ``"sigmoid"`` or ``"tanh"``.
+        seed: Seed for He-style weight initialization.
+    """
+
+    def __init__(self, sizes: list[int], out_activation: str | None = None,
+                 seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self.out_activation = out_activation
+        self._cache: list[np.ndarray] = []
+
+    # --- forward / backward ---------------------------------------------------
+
+    def forward(self, x: np.ndarray, remember: bool = False) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        cache = [x]
+        h = x
+        last = len(self.weights) - 1
+        for i, (W, b) in enumerate(zip(self.weights, self.biases)):
+            z = h @ W + b
+            if i < last:
+                h = np.maximum(z, 0.0)
+            elif self.out_activation == "sigmoid":
+                h = 1.0 / (1.0 + np.exp(-z))
+            elif self.out_activation == "tanh":
+                h = np.tanh(z)
+            else:
+                h = z
+            cache.append(h)
+        if remember:
+            self._cache = cache
+        return h
+
+    def backward(self, grad_out: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        """Backprop ``grad_out`` (d loss / d output) through the last forward.
+
+        Returns (parameter gradients in ``parameters`` order, gradient with
+        respect to the network input).
+        """
+        if not self._cache:
+            raise RuntimeError("call forward(..., remember=True) first")
+        cache = self._cache
+        grad = np.asarray(grad_out, dtype=float)
+        out = cache[-1]
+        if self.out_activation == "sigmoid":
+            grad = grad * out * (1.0 - out)
+        elif self.out_activation == "tanh":
+            grad = grad * (1.0 - out**2)
+
+        w_grads: list[np.ndarray] = [np.empty(0)] * len(self.weights)
+        b_grads: list[np.ndarray] = [np.empty(0)] * len(self.biases)
+        for i in range(len(self.weights) - 1, -1, -1):
+            h_in = cache[i]
+            w_grads[i] = h_in.T @ grad
+            b_grads[i] = grad.sum(axis=0)
+            grad = grad @ self.weights[i].T
+            if i > 0:
+                grad = grad * (cache[i] > 0.0)
+        params_grads = [g for pair in zip(w_grads, b_grads) for g in pair]
+        return params_grads, grad
+
+    # --- parameters -------------------------------------------------------------
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return [p for pair in zip(self.weights, self.biases) for p in pair]
+
+    def copy_from(self, other: "MLP", tau: float = 1.0) -> None:
+        """Polyak update: ``self = tau * other + (1 - tau) * self``."""
+        for mine, theirs in zip(self.parameters, other.parameters):
+            mine *= 1.0 - tau
+            mine += tau * theirs
+
+
+class OrnsteinUhlenbeckNoise:
+    """Temporally correlated exploration noise (standard DDPG choice)."""
+
+    def __init__(self, dim: int, theta: float = 0.15, sigma: float = 0.2,
+                 rng: np.random.Generator | None = None):
+        self.dim = dim
+        self.theta = theta
+        self.sigma = sigma
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.state = np.zeros(dim)
+
+    def sample(self) -> np.ndarray:
+        self.state += (
+            -self.theta * self.state
+            + self.sigma * self.rng.normal(size=self.dim)
+        )
+        return self.state.copy()
+
+    def reset(self) -> None:
+        self.state = np.zeros(self.dim)

@@ -1,0 +1,49 @@
+"""Experience replay buffer for DDPG."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer of (state, action, reward, next_state)."""
+
+    def __init__(self, capacity: int = 10000):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._states: list[np.ndarray] = []
+        self._actions: list[np.ndarray] = []
+        self._rewards: list[float] = []
+        self._next_states: list[np.ndarray] = []
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._rewards)
+
+    def push(self, state: np.ndarray, action: np.ndarray, reward: float,
+             next_state: np.ndarray) -> None:
+        if len(self) < self.capacity:
+            self._states.append(state)
+            self._actions.append(action)
+            self._rewards.append(reward)
+            self._next_states.append(next_state)
+        else:
+            self._states[self._cursor] = state
+            self._actions[self._cursor] = action
+            self._rewards[self._cursor] = reward
+            self._next_states[self._cursor] = next_state
+            self._cursor = (self._cursor + 1) % self.capacity
+
+    def sample(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        if len(self) == 0:
+            raise RuntimeError("buffer is empty")
+        idx = rng.integers(0, len(self), size=min(batch_size, len(self)))
+        return (
+            np.stack([self._states[i] for i in idx]),
+            np.stack([self._actions[i] for i in idx]),
+            np.array([self._rewards[i] for i in idx]),
+            np.stack([self._next_states[i] for i in idx]),
+        )

@@ -1,0 +1,106 @@
+"""Numeric encoding of configuration spaces for surrogate models.
+
+Optimizers and surrogates operate on fixed-length float vectors:
+
+* numeric knobs map to their min-max scaled unit value in ``[0, 1]``;
+* categorical knobs map to their category index ``0 .. k-1`` and are
+  flagged in :attr:`SpaceEncoding.is_categorical` so kernels/trees can
+  treat them without assuming an order (the Hamming kernel of GP-BO does;
+  the random forest uses index thresholds, which is exact for the
+  ubiquitous binary on/off knobs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.space.configspace import Configuration, ConfigurationSpace
+from repro.space.knob import CategoricalKnob
+from repro.space.sampling import latin_hypercube_unit
+
+
+class SpaceEncoding:
+    """Bidirectional mapping between configurations and float vectors."""
+
+    def __init__(self, space: ConfigurationSpace):
+        self.space = space
+        self.is_categorical = np.array(
+            [isinstance(k, CategoricalKnob) for k in space], dtype=bool
+        )
+        self.n_categories = np.array(
+            [
+                len(k.choices) if isinstance(k, CategoricalKnob) else 0
+                for k in space
+            ],
+            dtype=int,
+        )
+
+    @property
+    def dim(self) -> int:
+        return self.space.dim
+
+    def encode(self, config: Configuration) -> np.ndarray:
+        values = np.empty(self.dim, dtype=float)
+        for i, knob in enumerate(self.space):
+            value = config[knob.name]
+            if isinstance(knob, CategoricalKnob):
+                values[i] = knob.choices.index(value)
+            else:
+                values[i] = knob.to_unit(value)
+        return values
+
+    def decode(self, vector: np.ndarray) -> Configuration:
+        values = {}
+        for i, knob in enumerate(self.space):
+            if isinstance(knob, CategoricalKnob):
+                index = int(np.clip(round(vector[i]), 0, len(knob.choices) - 1))
+                values[knob.name] = knob.choices[index]
+            else:
+                values[knob.name] = knob.from_unit(float(vector[i]))
+        return Configuration(self.space, values)
+
+    # --- sampling in encoded coordinates -----------------------------------
+
+    def random_vector(self, rng: np.random.Generator) -> np.ndarray:
+        return self._from_unit_rows(rng.random((1, self.dim)))[0]
+
+    def random_vectors(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return self._from_unit_rows(rng.random((n, self.dim)))
+
+    def lhs_vectors(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return self._from_unit_rows(latin_hypercube_unit(n, self.dim, rng))
+
+    def _from_unit_rows(self, unit: np.ndarray) -> np.ndarray:
+        vectors = unit.copy()
+        for i in np.flatnonzero(self.is_categorical):
+            k = self.n_categories[i]
+            vectors[:, i] = np.minimum((unit[:, i] * k).astype(int), k - 1)
+        return vectors
+
+    # --- local-search moves -------------------------------------------------
+
+    def neighbors(
+        self,
+        vector: np.ndarray,
+        rng: np.random.Generator,
+        n: int = 8,
+        step: float = 0.1,
+    ) -> np.ndarray:
+        """Random one-dimension perturbations of ``vector``.
+
+        Numeric dimensions take a Gaussian step (std ``step`` of the unit
+        range); categorical dimensions resample a different category.
+        """
+        out = np.repeat(vector[None, :], n, axis=0)
+        dims = rng.integers(0, self.dim, size=n)
+        for row, d in enumerate(dims):
+            if self.is_categorical[d]:
+                k = self.n_categories[d]
+                if k > 1:
+                    choices = [c for c in range(k) if c != int(vector[d])]
+                    out[row, d] = rng.choice(choices)
+            else:
+                out[row, d] = np.clip(
+                    vector[d] + rng.normal(0.0, step), 0.0, 1.0
+                )
+        return out

@@ -1,0 +1,231 @@
+"""Random-forest regressor with predictive uncertainty.
+
+This is the surrogate model behind our SMAC implementation (Hutter et al.,
+2011): bagged CART regression trees with randomized split selection, and a
+law-of-total-variance uncertainty estimate (variance across tree means plus
+mean within-leaf variance), which is what SMAC feeds into expected
+improvement.
+
+Trees are stored as flat arrays so that batch prediction is a vectorized
+level-by-level descent rather than per-sample Python recursion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _TreeArrays:
+    """Flattened binary tree: internal nodes carry (feature, threshold)."""
+
+    feature: np.ndarray  # int, -1 for leaves
+    threshold: np.ndarray  # float, unused for leaves
+    left: np.ndarray  # int child indices
+    right: np.ndarray
+    value: np.ndarray  # leaf mean (also stored on internals, unused)
+    variance: np.ndarray  # leaf variance
+
+
+class RegressionTree:
+    """A CART regression tree with random feature subsets and thresholds."""
+
+    def __init__(
+        self,
+        max_features: int | None = None,
+        min_samples_split: int = 3,
+        max_depth: int = 20,
+        n_thresholds: int = 8,
+        rng: np.random.Generator | None = None,
+    ):
+        self.max_features = max_features
+        self.min_samples_split = min_samples_split
+        self.max_depth = max_depth
+        self.n_thresholds = n_thresholds
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._arrays: _TreeArrays | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        n_features = X.shape[1]
+        mf = self.max_features or max(1, int(np.sqrt(n_features)))
+
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        value: list[float] = []
+        variance: list[float] = []
+
+        def new_node() -> int:
+            feature.append(-1)
+            threshold.append(0.0)
+            left.append(-1)
+            right.append(-1)
+            value.append(0.0)
+            variance.append(0.0)
+            return len(feature) - 1
+
+        def build(idx: np.ndarray, depth: int) -> int:
+            node = new_node()
+            y_node = y[idx]
+            value[node] = float(y_node.mean())
+            variance[node] = float(y_node.var())
+            if (
+                depth >= self.max_depth
+                or len(idx) < self.min_samples_split
+                or np.ptp(y_node) == 0.0
+            ):
+                return node
+
+            best = self._best_split(X[idx], y_node, mf)
+            if best is None:
+                return node
+            f, t = best
+            mask = X[idx, f] <= t
+            if mask.all() or not mask.any():
+                return node
+            feature[node] = f
+            threshold[node] = t
+            left[node] = build(idx[mask], depth + 1)
+            right[node] = build(idx[~mask], depth + 1)
+            return node
+
+        build(np.arange(len(y)), 0)
+        self._arrays = _TreeArrays(
+            feature=np.array(feature, dtype=int),
+            threshold=np.array(threshold, dtype=float),
+            left=np.array(left, dtype=int),
+            right=np.array(right, dtype=int),
+            value=np.array(value, dtype=float),
+            variance=np.array(variance, dtype=float),
+        )
+        return self
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, max_features: int
+    ) -> tuple[int, float] | None:
+        """Pick the (feature, threshold) minimizing total within-child SSE
+        among a random subset of features and random candidate positions.
+
+        Uses prefix sums over the sorted column, so scoring all candidate
+        thresholds of a feature is a vectorized O(n log n) pass.
+        """
+        n, n_features = X.shape
+        features = self.rng.permutation(n_features)[:max_features]
+        best_score = np.inf
+        best: tuple[int, float] | None = None
+        for f in features:
+            order = np.argsort(X[:, f], kind="stable")
+            xs = X[order, f]
+            ys = y[order]
+            positions = np.flatnonzero(xs[:-1] < xs[1:])  # split after index i
+            if len(positions) == 0:
+                continue
+            if len(positions) > self.n_thresholds:
+                positions = self.rng.choice(
+                    positions, size=self.n_thresholds, replace=False
+                )
+            cum = np.cumsum(ys)
+            cum_sq = np.cumsum(ys * ys)
+            total, total_sq = cum[-1], cum_sq[-1]
+            k = positions + 1  # samples going left
+            left_sse = cum_sq[positions] - cum[positions] ** 2 / k
+            right_sse = (total_sq - cum_sq[positions]) - (
+                total - cum[positions]
+            ) ** 2 / (n - k)
+            scores = left_sse + right_sse
+            i = int(np.argmin(scores))
+            if scores[i] < best_score:
+                best_score = float(scores[i])
+                p = positions[i]
+                best = (int(f), float((xs[p] + xs[p + 1]) / 2.0))
+        return best
+
+    def predict_with_variance(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Leaf mean and leaf variance for each row of ``X``."""
+        if self._arrays is None:
+            raise RuntimeError("tree is not fitted")
+        a = self._arrays
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        node = np.zeros(len(X), dtype=int)
+        active = a.feature[node] >= 0
+        while active.any():
+            rows = np.flatnonzero(active)
+            nd = node[rows]
+            go_left = X[rows, a.feature[nd]] <= a.threshold[nd]
+            node[rows] = np.where(go_left, a.left[nd], a.right[nd])
+            active = a.feature[node] >= 0
+        return a.value[node], a.variance[node]
+
+
+class RandomForestRegressor:
+    """Bagged ensemble of :class:`RegressionTree` with uncertainty."""
+
+    def __init__(
+        self,
+        n_trees: int = 20,
+        max_features: int | None = None,
+        min_samples_split: int = 3,
+        max_depth: int = 20,
+        bootstrap: bool = True,
+        seed: int | None = None,
+    ):
+        self.n_trees = n_trees
+        self.max_features = max_features
+        self.min_samples_split = min_samples_split
+        self.max_depth = max_depth
+        self.bootstrap = bootstrap
+        self.rng = np.random.default_rng(seed)
+        self._trees: list[RegressionTree] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._trees = []
+        n = len(y)
+        for _ in range(self.n_trees):
+            if self.bootstrap:
+                idx = self.rng.integers(0, n, size=n)
+            else:
+                idx = np.arange(n)
+            tree = RegressionTree(
+                max_features=self.max_features,
+                min_samples_split=self.min_samples_split,
+                max_depth=self.max_depth,
+                rng=self.rng,
+            )
+            tree.fit(X[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._trees)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        mean, __ = self.predict_mean_var(X)
+        return mean
+
+    def predict_mean_var(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Ensemble mean and total variance (between + within trees)."""
+        if not self._trees:
+            raise RuntimeError("forest is not fitted")
+        means = []
+        variances = []
+        for tree in self._trees:
+            m, v = tree.predict_with_variance(X)
+            means.append(m)
+            variances.append(v)
+        mean_stack = np.stack(means)
+        var_stack = np.stack(variances)
+        mean = mean_stack.mean(axis=0)
+        total_var = mean_stack.var(axis=0) + var_stack.mean(axis=0)
+        return mean, np.maximum(total_var, 1e-12)

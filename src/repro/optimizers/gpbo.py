@@ -1,0 +1,66 @@
+"""GP-BO: Bayesian optimization with the mixed Matérn/Hamming GP surrogate.
+
+This is the second BO baseline of the paper (Section 2.2, "GP-BO" after
+Ru et al. 2020): identical outer loop to SMAC, but with a Gaussian-process
+surrogate instead of a random forest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optimizers.acquisition import expected_improvement
+from repro.optimizers.base import Optimizer
+from repro.optimizers.gp import GaussianProcess
+from repro.space.configspace import Configuration, ConfigurationSpace
+
+
+class GPBOOptimizer(Optimizer):
+    """Gaussian-process Bayesian optimization (Matérn + Hamming kernels)."""
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        seed: int = 0,
+        n_init: int = 10,
+        n_random_candidates: int = 1000,
+        n_local_candidates: int = 10,
+        refit_every: int = 1,
+    ):
+        super().__init__(space, seed=seed, n_init=n_init)
+        self.n_random_candidates = n_random_candidates
+        self.n_local_candidates = n_local_candidates
+        self.refit_every = max(1, refit_every)
+        self._gp: GaussianProcess | None = None
+        self._model_suggestions = 0
+
+    def _suggest_model(self) -> Configuration:
+        X, y = self._data()
+        self._model_suggestions += 1
+        refit = (
+            self._gp is None
+            or (self._model_suggestions - 1) % self.refit_every == 0
+        )
+        if refit:
+            self._gp = GaussianProcess(
+                self.encoding.is_categorical,
+                seed=int(self.rng.integers(2**31)),
+            )
+            self._gp.fit(X, y)
+        assert self._gp is not None
+
+        candidates = self._candidates(X, y)
+        mean, var = self._gp.predict_mean_var(candidates)
+        ei = expected_improvement(mean, np.sqrt(var), best=float(y.max()))
+        return self.encoding.decode(candidates[int(np.argmax(ei))])
+
+    def _candidates(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        pools = [self.encoding.random_vectors(self.n_random_candidates, self.rng)]
+        top = np.argsort(y)[-5:]
+        for i in top:
+            pools.append(
+                self.encoding.neighbors(
+                    X[i], self.rng, n=self.n_local_candidates, step=0.05
+                )
+            )
+        return np.vstack(pools)

@@ -1,0 +1,87 @@
+"""SMAC: Sequential Model-based Algorithm Configuration (Hutter et al. 2011).
+
+The state-of-the-art baseline of the paper (per Zhang et al. 2021's
+evaluation): a random-forest surrogate with expected improvement, candidate
+selection by local search around the best observed configurations plus a
+large pool of random candidates, and periodic interleaving of purely random
+configurations to guarantee exploration (which the paper's special-value
+biasing also piggybacks on, Section 4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optimizers.acquisition import expected_improvement
+from repro.optimizers.base import Optimizer
+from repro.optimizers.forest import RandomForestRegressor
+from repro.space.configspace import Configuration, ConfigurationSpace
+
+
+class SMACOptimizer(Optimizer):
+    """Random-forest Bayesian optimization in the style of SMAC.
+
+    Args:
+        space: Search space.
+        seed: RNG seed.
+        n_init: LHS warm-up samples.
+        n_trees: Forest size.
+        n_random_candidates: Random candidates scored by EI per suggestion.
+        n_local_candidates: Neighbors generated around each incumbent.
+        random_interleave_every: Propose a purely random configuration every
+            N model-guided suggestions (SMAC's exploration guarantee).
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        seed: int = 0,
+        n_init: int = 10,
+        n_trees: int = 20,
+        n_random_candidates: int = 1000,
+        n_local_candidates: int = 10,
+        random_interleave_every: int = 8,
+    ):
+        super().__init__(space, seed=seed, n_init=n_init)
+        self.n_trees = n_trees
+        self.n_random_candidates = n_random_candidates
+        self.n_local_candidates = n_local_candidates
+        self.random_interleave_every = random_interleave_every
+        self._model_suggestions = 0
+
+    def _suggest_model(self) -> Configuration:
+        self._model_suggestions += 1
+        if (
+            self.random_interleave_every
+            and self._model_suggestions % self.random_interleave_every == 0
+        ):
+            return self.encoding.decode(self.encoding.random_vector(self.rng))
+
+        X, y = self._data()
+        forest = RandomForestRegressor(
+            n_trees=self.n_trees,
+            seed=int(self.rng.integers(2**31)),
+        )
+        forest.fit(X, y)
+
+        candidates = self._candidates(X, y)
+        mean, var = forest.predict_mean_var(candidates)
+        ei = expected_improvement(mean, np.sqrt(var), best=float(y.max()))
+        return self.encoding.decode(candidates[int(np.argmax(ei))])
+
+    def _candidates(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Random pool + local-search neighborhoods of the top incumbents."""
+        pools = [self.encoding.random_vectors(self.n_random_candidates, self.rng)]
+        top = np.argsort(y)[-5:]
+        for i in top:
+            pools.append(
+                self.encoding.neighbors(
+                    X[i], self.rng, n=self.n_local_candidates, step=0.08
+                )
+            )
+            pools.append(
+                self.encoding.neighbors(
+                    X[i], self.rng, n=self.n_local_candidates, step=0.02
+                )
+            )
+        return np.vstack(pools)

@@ -1,0 +1,46 @@
+"""Configuration-space substrate: knobs, spaces, samplers, knob catalogs."""
+
+from repro.space.configspace import Configuration, ConfigurationSpace
+from repro.space.knob import (
+    CategoricalKnob,
+    FloatKnob,
+    IntegerKnob,
+    Knob,
+    KnobError,
+    KnobValue,
+    boolean_knob,
+)
+from repro.space.render import from_conf, render_knob_value, to_conf
+from repro.space.postgres import (
+    MAX_MEMORY_BYTES,
+    PAGE_SIZE,
+    postgres_v96_space,
+    postgres_v136_space,
+)
+from repro.space.sampling import (
+    latin_hypercube_configurations,
+    latin_hypercube_unit,
+    uniform_configurations,
+)
+
+__all__ = [
+    "CategoricalKnob",
+    "Configuration",
+    "ConfigurationSpace",
+    "FloatKnob",
+    "IntegerKnob",
+    "Knob",
+    "KnobError",
+    "KnobValue",
+    "MAX_MEMORY_BYTES",
+    "PAGE_SIZE",
+    "boolean_knob",
+    "from_conf",
+    "latin_hypercube_configurations",
+    "latin_hypercube_unit",
+    "postgres_v136_space",
+    "postgres_v96_space",
+    "render_knob_value",
+    "to_conf",
+    "uniform_configurations",
+]

@@ -1,0 +1,187 @@
+"""Configuration spaces and concrete configurations.
+
+A :class:`ConfigurationSpace` is an ordered collection of knobs; it defines
+the ``D``-dimensional input space :math:`X_D` from the paper (Section 3).
+A :class:`Configuration` is one point of that space: an immutable mapping
+from knob name to native value.
+
+The space also provides vector conversions used throughout the tuner stack:
+
+* ``to_unit_vector`` / ``from_unit_vector``: native values <-> ``[0, 1]^D``
+  (min-max scaling for numerics, bin centers/bins for categoricals).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.space.knob import CategoricalKnob, Knob, KnobError, KnobValue
+
+
+class Configuration(Mapping[str, KnobValue]):
+    """An immutable assignment of one value to every knob of a space."""
+
+    __slots__ = ("_space", "_values")
+
+    def __init__(self, space: "ConfigurationSpace", values: Mapping[str, KnobValue]):
+        unknown = set(values) - set(space.names)
+        if unknown:
+            raise KnobError(f"unknown knobs: {sorted(unknown)}")
+        missing = set(space.names) - set(values)
+        if missing:
+            raise KnobError(f"missing knobs: {sorted(missing)}")
+        for name, value in values.items():
+            space[name].validate(value)
+        self._space = space
+        self._values = dict(values)
+
+    @property
+    def space(self) -> "ConfigurationSpace":
+        return self._space
+
+    def __getitem__(self, name: str) -> KnobValue:
+        return self._values[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._space.names)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        # Structural space equality (same knob names), so configurations
+        # survive serialization round trips into freshly built spaces.
+        return (
+            self._space.names == other._space.names
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._values.items())))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={self._values[k]!r}" for k in self._space.names[:4])
+        more = "" if len(self) <= 4 else f", ... ({len(self)} knobs)"
+        return f"Configuration({inner}{more})"
+
+    def replace(self, **updates: KnobValue) -> "Configuration":
+        """Return a copy with some knob values replaced."""
+        new_values = dict(self._values)
+        new_values.update(updates)
+        return Configuration(self._space, new_values)
+
+    def to_dict(self) -> dict[str, KnobValue]:
+        return dict(self._values)
+
+
+class ConfigurationSpace:
+    """An ordered set of knobs defining the tuning search space."""
+
+    def __init__(self, knobs: Iterable[Knob], name: str = "space"):
+        self._knobs: dict[str, Knob] = {}
+        for knob in knobs:
+            if knob.name in self._knobs:
+                raise KnobError(f"duplicate knob name: {knob.name}")
+            self._knobs[knob.name] = knob
+        if not self._knobs:
+            raise KnobError("configuration space needs at least one knob")
+        self.name = name
+        self._names: tuple[str, ...] = tuple(self._knobs)
+
+    # --- container protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._knobs)
+
+    def __iter__(self) -> Iterator[Knob]:
+        return iter(self._knobs.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._knobs
+
+    def __getitem__(self, name: str) -> Knob:
+        return self._knobs[name]
+
+    def __repr__(self) -> str:
+        return f"ConfigurationSpace({self.name!r}, {len(self)} knobs)"
+
+    # --- structure --------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality ``D`` of the space."""
+        return len(self._knobs)
+
+    @property
+    def knobs(self) -> tuple[Knob, ...]:
+        return tuple(self._knobs.values())
+
+    @property
+    def hybrid_knobs(self) -> tuple[Knob, ...]:
+        """The knobs that have special values (paper, Section 4.1)."""
+        return tuple(k for k in self if k.is_hybrid)
+
+    @property
+    def categorical_knobs(self) -> tuple[CategoricalKnob, ...]:
+        return tuple(k for k in self if isinstance(k, CategoricalKnob))
+
+    def index_of(self, name: str) -> int:
+        return self._names.index(name)
+
+    def subspace(self, names: Iterable[str], name: str | None = None) -> "ConfigurationSpace":
+        """Restrict the space to a subset of knobs (used for Fig. 2 studies)."""
+        names = list(names)
+        missing = [n for n in names if n not in self._knobs]
+        if missing:
+            raise KnobError(f"unknown knobs: {missing}")
+        sub_name = name if name is not None else f"{self.name}/subset{len(names)}"
+        return ConfigurationSpace((self._knobs[n] for n in names), name=sub_name)
+
+    # --- configurations ----------------------------------------------------
+
+    def configuration(self, values: Mapping[str, KnobValue]) -> Configuration:
+        return Configuration(self, values)
+
+    def default_configuration(self) -> Configuration:
+        return Configuration(self, {k.name: k.default for k in self})
+
+    def partial_configuration(
+        self, overrides: Mapping[str, KnobValue]
+    ) -> Configuration:
+        """Default configuration with some knobs overridden."""
+        values = {k.name: k.default for k in self}
+        values.update(overrides)
+        return Configuration(self, values)
+
+    # --- vector conversions -------------------------------------------------
+
+    def to_unit_vector(self, config: Configuration) -> np.ndarray:
+        """Map a configuration to a point in ``[0, 1]^D``."""
+        return np.array(
+            [self._knobs[n].to_unit(config[n]) for n in self._names], dtype=float
+        )
+
+    def from_unit_vector(self, vector: np.ndarray) -> Configuration:
+        """Map a point of ``[0, 1]^D`` to a legal configuration.
+
+        Values outside the unit cube are clipped per-dimension, matching the
+        clipping semantics in the paper's projection pipeline (Section 3.2).
+        """
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self.dim,):
+            raise KnobError(
+                f"expected vector of shape ({self.dim},), got {vector.shape}"
+            )
+        values = {
+            name: self._knobs[name].from_unit(float(u))
+            for name, u in zip(self._names, vector)
+        }
+        return Configuration(self, values)

@@ -1,0 +1,401 @@
+"""PostgreSQL knob catalogs.
+
+The paper tunes 90 knobs of PostgreSQL v9.6 (17 of which are *hybrid* knobs
+with documented special values) and 112 knobs of PostgreSQL v13.6 (23 hybrid)
+after excluding debugging-, security-, and path-related GUCs (Sections 4.1,
+6.1, 6.3).  This module reconstructs both catalogs from the official
+PostgreSQL documentation, with the same range pruning the paper applies
+(e.g. ``shared_buffers`` capped at 16 GB worth of 8 kB pages,
+``max_files_per_process`` capped at 50,000).
+
+Memory-sized knobs use the native PostgreSQL units noted in each knob's
+``unit`` field (8 kB pages, kB, MB, ...): conversions to bytes happen in
+:mod:`repro.dbms`.
+"""
+
+from __future__ import annotations
+
+from repro.space.configspace import ConfigurationSpace
+from repro.space.knob import (
+    CategoricalKnob,
+    FloatKnob,
+    IntegerKnob,
+    Knob,
+    boolean_knob,
+)
+
+#: 8 kB in bytes; the page size all "pages" units refer to.
+PAGE_SIZE = 8192
+
+#: Upper bound used when pruning "unbounded" knobs, as in the paper (16 GB).
+MAX_MEMORY_BYTES = 16 * 1024**3
+
+_MAX_PAGES = MAX_MEMORY_BYTES // PAGE_SIZE  # 2,097,152 8 kB pages
+
+
+def _memory_knobs() -> list[Knob]:
+    return [
+        IntegerKnob("shared_buffers", default=16384, lower=16, upper=_MAX_PAGES,
+                    unit="8kB pages",
+                    description="Amount of memory for shared memory buffers."),
+        IntegerKnob("work_mem", default=4096, lower=64, upper=2097151, unit="kB",
+                    description="Memory for internal sort/hash operations."),
+        IntegerKnob("maintenance_work_mem", default=65536, lower=1024,
+                    upper=2097151, unit="kB",
+                    description="Memory for maintenance operations (VACUUM etc)."),
+        IntegerKnob("temp_buffers", default=1024, lower=100, upper=131072,
+                    unit="8kB pages",
+                    description="Per-session temporary table buffers."),
+        IntegerKnob("effective_cache_size", default=524288, lower=1,
+                    upper=2 * _MAX_PAGES, unit="8kB pages",
+                    description="Planner's assumption about total caching."),
+        IntegerKnob("max_stack_depth", default=2048, lower=100, upper=7680,
+                    unit="kB", description="Maximum safe stack depth."),
+        CategoricalKnob("huge_pages", default="try", choices=("off", "on", "try"),
+                        description="Use of huge memory pages."),
+        IntegerKnob("max_files_per_process", default=1000, lower=25, upper=50000,
+                    description="Max simultaneously open files per process."),
+        IntegerKnob("autovacuum_work_mem", default=-1, lower=-1, upper=2097151,
+                    special_values=(-1,), unit="kB",
+                    description="Memory per autovacuum worker; "
+                                "-1 uses maintenance_work_mem."),
+        IntegerKnob("temp_file_limit", default=-1, lower=-1, upper=20971520,
+                    special_values=(-1,), unit="kB",
+                    description="Per-session temp file space; -1 means no limit."),
+        IntegerKnob("gin_pending_list_limit", default=4096, lower=64,
+                    upper=2097151, unit="kB",
+                    description="Maximum size of a GIN index pending list."),
+    ]
+
+
+def _writeback_knobs() -> list[Knob]:
+    return [
+        IntegerKnob("backend_flush_after", default=0, lower=0, upper=256,
+                    special_values=(0,), unit="8kB pages",
+                    description="Pages after which backend writes are flushed; "
+                                "0 disables forced writeback."),
+        IntegerKnob("bgwriter_flush_after", default=64, lower=0, upper=256,
+                    special_values=(0,), unit="8kB pages",
+                    description="Pages after which bgwriter writes are flushed; "
+                                "0 disables forced writeback."),
+        IntegerKnob("checkpoint_flush_after", default=32, lower=0, upper=256,
+                    special_values=(0,), unit="8kB pages",
+                    description="Pages after which checkpoint writes are "
+                                "flushed; 0 disables forced writeback."),
+        IntegerKnob("wal_writer_flush_after", default=128, lower=0, upper=_MAX_PAGES,
+                    special_values=(0,), unit="8kB pages",
+                    description="WAL amount that triggers a WAL-writer flush; "
+                                "0 flushes immediately."),
+        IntegerKnob("bgwriter_delay", default=200, lower=10, upper=10000, unit="ms",
+                    description="Background writer sleep between rounds."),
+        IntegerKnob("bgwriter_lru_maxpages", default=100, lower=0, upper=1073741823,
+                    special_values=(0,),
+                    description="Max LRU pages written per bgwriter round; "
+                                "0 disables background writing."),
+        FloatKnob("bgwriter_lru_multiplier", default=2.0, lower=0.0, upper=10.0,
+                  description="Multiple of recent usage to free per round."),
+    ]
+
+
+def _wal_knobs() -> list[Knob]:
+    return [
+        IntegerKnob("wal_buffers", default=-1, lower=-1, upper=262143,
+                    special_values=(-1,), unit="8kB pages",
+                    description="Shared-memory WAL buffers; -1 auto-sizes to "
+                                "1/32nd of shared_buffers."),
+        boolean_knob("wal_compression", default="off",
+                     description="Compress full-page writes in WAL."),
+        boolean_knob("wal_log_hints", default="off",
+                     description="Log full pages on hint-bit updates."),
+        CategoricalKnob("wal_sync_method", default="fdatasync",
+                        choices=("fsync", "fdatasync", "open_sync",
+                                 "open_datasync"),
+                        description="Method used to force WAL to disk."),
+        CategoricalKnob("synchronous_commit", default="on",
+                        choices=("off", "local", "remote_write", "on"),
+                        description="Wait for WAL flush before reporting "
+                                    "commit success."),
+        boolean_knob("full_page_writes", default="on",
+                     description="Write full pages to WAL after a checkpoint."),
+        IntegerKnob("commit_delay", default=0, lower=0, upper=100000,
+                    special_values=(0,), unit="µs",
+                    description="Delay between commit and WAL flush (group "
+                                "commit); 0 disables the delay."),
+        IntegerKnob("commit_siblings", default=5, lower=0, upper=1000,
+                    description="Minimum concurrent open transactions for "
+                                "commit_delay to apply."),
+        IntegerKnob("min_wal_size", default=80, lower=32, upper=16384, unit="MB",
+                    description="Minimum WAL size to keep for recycling."),
+        IntegerKnob("max_wal_size", default=1024, lower=32, upper=16384, unit="MB",
+                    description="WAL size that triggers a checkpoint."),
+        FloatKnob("checkpoint_completion_target", default=0.5, lower=0.0,
+                  upper=1.0,
+                  description="Fraction of interval to spread checkpoint over."),
+        IntegerKnob("checkpoint_timeout", default=300, lower=30, upper=86400,
+                    unit="s", description="Maximum time between checkpoints."),
+        IntegerKnob("wal_writer_delay", default=200, lower=1, upper=10000,
+                    unit="ms", description="WAL writer sleep between flushes."),
+        CategoricalKnob("wal_level", default="minimal",
+                        choices=("minimal", "replica", "logical"),
+                        description="Amount of information written to WAL."),
+        boolean_knob("fsync", default="on",
+                     description="Force synchronization of updates to disk."),
+    ]
+
+
+def _vacuum_knobs() -> list[Knob]:
+    return [
+        boolean_knob("autovacuum", default="on",
+                     description="Enable the autovacuum launcher."),
+        IntegerKnob("autovacuum_max_workers", default=3, lower=1, upper=20,
+                    description="Maximum concurrent autovacuum workers."),
+        IntegerKnob("autovacuum_naptime", default=60, lower=1, upper=3600,
+                    unit="s", description="Sleep between autovacuum rounds."),
+        IntegerKnob("autovacuum_vacuum_threshold", default=50, lower=0,
+                    upper=10000,
+                    description="Minimum dead tuples before vacuuming."),
+        FloatKnob("autovacuum_vacuum_scale_factor", default=0.2, lower=0.0,
+                  upper=1.0,
+                  description="Fraction of table size added to the threshold."),
+        IntegerKnob("autovacuum_analyze_threshold", default=50, lower=0,
+                    upper=10000,
+                    description="Minimum tuple changes before analyzing."),
+        FloatKnob("autovacuum_analyze_scale_factor", default=0.1, lower=0.0,
+                  upper=1.0,
+                  description="Fraction of table size added to the "
+                              "analyze threshold."),
+        IntegerKnob("autovacuum_vacuum_cost_delay", default=20, lower=-1,
+                    upper=100, special_values=(-1,), unit="ms",
+                    description="Vacuum cost delay for autovacuum; -1 uses "
+                                "vacuum_cost_delay."),
+        IntegerKnob("autovacuum_vacuum_cost_limit", default=-1, lower=-1,
+                    upper=10000, special_values=(-1,),
+                    description="Vacuum cost limit for autovacuum; -1 uses "
+                                "vacuum_cost_limit."),
+        IntegerKnob("vacuum_cost_delay", default=0, lower=0, upper=100,
+                    special_values=(0,), unit="ms",
+                    description="Vacuum sleep when cost limit exceeded; "
+                                "0 disables cost-based vacuum delay."),
+        IntegerKnob("vacuum_cost_limit", default=200, lower=1, upper=10000,
+                    description="Accumulated cost that puts vacuum to sleep."),
+        IntegerKnob("vacuum_cost_page_hit", default=1, lower=0, upper=10000,
+                    description="Vacuum cost of a buffer found in cache."),
+        IntegerKnob("vacuum_cost_page_miss", default=10, lower=0, upper=10000,
+                    description="Vacuum cost of a buffer read from disk."),
+        IntegerKnob("vacuum_cost_page_dirty", default=20, lower=0, upper=10000,
+                    description="Vacuum cost of dirtying a buffer."),
+    ]
+
+
+def _planner_knobs() -> list[Knob]:
+    toggles = [
+        boolean_knob(f"enable_{feature}", default="on",
+                     description=f"Enable the planner's use of {label}.")
+        for feature, label in [
+            ("bitmapscan", "bitmap scans"),
+            ("hashagg", "hashed aggregation"),
+            ("hashjoin", "hash joins"),
+            ("indexscan", "index scans"),
+            ("indexonlyscan", "index-only scans"),
+            ("material", "materialization"),
+            ("mergejoin", "merge joins"),
+            ("nestloop", "nested-loop joins"),
+            ("seqscan", "sequential scans"),
+            ("sort", "explicit sorts"),
+            ("tidscan", "TID scans"),
+        ]
+    ]
+    costs = [
+        FloatKnob("seq_page_cost", default=1.0, lower=0.0, upper=100.0,
+                  description="Planner cost of a sequential page fetch."),
+        FloatKnob("random_page_cost", default=4.0, lower=0.0, upper=100.0,
+                  description="Planner cost of a random page fetch."),
+        FloatKnob("cpu_tuple_cost", default=0.01, lower=0.0, upper=10.0,
+                  description="Planner cost of processing one tuple."),
+        FloatKnob("cpu_index_tuple_cost", default=0.005, lower=0.0, upper=10.0,
+                  description="Planner cost of one index entry."),
+        FloatKnob("cpu_operator_cost", default=0.0025, lower=0.0, upper=10.0,
+                  description="Planner cost of one operator/function call."),
+        FloatKnob("parallel_setup_cost", default=1000.0, lower=0.0,
+                  upper=100000.0,
+                  description="Planner cost of starting parallel workers."),
+        FloatKnob("parallel_tuple_cost", default=0.1, lower=0.0, upper=100.0,
+                  description="Planner cost of transferring one tuple from a "
+                              "parallel worker."),
+    ]
+    misc = [
+        IntegerKnob("default_statistics_target", default=100, lower=1,
+                    upper=10000,
+                    description="Default statistics target for ANALYZE."),
+        CategoricalKnob("constraint_exclusion", default="partition",
+                        choices=("partition", "on", "off"),
+                        description="Planner use of table constraints."),
+        FloatKnob("cursor_tuple_fraction", default=0.1, lower=0.0, upper=1.0,
+                  description="Fraction of cursor rows expected retrieved."),
+        IntegerKnob("from_collapse_limit", default=8, lower=1, upper=100,
+                    description="FROM-list size the planner will flatten."),
+        IntegerKnob("join_collapse_limit", default=8, lower=1, upper=100,
+                    description="JOIN-list size the planner will flatten."),
+        CategoricalKnob("force_parallel_mode", default="off",
+                        choices=("off", "on", "regress"),
+                        description="Force use of parallel query facilities."),
+        IntegerKnob("effective_io_concurrency", default=1, lower=0, upper=1000,
+                    special_values=(0,),
+                    description="Concurrent disk I/O the planner assumes; "
+                                "0 disables prefetching."),
+        IntegerKnob("old_snapshot_threshold", default=-1, lower=-1, upper=86400,
+                    special_values=(-1,), unit="s",
+                    description="Snapshot age before 'snapshot too old'; "
+                                "-1 disables the feature."),
+    ]
+    geqo = [
+        boolean_knob("geqo", default="on",
+                     description="Enable genetic query optimization."),
+        IntegerKnob("geqo_threshold", default=12, lower=2, upper=100,
+                    description="FROM-list size that triggers GEQO."),
+        IntegerKnob("geqo_effort", default=5, lower=1, upper=10,
+                    description="GEQO effort, scales other GEQO defaults."),
+        IntegerKnob("geqo_pool_size", default=0, lower=0, upper=10000,
+                    special_values=(0,),
+                    description="GEQO population size; 0 picks a value from "
+                                "geqo_effort and the query size."),
+        IntegerKnob("geqo_generations", default=0, lower=0, upper=10000,
+                    special_values=(0,),
+                    description="GEQO iterations; 0 picks a value from "
+                                "geqo_pool_size."),
+        FloatKnob("geqo_selection_bias", default=2.0, lower=1.5, upper=2.0,
+                  description="GEQO selective pressure within the population."),
+        FloatKnob("geqo_seed", default=0.0, lower=0.0, upper=1.0,
+                  description="Seed for GEQO's random path selection."),
+    ]
+    return toggles + costs + misc + geqo
+
+
+def _concurrency_knobs() -> list[Knob]:
+    return [
+        IntegerKnob("deadlock_timeout", default=1000, lower=1, upper=600000,
+                    unit="ms",
+                    description="Wait on a lock before checking for deadlock."),
+        IntegerKnob("max_locks_per_transaction", default=64, lower=10,
+                    upper=10000,
+                    description="Average object locks per transaction slot."),
+        IntegerKnob("max_pred_locks_per_transaction", default=64, lower=10,
+                    upper=10000,
+                    description="Average predicate locks per transaction slot."),
+        IntegerKnob("max_connections", default=100, lower=50, upper=1000,
+                    description="Maximum concurrent connections."),
+        IntegerKnob("max_worker_processes", default=8, lower=0, upper=96,
+                    description="Maximum background worker processes."),
+        IntegerKnob("max_parallel_workers_per_gather", default=0, lower=0,
+                    upper=64, special_values=(0,),
+                    description="Workers per Gather node; 0 disables "
+                                "parallel query execution."),
+    ]
+
+
+def _stats_knobs() -> list[Knob]:
+    return [
+        boolean_knob("track_activities", default="on",
+                     description="Collect command-level activity statistics."),
+        boolean_knob("track_counts", default="on",
+                     description="Collect row-level access statistics."),
+        boolean_knob("track_io_timing", default="off",
+                     description="Time block read/write calls."),
+        boolean_knob("update_process_title", default="on",
+                     description="Update process title on each SQL command."),
+    ]
+
+
+def _v13_additional_knobs() -> list[Knob]:
+    """Knobs present in v13.6 but not in the v9.6 catalog (22 knobs)."""
+    return [
+        boolean_knob("jit", default="on",
+                     description="Allow JIT compilation of queries."),
+        FloatKnob("jit_above_cost", default=100000.0, lower=-1.0,
+                  upper=10000000.0, special_values=(-1.0,),
+                  description="Query cost above which JIT activates; "
+                              "-1 disables JIT."),
+        FloatKnob("jit_inline_above_cost", default=500000.0, lower=-1.0,
+                  upper=10000000.0, special_values=(-1.0,),
+                  description="Query cost above which JIT inlines; "
+                              "-1 disables inlining."),
+        FloatKnob("jit_optimize_above_cost", default=500000.0, lower=-1.0,
+                  upper=10000000.0, special_values=(-1.0,),
+                  description="Query cost above which JIT applies expensive "
+                              "optimizations; -1 disables them."),
+        IntegerKnob("max_parallel_workers", default=8, lower=0, upper=96,
+                    description="Maximum parallel workers active at once."),
+        IntegerKnob("max_parallel_maintenance_workers", default=2, lower=0,
+                    upper=64, special_values=(0,),
+                    description="Parallel workers per maintenance operation; "
+                                "0 disables parallel maintenance."),
+        boolean_knob("parallel_leader_participation", default="on",
+                     description="Leader also executes the parallel plan."),
+        boolean_knob("enable_parallel_append", default="on",
+                     description="Enable parallel-aware Append plans."),
+        boolean_knob("enable_parallel_hash", default="on",
+                     description="Enable parallel-aware hash joins."),
+        boolean_knob("enable_partitionwise_join", default="off",
+                     description="Enable partitionwise joins."),
+        boolean_knob("enable_partitionwise_aggregate", default="off",
+                     description="Enable partitionwise aggregation."),
+        boolean_knob("enable_partition_pruning", default="on",
+                     description="Enable plan-time/run-time partition pruning."),
+        boolean_knob("enable_incremental_sort", default="on",
+                     description="Enable incremental sort steps."),
+        boolean_knob("enable_gathermerge", default="on",
+                     description="Enable Gather Merge plans."),
+        FloatKnob("hash_mem_multiplier", default=1.0, lower=1.0, upper=1000.0,
+                  description="Multiple of work_mem usable by hash tables."),
+        IntegerKnob("logical_decoding_work_mem", default=65536, lower=64,
+                    upper=2097151, unit="kB",
+                    description="Memory before logical decoding spills."),
+        IntegerKnob("autovacuum_vacuum_insert_threshold", default=1000,
+                    lower=-1, upper=1000000, special_values=(-1,),
+                    description="Inserted tuples before insert-vacuum; "
+                                "-1 disables insert vacuums."),
+        FloatKnob("autovacuum_vacuum_insert_scale_factor", default=0.2,
+                  lower=0.0, upper=1.0,
+                  description="Fraction of table size added to the "
+                              "insert-vacuum threshold."),
+        boolean_knob("wal_init_zero", default="on",
+                     description="Zero-fill new WAL files."),
+        boolean_knob("wal_recycle", default="on",
+                     description="Recycle WAL files by renaming."),
+        IntegerKnob("wal_skip_threshold", default=2048, lower=0, upper=2097151,
+                    unit="kB",
+                    description="Size below which new relation data is WAL "
+                                "logged instead of fsynced at commit."),
+        IntegerKnob("wal_keep_size", default=0, lower=0, upper=16384,
+                    special_values=(0,), unit="MB",
+                    description="WAL kept for standbys; 0 keeps no extra WAL."),
+    ]
+
+
+def postgres_v96_space() -> ConfigurationSpace:
+    """The 90-knob PostgreSQL v9.6 tuning space (17 hybrid knobs)."""
+    knobs = (
+        _memory_knobs()
+        + _writeback_knobs()
+        + _wal_knobs()
+        + _vacuum_knobs()
+        + _planner_knobs()
+        + _concurrency_knobs()
+        + _stats_knobs()
+    )
+    return ConfigurationSpace(knobs, name="postgres-9.6")
+
+
+def postgres_v136_space() -> ConfigurationSpace:
+    """The 112-knob PostgreSQL v13.6 tuning space (23 hybrid knobs)."""
+    knobs = (
+        _memory_knobs()
+        + _writeback_knobs()
+        + _wal_knobs()
+        + _vacuum_knobs()
+        + _planner_knobs()
+        + _concurrency_knobs()
+        + _stats_knobs()
+        + _v13_additional_knobs()
+    )
+    return ConfigurationSpace(knobs, name="postgres-13.6")

@@ -1,0 +1,92 @@
+"""Rendering configurations to ``postgresql.conf`` and back.
+
+The paper's experiment controller (Figure 1, step 3) applies each suggested
+configuration to a real PostgreSQL instance.  Against the simulator this is
+a no-op, but a downstream user pointing the tuner at a real server needs
+the conf-file round trip — including the unit handling PostgreSQL expects
+(page-sized knobs rendered without units, ``kB``/``MB``/``ms``/``s``/``µs``
+knobs rendered with them).
+"""
+
+from __future__ import annotations
+
+from repro.space.configspace import Configuration, ConfigurationSpace
+from repro.space.knob import CategoricalKnob, FloatKnob, IntegerKnob, KnobError
+
+#: How each documentary unit is written in postgresql.conf.  Pages (8kB) and
+#: dimensionless knobs are written as bare numbers, which PostgreSQL
+#: interprets in the knob's native unit.
+_RENDERED_UNITS = {"kB": "kB", "MB": "MB", "ms": "ms", "s": "s", "µs": ""}
+
+
+def render_knob_value(knob, value) -> str:
+    """One ``name = value`` line's right-hand side."""
+    if isinstance(knob, CategoricalKnob):
+        return str(value)
+    if isinstance(knob, FloatKnob):
+        return repr(float(value))  # shortest exact round-trip form
+    unit = _RENDERED_UNITS.get(getattr(knob, "unit", ""), "")
+    return f"{int(value)}{unit}"
+
+
+def to_conf(config: Configuration, header: str | None = None) -> str:
+    """Render a configuration as a ``postgresql.conf`` fragment."""
+    lines = []
+    if header:
+        lines.extend(f"# {line}" for line in header.splitlines())
+    for name in config.space.names:
+        knob = config.space[name]
+        lines.append(f"{name} = {render_knob_value(knob, config[name])}")
+    return "\n".join(lines) + "\n"
+
+
+_UNIT_FACTORS = {
+    # target unit of the knob -> {suffix: multiplier}
+    "kB": {"kB": 1, "MB": 1024, "GB": 1024**2},
+    "MB": {"kB": 1 / 1024, "MB": 1, "GB": 1024},
+    "ms": {"ms": 1, "s": 1000, "min": 60_000},
+    "s": {"ms": 1 / 1000, "s": 1, "min": 60},
+}
+
+
+def _parse_scalar(knob, text: str):
+    text = text.strip().strip("'\"")
+    if isinstance(knob, CategoricalKnob):
+        return text
+    if isinstance(knob, FloatKnob):
+        return float(text)
+    # Integer knobs may carry a unit suffix.
+    suffix = ""
+    number = text
+    for i, ch in enumerate(text):
+        if not (ch.isdigit() or ch in "+-"):
+            number, suffix = text[:i], text[i:].strip()
+            break
+    value = int(number)
+    if suffix:
+        unit = getattr(knob, "unit", "")
+        factors = _UNIT_FACTORS.get(unit if unit in _UNIT_FACTORS else "", {})
+        if suffix not in factors:
+            raise KnobError(
+                f"{knob.name}: cannot convert unit {suffix!r} to {unit!r}"
+            )
+        value = int(round(value * factors[suffix]))
+    return value
+
+
+def from_conf(space: ConfigurationSpace, text: str) -> Configuration:
+    """Parse a ``postgresql.conf`` fragment into a configuration.
+
+    Knobs missing from the fragment keep their defaults; unknown settings
+    are ignored (real conf files carry many untuned GUCs).
+    """
+    overrides = {}
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line or "=" not in line:
+            continue
+        name, value_text = (part.strip() for part in line.split("=", 1))
+        if name not in space:
+            continue
+        overrides[name] = _parse_scalar(space[name], value_text)
+    return space.partial_configuration(overrides)

@@ -1,0 +1,51 @@
+"""Tuning controller: sessions, knowledge base, metrics, runner."""
+
+from repro.tuning.early_stopping import EarlyStoppingPolicy
+from repro.tuning.knowledge_base import KnowledgeBase, Observation
+from repro.tuning.persistence import load_result, result_to_dict, save_result
+from repro.tuning.metrics import (
+    ComparisonSummary,
+    confidence_interval,
+    final_improvement,
+    iteration_mapping,
+    summarize_comparison,
+    time_to_optimal_iteration,
+    time_to_optimal_speedup,
+)
+from repro.tuning.runner import (
+    DEFAULT_ITERATIONS,
+    DEFAULT_SEEDS,
+    SessionSpec,
+    compare_specs,
+    llamatune_factory,
+    mean_best_curve,
+    run_spec,
+    space_for_version,
+)
+from repro.tuning.session import TuningResult, TuningSession
+
+__all__ = [
+    "ComparisonSummary",
+    "DEFAULT_ITERATIONS",
+    "DEFAULT_SEEDS",
+    "EarlyStoppingPolicy",
+    "KnowledgeBase",
+    "Observation",
+    "SessionSpec",
+    "TuningResult",
+    "TuningSession",
+    "compare_specs",
+    "confidence_interval",
+    "final_improvement",
+    "iteration_mapping",
+    "llamatune_factory",
+    "load_result",
+    "mean_best_curve",
+    "result_to_dict",
+    "run_spec",
+    "save_result",
+    "space_for_version",
+    "summarize_comparison",
+    "time_to_optimal_iteration",
+    "time_to_optimal_speedup",
+]

@@ -1,0 +1,150 @@
+"""Evaluation metrics: final improvement, time-to-optimal, CIs (Section 6.1).
+
+The paper reports two metrics per workload, each averaged over five seeds
+with [5%, 95%] confidence intervals:
+
+* **final improvement**: relative difference between the best value found by
+  the treatment (LlamaTune) and the baseline after the full budget;
+* **time-to-optimal**: the earliest treatment iteration whose best-so-far
+  value matches or beats the *baseline's final best*, reported as a speedup
+  (``budget / iteration``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def final_improvement(
+    treatment_curve: np.ndarray, baseline_curve: np.ndarray, maximize: bool = True
+) -> float:
+    """Relative improvement of the treatment's final best over the baseline's.
+
+    For latency (minimize) this is the relative *reduction*, so positive is
+    better in both modes.
+    """
+    t = float(treatment_curve[-1])
+    b = float(baseline_curve[-1])
+    if maximize:
+        return (t - b) / abs(b)
+    return (b - t) / abs(b)
+
+
+def time_to_optimal_iteration(
+    treatment_curve: np.ndarray, baseline_best: float, maximize: bool = True
+) -> int | None:
+    """Earliest (1-based) treatment iteration matching the baseline's best,
+    or None if never reached."""
+    curve = np.asarray(treatment_curve, dtype=float)
+    hits = curve >= baseline_best if maximize else curve <= baseline_best
+    indices = np.flatnonzero(hits)
+    if len(indices) == 0:
+        return None
+    return int(indices[0]) + 1
+
+
+def time_to_optimal_speedup(
+    treatment_curve: np.ndarray,
+    baseline_best: float,
+    maximize: bool = True,
+    budget: int | None = None,
+) -> float:
+    """Speedup ``budget / iteration``; counts as 1.0 if never reached."""
+    budget = budget if budget is not None else len(treatment_curve)
+    iteration = time_to_optimal_iteration(treatment_curve, baseline_best, maximize)
+    if iteration is None:
+        return 1.0
+    return budget / iteration
+
+
+def iteration_mapping(
+    treatment_curve: np.ndarray, baseline_curve: np.ndarray, maximize: bool = True
+) -> np.ndarray:
+    """Figure 10's mapping: for each treatment iteration, the earliest
+    baseline iteration achieving the same (or better) best value.
+
+    Entries are 1-based; iterations the baseline never matches map to
+    ``len(baseline_curve) + 1``.
+    """
+    baseline = np.asarray(baseline_curve, dtype=float)
+    out = np.empty(len(treatment_curve), dtype=int)
+    never = len(baseline) + 1
+    for i, value in enumerate(np.asarray(treatment_curve, dtype=float)):
+        hits = baseline >= value if maximize else baseline <= value
+        indices = np.flatnonzero(hits)
+        out[i] = (indices[0] + 1) if len(indices) else never
+    return out
+
+
+def confidence_interval(
+    samples: Sequence[float], low: float = 5.0, high: float = 95.0
+) -> tuple[float, float]:
+    """[5%, 95%] percentile interval across seeds (the paper's convention)."""
+    array = np.asarray(list(samples), dtype=float)
+    return float(np.percentile(array, low)), float(np.percentile(array, high))
+
+
+@dataclass(frozen=True)
+class ComparisonSummary:
+    """One Table-5-style row: treatment vs. baseline on one workload."""
+
+    workload: str
+    improvement_mean: float
+    improvement_ci: tuple[float, float]
+    speedup_mean: float
+    speedup_ci: tuple[float, float]
+    median_tto_iteration: int
+    n_seeds: int
+
+    def format_row(self) -> str:
+        lo, hi = self.improvement_ci
+        slo, shi = self.speedup_ci
+        return (
+            f"{self.workload:18s} "
+            f"{self.improvement_mean * 100:7.2f}% [{lo * 100:5.1f}%, {hi * 100:5.1f}%]   "
+            f"{self.speedup_mean:5.2f}x [{self.median_tto_iteration:3d} iter] "
+            f"[{slo:.1f}x, {shi:.1f}x]"
+        )
+
+
+def summarize_comparison(
+    workload: str,
+    baseline_curves: Sequence[np.ndarray],
+    treatment_curves: Sequence[np.ndarray],
+    maximize: bool = True,
+) -> ComparisonSummary:
+    """Aggregate per-seed curves into the paper's two headline metrics.
+
+    Seeds are paired positionally (same seed index for both arms), matching
+    the paper's protocol of repeating each experiment five times.
+    """
+    if len(baseline_curves) != len(treatment_curves):
+        raise ValueError("need the same number of baseline/treatment curves")
+    improvements = [
+        final_improvement(t, b, maximize)
+        for t, b in zip(treatment_curves, baseline_curves)
+    ]
+    # Time-to-optimal compares each treatment run against the baseline's
+    # mean final best (the baseline "optimal" of Table 5).
+    baseline_final = float(np.mean([c[-1] for c in baseline_curves]))
+    budget = len(treatment_curves[0])
+    speedups = [
+        time_to_optimal_speedup(t, baseline_final, maximize, budget)
+        for t in treatment_curves
+    ]
+    iterations = [
+        time_to_optimal_iteration(t, baseline_final, maximize) or budget
+        for t in treatment_curves
+    ]
+    return ComparisonSummary(
+        workload=workload,
+        improvement_mean=float(np.mean(improvements)),
+        improvement_ci=confidence_interval(improvements),
+        speedup_mean=float(np.mean(speedups)),
+        speedup_ci=confidence_interval(speedups),
+        median_tto_iteration=int(np.median(iterations)),
+        n_seeds=len(baseline_curves),
+    )

@@ -1,0 +1,117 @@
+"""Knowledge-base persistence.
+
+The paper's architecture (Section 2.1) centers on a knowledge base of all
+evaluated ``(configuration, performance)`` pairs.  This module saves and
+restores that record as JSON, so sessions can be archived, analyzed
+offline, or used to warm-start future runs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.space.configspace import Configuration, ConfigurationSpace
+from repro.tuning.knowledge_base import KnowledgeBase, Observation
+from repro.tuning.session import TuningResult
+
+FORMAT_VERSION = 1
+
+
+def _config_to_json(config: Configuration) -> dict[str, Any]:
+    return dict(config.to_dict())
+
+
+def result_to_dict(result: TuningResult) -> dict[str, Any]:
+    """Serialize a tuning result (without the spaces themselves)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "objective": result.objective,
+        "default_value": result.default_value,
+        "stopped_early_at": result.stopped_early_at,
+        "optimizer_space": result.knowledge_base.observations[0]
+        .optimizer_config.space.name
+        if result.knowledge_base.observations
+        else None,
+        "target_space": result.knowledge_base.observations[0]
+        .target_config.space.name
+        if result.knowledge_base.observations
+        else None,
+        "observations": [
+            {
+                "iteration": o.iteration,
+                "optimizer_config": _config_to_json(o.optimizer_config),
+                "target_config": _config_to_json(o.target_config),
+                "value": o.value,
+                "crashed": o.crashed,
+                "suggest_seconds": o.suggest_seconds,
+                "throughput": o.throughput,
+                "p95_latency_ms": o.p95_latency_ms,
+            }
+            for o in result.knowledge_base
+        ],
+    }
+
+
+def save_result(result: TuningResult, path: str | pathlib.Path) -> None:
+    """Write a tuning result to a JSON file."""
+    pathlib.Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=2, default=float)
+    )
+
+
+def load_result(
+    path: str | pathlib.Path,
+    optimizer_space: ConfigurationSpace,
+    target_space: ConfigurationSpace,
+) -> TuningResult:
+    """Load a tuning result, rebinding configurations to the given spaces.
+
+    The spaces must structurally match the ones the session used (every
+    stored knob value must validate); mismatches raise ``KnobError``.
+    """
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported knowledge-base format: {payload.get('format_version')}"
+        )
+    maximize = payload["objective"] == "throughput"
+    kb = KnowledgeBase(maximize=maximize)
+    for entry in payload["observations"]:
+        kb.record(
+            Observation(
+                iteration=int(entry["iteration"]),
+                optimizer_config=Configuration(
+                    optimizer_space, _coerce(optimizer_space, entry["optimizer_config"])
+                ),
+                target_config=Configuration(
+                    target_space, _coerce(target_space, entry["target_config"])
+                ),
+                value=float(entry["value"]),
+                crashed=bool(entry["crashed"]),
+                suggest_seconds=float(entry["suggest_seconds"]),
+                throughput=entry.get("throughput"),
+                p95_latency_ms=entry.get("p95_latency_ms"),
+            )
+        )
+    return TuningResult(
+        knowledge_base=kb,
+        objective=payload["objective"],
+        default_value=float(payload["default_value"]),
+        stopped_early_at=payload.get("stopped_early_at"),
+    )
+
+
+def _coerce(space: ConfigurationSpace, values: dict[str, Any]) -> dict[str, Any]:
+    """JSON round-trips ints as ints and floats as floats, but integer knob
+    values stored as floats (e.g. 1.0) need coercion back."""
+    from repro.space.knob import IntegerKnob
+
+    out = {}
+    for name, value in values.items():
+        if name in space and isinstance(space[name], IntegerKnob):
+            out[name] = int(value)
+        else:
+            out[name] = value
+    return out

@@ -1,0 +1,147 @@
+"""Multi-seed experiment runner: build sessions, run them, summarize.
+
+This is the scaffolding every experiment module uses: a *session factory*
+builds one (simulator, optimizer, adapter) triple per seed, the runner
+executes the paper's protocol (five seeds by default) and the metrics
+module turns the curves into Table-style rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import (
+    IdentityAdapter,
+    LlamaTuneAdapter,
+    SearchSpaceAdapter,
+)
+from repro.dbms.engine import PostgresSimulator
+from repro.dbms.versions import V96, PostgresVersion
+from repro.optimizers import make_optimizer
+from repro.space.configspace import ConfigurationSpace
+from repro.space.postgres import postgres_v96_space, postgres_v136_space
+from repro.tuning.early_stopping import EarlyStoppingPolicy
+from repro.tuning.metrics import ComparisonSummary, summarize_comparison
+from repro.tuning.session import TuningResult, TuningSession
+from repro.workloads.base import Workload
+from repro.workloads.catalog import get_workload
+
+#: The paper's experimental protocol.
+DEFAULT_SEEDS: tuple[int, ...] = (1, 2, 3, 4, 5)
+DEFAULT_ITERATIONS = 100
+DEFAULT_N_INIT = 10
+
+SessionFactory = Callable[[int], TuningSession]
+
+
+def space_for_version(version: PostgresVersion) -> ConfigurationSpace:
+    return postgres_v96_space() if version.name == "9.6" else postgres_v136_space()
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Declarative description of one tuning-session arm.
+
+    ``adapter`` is a factory ``(space, seed) -> SearchSpaceAdapter`` or None
+    for the identity (vanilla) baseline.
+    """
+
+    workload: str
+    optimizer: str = "smac"
+    adapter: Callable[[ConfigurationSpace, int], SearchSpaceAdapter] | None = None
+    objective: str = "throughput"
+    version: PostgresVersion = V96
+    n_iterations: int = DEFAULT_ITERATIONS
+    n_init: int = DEFAULT_N_INIT
+    target_rate: float | None = None
+    early_stopping: EarlyStoppingPolicy | None = None
+    optimizer_kwargs: tuple[tuple[str, object], ...] = ()
+
+    def build(self, seed: int) -> TuningSession:
+        space = space_for_version(self.version)
+        workload = get_workload(self.workload)
+        simulator = PostgresSimulator(
+            workload, version=self.version, target_rate=self.target_rate
+        )
+        if self.adapter is None:
+            adapter: SearchSpaceAdapter = IdentityAdapter(space)
+        else:
+            adapter = self.adapter(space, seed)
+        optimizer = make_optimizer(
+            self.optimizer,
+            adapter.optimizer_space,
+            seed=seed,
+            n_init=self.n_init,
+            **dict(self.optimizer_kwargs),
+        )
+        return TuningSession(
+            simulator=simulator,
+            optimizer=optimizer,
+            adapter=adapter,
+            objective=self.objective,
+            n_iterations=self.n_iterations,
+            seed=seed + 10_000,  # evaluation noise stream, distinct from optimizer
+            early_stopping=self.early_stopping,
+        )
+
+
+def llamatune_factory(
+    projection: str | None = "hesbo",
+    target_dim: int = 16,
+    bias: float = 0.2,
+    max_values: int | None = 10_000,
+) -> Callable[[ConfigurationSpace, int], SearchSpaceAdapter]:
+    """Adapter factory with LlamaTune's (ablatable) components."""
+
+    def factory(space: ConfigurationSpace, seed: int) -> SearchSpaceAdapter:
+        return LlamaTuneAdapter(
+            space,
+            projection=projection,
+            target_dim=target_dim,
+            bias=bias,
+            max_values=max_values,
+            seed=seed,
+        )
+
+    return factory
+
+
+def run_spec(
+    spec: SessionSpec, seeds: Sequence[int] = DEFAULT_SEEDS
+) -> list[TuningResult]:
+    """Run one arm across seeds."""
+    return [spec.build(seed).run() for seed in seeds]
+
+
+def mean_best_curve(results: Sequence[TuningResult]) -> np.ndarray:
+    """Seed-averaged best-so-far curve (what the paper's figures plot)."""
+    length = max(len(r.best_curve) for r in results)
+    curves = []
+    for r in results:
+        curve = r.best_curve
+        if len(curve) < length:  # early-stopped runs hold their final best
+            curve = np.concatenate(
+                [curve, np.full(length - len(curve), curve[-1])]
+            )
+        curves.append(curve)
+    return np.mean(curves, axis=0)
+
+
+def compare_specs(
+    baseline: SessionSpec,
+    treatment: SessionSpec,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> tuple[ComparisonSummary, list[TuningResult], list[TuningResult]]:
+    """Run both arms and summarize treatment vs. baseline."""
+    baseline_results = run_spec(baseline, seeds)
+    treatment_results = run_spec(treatment, seeds)
+    summary = summarize_comparison(
+        baseline.workload,
+        [r.best_curve for r in baseline_results],
+        [r.best_curve for r in treatment_results],
+        maximize=(baseline.objective == "throughput"),
+    )
+    return summary, baseline_results, treatment_results

@@ -1,0 +1,163 @@
+"""The tuning session: the paper's iterative loop of Figure 1.
+
+Per iteration: the optimizer suggests a configuration in its (possibly
+synthetic) space, the adapter converts it to a DBMS configuration, the
+simulated controller runs the workload and feeds the result back.  Crashing
+configurations receive one fourth of the worst performance observed so far
+(initially the default configuration's), exactly as in Section 6.1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pipeline import IdentityAdapter, SearchSpaceAdapter
+from repro.dbms.engine import PostgresSimulator
+from repro.dbms.errors import DbmsCrashError
+from repro.optimizers.base import Optimizer
+from repro.tuning.early_stopping import EarlyStoppingPolicy
+from repro.tuning.knowledge_base import KnowledgeBase, Observation
+
+
+@dataclass
+class TuningResult:
+    """Everything a tuning session produced."""
+
+    knowledge_base: KnowledgeBase
+    objective: str
+    default_value: float
+    stopped_early_at: int | None = None
+
+    @property
+    def maximize(self) -> bool:
+        return self.objective == "throughput"
+
+    @property
+    def values(self) -> np.ndarray:
+        return self.knowledge_base.values
+
+    @property
+    def best_curve(self) -> np.ndarray:
+        return self.knowledge_base.best_so_far()
+
+    @property
+    def best_value(self) -> float:
+        return self.knowledge_base.best_value()
+
+    @property
+    def suggest_seconds_total(self) -> float:
+        return sum(o.suggest_seconds for o in self.knowledge_base)
+
+    @property
+    def crash_count(self) -> int:
+        return sum(o.crashed for o in self.knowledge_base)
+
+
+class TuningSession:
+    """Runs one tuning session against the simulated DBMS.
+
+    Args:
+        simulator: The workload+DBMS under tuning.
+        optimizer: Any :class:`~repro.optimizers.base.Optimizer`; it must
+            have been constructed over ``adapter.optimizer_space``.
+        adapter: Search-space adapter (identity for vanilla baselines).
+        objective: ``"throughput"`` (maximize) or ``"latency"`` (minimize
+            the 95th-percentile latency).
+        n_iterations: Iteration budget (100 in the paper).
+        seed: Seed for evaluation noise.
+        early_stopping: Optional Appendix-A policy.
+    """
+
+    def __init__(
+        self,
+        simulator: PostgresSimulator,
+        optimizer: Optimizer,
+        adapter: SearchSpaceAdapter | None = None,
+        objective: str = "throughput",
+        n_iterations: int = 100,
+        seed: int = 0,
+        early_stopping: EarlyStoppingPolicy | None = None,
+    ):
+        if objective not in ("throughput", "latency"):
+            raise ValueError(f"unknown objective {objective!r}")
+        self.simulator = simulator
+        self.optimizer = optimizer
+        self.adapter = adapter if adapter is not None else IdentityAdapter(
+            optimizer.space
+        )
+        if self.adapter.optimizer_space is not optimizer.space:
+            raise ValueError(
+                "optimizer must be constructed over adapter.optimizer_space"
+            )
+        self.objective = objective
+        self.n_iterations = n_iterations
+        self.rng = np.random.default_rng(seed)
+        self.early_stopping = early_stopping
+
+    @property
+    def maximize(self) -> bool:
+        return self.objective == "throughput"
+
+    def run(self) -> TuningResult:
+        kb = KnowledgeBase(maximize=self.maximize)
+        default = self.simulator.default_measurement()
+        default_value = default.value(self.objective)
+        # The crash penalty references the worst performance seen so far,
+        # initialized with the default configuration's performance.
+        worst_seen = default_value
+        stopped_at: int | None = None
+
+        for iteration in range(self.n_iterations):
+            started = time.perf_counter()
+            opt_config = self.optimizer.suggest()
+            suggest_seconds = time.perf_counter() - started
+
+            target_config = self.adapter.to_target(opt_config)
+            crashed = False
+            metrics = None
+            throughput = None
+            p95 = None
+            try:
+                measurement = self.simulator.evaluate(target_config, rng=self.rng)
+                value = measurement.value(self.objective)
+                metrics = measurement.metrics
+                throughput = measurement.throughput
+                p95 = measurement.p95_latency_ms
+                if self.maximize:
+                    worst_seen = min(worst_seen, value)
+                else:
+                    worst_seen = max(worst_seen, value)
+            except DbmsCrashError:
+                crashed = True
+                value = worst_seen / 4.0 if self.maximize else worst_seen * 4.0
+
+            signed = value if self.maximize else -value
+            self.optimizer.observe(opt_config, signed, metrics=metrics)
+            kb.record(
+                Observation(
+                    iteration=iteration,
+                    optimizer_config=opt_config,
+                    target_config=target_config,
+                    value=value,
+                    crashed=crashed,
+                    suggest_seconds=suggest_seconds,
+                    throughput=throughput,
+                    p95_latency_ms=p95,
+                )
+            )
+
+            if self.early_stopping is not None and self.early_stopping.should_stop(
+                iteration, kb.best_value(), self.maximize
+            ):
+                stopped_at = iteration + 1
+                break
+
+        return TuningResult(
+            knowledge_base=kb,
+            objective=self.objective,
+            default_value=default_value,
+            stopped_early_at=stopped_at,
+        )

@@ -1,0 +1,35 @@
+"""Workload descriptors for the six OLTP benchmarks of the evaluation."""
+
+from repro.workloads.base import Workload
+from repro.workloads.generator import (
+    TransactionTemplate,
+    WorkloadTraceGenerator,
+    ZipfianKeyGenerator,
+    transaction_mix,
+)
+from repro.workloads.catalog import (
+    RESOURCE_STRESSER,
+    SEATS,
+    TPCC,
+    TWITTER,
+    WORKLOADS,
+    YCSB_A,
+    YCSB_B,
+    get_workload,
+)
+
+__all__ = [
+    "RESOURCE_STRESSER",
+    "SEATS",
+    "TPCC",
+    "TWITTER",
+    "TransactionTemplate",
+    "WORKLOADS",
+    "Workload",
+    "WorkloadTraceGenerator",
+    "YCSB_A",
+    "YCSB_B",
+    "ZipfianKeyGenerator",
+    "get_workload",
+    "transaction_mix",
+]

@@ -1,0 +1,78 @@
+"""Workload descriptors.
+
+The paper (Table 4, Section 6.1) characterizes each OLTP workload by its
+schema size, read-only transaction fraction, access skew, and resource
+profile; all databases are scaled to 20 GB and driven by 40 clients.  A
+:class:`Workload` carries exactly those properties plus per-component
+sensitivity weights consumed by the DBMS simulator
+(:mod:`repro.dbms.engine`).
+
+The ``weights`` mapping assigns each simulator component (see
+``repro.dbms.components``) an exponent: throughput is proportional to the
+product of component scores raised to these weights, so a weight of 0 makes
+the workload insensitive to that component and larger weights concentrate
+the tuning headroom there.  This is how the *low effective dimensionality*
+the paper relies on (Section 2.3) arises — and why the important knobs
+differ across workloads (Figure 2b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Static description of an OLTP workload used in the evaluation.
+
+    Attributes:
+        name: Workload identifier (e.g. ``"ycsb-a"``).
+        tables: Number of tables (Table 4).
+        columns: Total number of columns (Table 4).
+        read_txn_fraction: Fraction of read-only transactions (Table 4).
+        zipf_skew: Access skew exponent; larger means hotter hot set.
+        working_set_gb: Size of the frequently accessed data.
+        join_complexity: 0..1; how much plan quality matters.
+        contention: 0..1; lock/latch contention intensity (RS is high).
+        temp_heavy: 0..1; sensitivity to sort/hash memory (spills).
+        base_throughput: Default-configuration throughput the simulator is
+            calibrated to on PostgreSQL v9.6 (requests/second).  Chosen to
+            match the paper's plotted ranges; absolute values are not claims
+            about real hardware.
+        weights: Component-name -> exponent sensitivity map.
+        database_gb: Total database size (20 GB for all, per the paper).
+        clients: Number of benchmark clients (40, per the paper).
+    """
+
+    name: str
+    tables: int
+    columns: int
+    read_txn_fraction: float
+    zipf_skew: float
+    working_set_gb: float
+    join_complexity: float
+    contention: float
+    temp_heavy: float
+    base_throughput: float
+    weights: Mapping[str, float] = field(default_factory=dict)
+    database_gb: float = 20.0
+    clients: int = 40
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_txn_fraction <= 1.0:
+            raise ValueError(f"{self.name}: read_txn_fraction must be in [0, 1]")
+        if self.working_set_gb > self.database_gb:
+            raise ValueError(f"{self.name}: working set larger than database")
+        # Freeze the weights mapping so descriptors are safely shareable.
+        object.__setattr__(self, "weights", MappingProxyType(dict(self.weights)))
+
+    @property
+    def write_txn_fraction(self) -> float:
+        """Fraction of transactions that perform at least one write."""
+        return 1.0 - self.read_txn_fraction
+
+    def weight(self, component: str) -> float:
+        """Sensitivity exponent for a simulator component (0 if absent)."""
+        return self.weights.get(component, 0.0)

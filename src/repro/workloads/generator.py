@@ -1,0 +1,143 @@
+"""Synthetic workload trace generation.
+
+The paper drives PostgreSQL with YCSB and BenchBase; those harnesses are,
+from the tuner's perspective, generators of (transaction type, key) streams
+with a given mix and skew.  This module reproduces that layer: a Zipfian
+key sampler (YCSB's request distribution) and a transaction-mix sampler
+that together emit page-level access traces.
+
+The traces serve two purposes: they parameterize/validate the analytical
+buffer model (see :mod:`repro.dbms.cache_sim` and the corresponding tests,
+which check the closed-form hit curve against trace-driven LRU), and they
+give examples something concrete to show for "the workload".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+PAGE_BYTES = 8192
+
+
+class ZipfianKeyGenerator:
+    """Draws keys from a (truncated) Zipfian distribution.
+
+    Uses the standard inverse-CDF method over precomputed cumulative
+    weights: item ``i`` (0-based) has weight ``1 / (i + 1) ** theta``.
+    ``theta = 0`` degenerates to uniform; YCSB's default is ~0.99.
+    """
+
+    def __init__(self, n_items: int, theta: float, seed: int = 0):
+        if n_items < 1:
+            raise ValueError("n_items must be >= 1")
+        if theta < 0:
+            raise ValueError("theta must be >= 0")
+        self.n_items = n_items
+        self.theta = theta
+        self.rng = np.random.default_rng(seed)
+        weights = 1.0 / np.arange(1, n_items + 1, dtype=float) ** theta
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def sample(self, n: int) -> np.ndarray:
+        """``n`` item indices, hottest items having the lowest indices."""
+        u = self.rng.random(n)
+        return np.searchsorted(self._cdf, u)
+
+    def hottest_fraction_mass(self, fraction: float) -> float:
+        """Probability mass carried by the hottest ``fraction`` of items."""
+        cutoff = max(1, int(self.n_items * fraction))
+        return float(self._cdf[cutoff - 1])
+
+
+@dataclass(frozen=True)
+class TransactionTemplate:
+    """One transaction type: how many pages it reads and writes."""
+
+    name: str
+    reads: int
+    writes: int
+    weight: float
+
+
+def transaction_mix(workload: Workload) -> tuple[TransactionTemplate, ...]:
+    """A plausible transaction mix for a workload descriptor.
+
+    Derived from the descriptor's read fraction and complexity; not a claim
+    about the exact benchmark definitions, but enough to drive realistic
+    page traces (read-only point lookups vs. multi-page updates).
+    """
+    reads_per_txn = 2 + int(round(6 * workload.join_complexity))
+    writes_per_txn = 1 + int(round(3 * workload.join_complexity))
+    return (
+        TransactionTemplate(
+            "read", reads=reads_per_txn, writes=0,
+            weight=workload.read_txn_fraction,
+        ),
+        TransactionTemplate(
+            "update", reads=max(1, reads_per_txn // 2), writes=writes_per_txn,
+            weight=workload.write_txn_fraction,
+        ),
+    )
+
+
+class WorkloadTraceGenerator:
+    """Generates page-level access traces for a workload descriptor.
+
+    Pages inside the hot working set are drawn Zipfian; a small fraction of
+    accesses touch the cold remainder of the database uniformly (mirroring
+    the analytical buffer model's hot/cold split).
+    """
+
+    def __init__(self, workload: Workload, seed: int = 0,
+                 pages_scale: float = 1e-3, hot_fraction: float = 0.85):
+        self.workload = workload
+        # Scaled-down page counts keep traces tractable while preserving the
+        # cache-size : working-set ratio that drives hit rates.
+        self.hot_pages = max(
+            100, int(workload.working_set_gb * 1024**3 / PAGE_BYTES * pages_scale)
+        )
+        self.total_pages = max(
+            self.hot_pages + 1,
+            int(workload.database_gb * 1024**3 / PAGE_BYTES * pages_scale),
+        )
+        self.hot_fraction = hot_fraction
+        self.rng = np.random.default_rng(seed)
+        self._keys = ZipfianKeyGenerator(
+            self.hot_pages, workload.zipf_skew, seed=seed
+        )
+        self._mix = transaction_mix(workload)
+        self._weights = np.array([t.weight for t in self._mix])
+        self._weights /= self._weights.sum()
+
+    def transactions(self, n: int) -> Iterator[tuple[str, np.ndarray, np.ndarray]]:
+        """Yield ``n`` transactions as (type, read pages, written pages)."""
+        choices = self.rng.choice(len(self._mix), size=n, p=self._weights)
+        for choice in choices:
+            template = self._mix[choice]
+            yield (
+                template.name,
+                self._pages(template.reads),
+                self._pages(template.writes),
+            )
+
+    def page_trace(self, n_accesses: int) -> np.ndarray:
+        """A flat trace of page ids (reads and writes interleaved)."""
+        return self._pages(n_accesses)
+
+    def _pages(self, n: int) -> np.ndarray:
+        if n == 0:
+            return np.empty(0, dtype=int)
+        hot = self.rng.random(n) < self.hot_fraction
+        pages = np.empty(n, dtype=int)
+        n_hot = int(hot.sum())
+        pages[hot] = self._keys.sample(n_hot)
+        pages[~hot] = self.rng.integers(
+            self.hot_pages, self.total_pages, size=n - n_hot
+        )
+        return pages

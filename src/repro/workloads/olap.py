@@ -1,0 +1,43 @@
+"""OLAP extension workload (the paper's stated future work).
+
+Section 6.1 notes: "In the future, we also plan to evaluate LlamaTune's set
+of techniques with OLAP workloads."  This module provides that extension: a
+TPC-H-like analytical workload descriptor whose tuning headroom lives in
+completely different components than the OLTP six — planner quality,
+parallel execution, and working memory dominate, while the commit path is
+almost irrelevant.  It exercises the same simulator code paths with an
+inverted sensitivity profile and is used by the OLAP example/bench.
+
+Not part of the paper's evaluation; results for it are extensions, not
+reproductions.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+TPCH_LIKE = Workload(
+    name="tpch-like",
+    tables=8,
+    columns=61,
+    read_txn_fraction=1.00,  # pure analytical queries
+    zipf_skew=0.10,  # scans touch everything
+    working_set_gb=18.0,
+    join_complexity=0.80,
+    contention=0.02,
+    temp_heavy=0.90,
+    base_throughput=55.0,  # queries per second at the default config
+    weights={
+        "buffer": 0.70,
+        "wal_commit": 0.02,
+        "writeback": 0.05,
+        "checkpoint": 0.02,
+        "vacuum": 0.05,
+        "planner": 0.50,
+        "parallel": 0.70,
+        "memory": 0.95,
+        "locks": 0.02,
+        "stats": 0.20,
+        "texture": 1.0,
+    },
+)

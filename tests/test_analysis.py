@@ -1,0 +1,117 @@
+"""Tests for knob importance, convergence helpers, and stats utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    curve_with_band,
+    format_curve,
+    mean_iteration_mapping,
+)
+from repro.analysis.importance import rank_knobs, shapley_importance
+from repro.analysis.stats import bootstrap_mean_ci, geometric_mean, relative_change
+from repro.optimizers.forest import RandomForestRegressor
+from repro.space.configspace import ConfigurationSpace
+from repro.space.knob import FloatKnob
+from repro.tuning.knowledge_base import KnowledgeBase, Observation
+
+
+class TestShapleyImportance:
+    def test_recovers_dominant_features(self):
+        """Shapley sampling must rank truly influential features first."""
+        rng = np.random.default_rng(0)
+        X = rng.random((300, 6))
+        y = 10.0 * X[:, 2] + 3.0 * X[:, 5] + 0.05 * rng.normal(size=300)
+        model = RandomForestRegressor(n_trees=20, seed=0).fit(X, y)
+        scores = shapley_importance(model, X, n_permutations=200, rng=rng)
+        assert int(np.argmax(scores)) == 2
+        assert set(np.argsort(scores)[-2:]) == {2, 5}
+
+    def test_rank_knobs_end_to_end(self):
+        space = ConfigurationSpace(
+            [
+                FloatKnob("signal", default=0.0, lower=0.0, upper=1.0),
+                FloatKnob("noise1", default=0.0, lower=0.0, upper=1.0),
+                FloatKnob("noise2", default=0.0, lower=0.0, upper=1.0),
+            ]
+        )
+        rng = np.random.default_rng(1)
+        configs = [
+            space.configuration(
+                {"signal": rng.random(), "noise1": rng.random(), "noise2": rng.random()}
+            )
+            for __ in range(200)
+        ]
+        values = [5.0 * c["signal"] + 0.01 * rng.normal() for c in configs]
+        report = rank_knobs(space, configs, values, n_permutations=150, seed=0)
+        assert report.names[0] == "signal"
+        assert report.top(1) == ("signal",)
+        assert report.score_of("signal") > report.score_of("noise1")
+
+    def test_length_mismatch_rejected(self):
+        space = ConfigurationSpace(
+            [FloatKnob("x", default=0.0, lower=0.0, upper=1.0)]
+        )
+        with pytest.raises(ValueError):
+            rank_knobs(space, [], [1.0])
+
+
+def _result(values, maximize=True):
+    """Minimal TuningResult stand-in via a real KnowledgeBase."""
+    from repro.space.postgres import postgres_v96_space
+    from repro.tuning.session import TuningResult
+
+    space = postgres_v96_space()
+    config = space.default_configuration()
+    kb = KnowledgeBase(maximize=maximize)
+    for i, v in enumerate(values):
+        kb.record(
+            Observation(
+                iteration=i,
+                optimizer_config=config,
+                target_config=config,
+                value=v,
+                crashed=False,
+                suggest_seconds=0.0,
+            )
+        )
+    return TuningResult(kb, "throughput" if maximize else "latency", values[0])
+
+
+class TestConvergenceHelpers:
+    def test_curve_with_band(self):
+        results = [_result([1.0, 2.0, 3.0]), _result([2.0, 2.0, 5.0])]
+        mean, lo, hi = curve_with_band(results)
+        np.testing.assert_allclose(mean, [1.5, 2.0, 4.0])
+        assert np.all(lo <= mean) and np.all(mean <= hi)
+
+    def test_mean_iteration_mapping(self):
+        treatment = [_result([5.0, 6.0])]
+        baseline = [_result([1.0, 5.0])]
+        mapping = mean_iteration_mapping(treatment, baseline)
+        np.testing.assert_allclose(mapping, [2.0, 3.0])
+
+    def test_format_curve(self):
+        text = format_curve(np.arange(30, dtype=float), every=10)
+        assert "it  1" in text and "it 10" in text
+
+
+class TestStats:
+    def test_bootstrap_ci_contains_mean(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        lo, hi = bootstrap_mean_ci(samples, seed=0)
+        assert lo <= np.mean(samples) <= hi
+
+    def test_bootstrap_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_relative_change(self):
+        assert relative_change(12.0, 10.0) == pytest.approx(0.2)

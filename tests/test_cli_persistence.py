@@ -1,0 +1,102 @@
+"""Tests for the tuning CLI and knowledge-base persistence."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.pipeline import llamatune_adapter
+from repro.space.postgres import postgres_v96_space
+from repro.tuning.persistence import load_result, result_to_dict, save_result
+from repro.tuning.runner import SessionSpec, llamatune_factory
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    spec = SessionSpec(
+        workload="ycsb-a", adapter=llamatune_factory(), n_iterations=8
+    )
+    return spec.build(seed=3).run()
+
+
+class TestPersistence:
+    def test_round_trip(self, small_result, tmp_path):
+        path = tmp_path / "kb.json"
+        save_result(small_result, path)
+        space = postgres_v96_space()
+        adapter = llamatune_adapter(space, seed=3)
+        loaded = load_result(path, adapter.optimizer_space, space)
+        assert len(loaded.knowledge_base) == len(small_result.knowledge_base)
+        assert loaded.best_value == pytest.approx(small_result.best_value)
+        assert loaded.objective == small_result.objective
+        for a, b in zip(loaded.knowledge_base, small_result.knowledge_base):
+            assert a.target_config == b.target_config
+            assert a.crashed == b.crashed
+
+    def test_dict_schema(self, small_result):
+        payload = result_to_dict(small_result)
+        assert payload["format_version"] == 1
+        assert len(payload["observations"]) == 8
+        first = payload["observations"][0]
+        assert {"iteration", "value", "crashed"} <= set(first)
+
+    def test_unsupported_version_rejected(self, small_result, tmp_path):
+        path = tmp_path / "kb.json"
+        payload = result_to_dict(small_result)
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload, default=float))
+        space = postgres_v96_space()
+        adapter = llamatune_adapter(space, seed=3)
+        with pytest.raises(ValueError):
+            load_result(path, adapter.optimizer_space, space)
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.workload == "ycsb-a"
+        assert args.optimizer == "smac"
+        assert not args.no_llamatune
+
+    def test_latency_without_rate_errors(self, capsys):
+        code = main(["--objective", "latency", "--iterations", "5"])
+        assert code == 2
+
+    def test_end_to_end_with_outputs(self, tmp_path, capsys):
+        conf = tmp_path / "best.conf"
+        kb = tmp_path / "kb.json"
+        code = main(
+            [
+                "--workload", "ycsb-a",
+                "--iterations", "6",
+                "--no-plot",
+                "--conf-out", str(conf),
+                "--kb-out", str(kb),
+            ]
+        )
+        assert code == 0
+        assert "shared_buffers = " in conf.read_text()
+        assert json.loads(kb.read_text())["observations"]
+        out = capsys.readouterr().out
+        assert "best:" in out
+
+    def test_vanilla_baseline_flag(self, capsys):
+        code = main(
+            ["--workload", "ycsb-a", "--iterations", "4", "--no-llamatune",
+             "--no-plot", "--optimizer", "random"]
+        )
+        assert code == 0
+        assert "vanilla" in capsys.readouterr().out
+
+    def test_early_stop_flag(self, capsys):
+        code = main(
+            ["--workload", "ycsb-a", "--iterations", "40", "--no-plot",
+             "--early-stop", "5,3", "--optimizer", "random"]
+        )
+        assert code == 0
+
+    def test_plot_output(self, capsys):
+        code = main(["--workload", "ycsb-a", "--iterations", "5",
+                     "--optimizer", "random"])
+        assert code == 0
+        assert "iteration" in capsys.readouterr().out

@@ -1,0 +1,123 @@
+"""Unit tests for ConfigurationSpace and Configuration."""
+
+import numpy as np
+import pytest
+
+from repro.space.configspace import Configuration, ConfigurationSpace
+from repro.space.knob import CategoricalKnob, FloatKnob, IntegerKnob, KnobError
+
+
+@pytest.fixture
+def space():
+    return ConfigurationSpace(
+        [
+            IntegerKnob("size", default=10, lower=0, upper=100),
+            FloatKnob("ratio", default=0.5, lower=0.0, upper=1.0),
+            CategoricalKnob("mode", default="on", choices=("off", "on")),
+            IntegerKnob("delay", default=0, lower=-1, upper=50, special_values=(-1,)),
+        ],
+        name="test",
+    )
+
+
+class TestConfigurationSpace:
+    def test_dim_and_names(self, space):
+        assert space.dim == 4
+        assert space.names == ("size", "ratio", "mode", "delay")
+
+    def test_duplicate_knob_rejected(self):
+        knob = IntegerKnob("x", default=0, lower=0, upper=1)
+        with pytest.raises(KnobError):
+            ConfigurationSpace([knob, knob])
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(KnobError):
+            ConfigurationSpace([])
+
+    def test_hybrid_knobs(self, space):
+        assert [k.name for k in space.hybrid_knobs] == ["delay"]
+
+    def test_categorical_knobs(self, space):
+        assert [k.name for k in space.categorical_knobs] == ["mode"]
+
+    def test_subspace_preserves_knobs(self, space):
+        sub = space.subspace(["size", "mode"])
+        assert sub.dim == 2
+        assert sub["size"] is space["size"]
+
+    def test_subspace_unknown_name_rejected(self, space):
+        with pytest.raises(KnobError):
+            space.subspace(["nonexistent"])
+
+    def test_default_configuration(self, space):
+        config = space.default_configuration()
+        assert config["size"] == 10
+        assert config["mode"] == "on"
+
+    def test_partial_configuration(self, space):
+        config = space.partial_configuration({"size": 99})
+        assert config["size"] == 99
+        assert config["ratio"] == 0.5
+
+    def test_index_of(self, space):
+        assert space.index_of("mode") == 2
+
+
+class TestConfiguration:
+    def test_missing_knob_rejected(self, space):
+        with pytest.raises(KnobError):
+            Configuration(space, {"size": 1})
+
+    def test_unknown_knob_rejected(self, space):
+        values = space.default_configuration().to_dict()
+        values["bogus"] = 1
+        with pytest.raises(KnobError):
+            Configuration(space, values)
+
+    def test_invalid_value_rejected(self, space):
+        values = space.default_configuration().to_dict()
+        values["size"] = 1000
+        with pytest.raises(KnobError):
+            Configuration(space, values)
+
+    def test_replace(self, space):
+        config = space.default_configuration()
+        new = config.replace(size=42)
+        assert new["size"] == 42
+        assert config["size"] == 10  # original untouched
+
+    def test_equality_and_hash(self, space):
+        a = space.default_configuration()
+        b = space.default_configuration()
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != a.replace(size=1)
+
+    def test_mapping_protocol(self, space):
+        config = space.default_configuration()
+        assert len(config) == 4
+        assert set(config) == set(space.names)
+        assert dict(config) == config.to_dict()
+
+
+class TestVectorConversion:
+    def test_round_trip_default(self, space):
+        config = space.default_configuration()
+        vector = space.to_unit_vector(config)
+        assert space.from_unit_vector(vector) == config
+
+    def test_vector_shape_checked(self, space):
+        with pytest.raises(KnobError):
+            space.from_unit_vector(np.zeros(3))
+
+    def test_out_of_cube_values_clipped(self, space):
+        config = space.from_unit_vector(np.array([2.0, -1.0, 0.5, 0.0]))
+        assert config["size"] == 100
+        assert config["ratio"] == 0.0
+
+    def test_unit_vector_in_cube(self, space):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            config = space.from_unit_vector(rng.random(space.dim))
+            vec = space.to_unit_vector(config)
+            assert np.all(vec >= 0.0) and np.all(vec <= 1.0)

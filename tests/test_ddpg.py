@@ -1,0 +1,168 @@
+"""Tests for the DDPG optimizer's neural substrate and agent wiring."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.metrics import METRIC_NAMES
+from repro.optimizers.ddpg import (
+    Adam,
+    DDPGOptimizer,
+    MLP,
+    OrnsteinUhlenbeckNoise,
+    ReplayBuffer,
+    cdbtune_reward,
+)
+from repro.space.configspace import ConfigurationSpace
+from repro.space.knob import CategoricalKnob, FloatKnob
+
+
+class TestMLP:
+    def test_forward_shapes(self):
+        net = MLP([4, 8, 2], seed=0)
+        out = net.forward(np.zeros((5, 4)))
+        assert out.shape == (5, 2)
+
+    def test_sigmoid_output_range(self):
+        net = MLP([3, 8, 2], out_activation="sigmoid", seed=0)
+        out = net.forward(np.random.default_rng(0).normal(size=(10, 3)) * 10)
+        assert np.all(out > 0.0) and np.all(out < 1.0)
+
+    def test_backward_requires_forward(self):
+        net = MLP([2, 4, 1], seed=0)
+        with pytest.raises(RuntimeError):
+            net.backward(np.ones((1, 1)))
+
+    def test_gradient_check(self):
+        """Numeric gradient check on a tiny network (MSE loss)."""
+        rng = np.random.default_rng(0)
+        net = MLP([3, 5, 1], seed=1)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 1))
+
+        def loss():
+            return 0.5 * np.sum((net.forward(x) - target) ** 2)
+
+        out = net.forward(x, remember=True)
+        grads, __ = net.backward(out - target)
+        params = net.parameters
+        eps = 1e-6
+        for p, g in zip(params, grads):
+            index = tuple(0 for _ in p.shape)
+            original = p[index]
+            p[index] = original + eps
+            up = loss()
+            p[index] = original - eps
+            down = loss()
+            p[index] = original
+            numeric = (up - down) / (2 * eps)
+            assert numeric == pytest.approx(g[index], rel=1e-3, abs=1e-6)
+
+    def test_training_reduces_loss(self):
+        rng = np.random.default_rng(0)
+        net = MLP([2, 16, 1], seed=0)
+        opt = Adam(net.parameters, lr=1e-2)
+        x = rng.normal(size=(64, 2))
+        y = (x[:, :1] * 2.0 - x[:, 1:] * 0.5)
+        first_loss = None
+        for _ in range(200):
+            out = net.forward(x, remember=True)
+            loss = float(np.mean((out - y) ** 2))
+            if first_loss is None:
+                first_loss = loss
+            grads, __ = net.backward((out - y) / len(y))
+            opt.step(grads)
+        assert loss < first_loss * 0.2
+
+    def test_polyak_copy(self):
+        a = MLP([2, 3, 1], seed=0)
+        b = MLP([2, 3, 1], seed=1)
+        b.copy_from(a, tau=1.0)
+        for pa, pb in zip(a.parameters, b.parameters):
+            np.testing.assert_array_equal(pa, pb)
+
+
+class TestReplayBuffer:
+    def test_push_and_sample(self):
+        buffer = ReplayBuffer(capacity=10)
+        for i in range(5):
+            buffer.push(np.full(3, i), np.full(2, i), float(i), np.full(3, i + 1))
+        s, a, r, s2 = buffer.sample(3, np.random.default_rng(0))
+        assert s.shape == (3, 3) and a.shape == (3, 2) and r.shape == (3,)
+
+    def test_capacity_wraps(self):
+        buffer = ReplayBuffer(capacity=4)
+        for i in range(10):
+            buffer.push(np.array([i]), np.array([i]), float(i), np.array([i]))
+        assert len(buffer) == 4
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(RuntimeError):
+            ReplayBuffer().sample(1, np.random.default_rng(0))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=0)
+
+
+class TestReward:
+    def test_improvement_positive(self):
+        assert cdbtune_reward(120.0, 100.0, 110.0) > 0
+
+    def test_regression_negative(self):
+        assert cdbtune_reward(80.0, 100.0, 90.0) < 0
+
+    def test_zero_initial_is_safe(self):
+        assert cdbtune_reward(10.0, 0.0, 5.0) == 0.0
+
+
+class TestOUNoise:
+    def test_temporal_correlation(self):
+        noise = OrnsteinUhlenbeckNoise(4, rng=np.random.default_rng(0))
+        a = noise.sample()
+        b = noise.sample()
+        assert a.shape == (4,)
+        assert not np.array_equal(a, b)
+
+    def test_reset(self):
+        noise = OrnsteinUhlenbeckNoise(2, rng=np.random.default_rng(0))
+        noise.sample()
+        noise.reset()
+        np.testing.assert_array_equal(noise.state, np.zeros(2))
+
+
+class TestDDPGAgent:
+    @pytest.fixture
+    def space(self):
+        return ConfigurationSpace(
+            [
+                FloatKnob("x", default=0.0, lower=0.0, upper=1.0),
+                CategoricalKnob("m", default="a", choices=("a", "b")),
+            ]
+        )
+
+    def _metrics(self, value):
+        return {name: value for name in METRIC_NAMES}
+
+    def test_learning_loop_runs(self, space):
+        agent = DDPGOptimizer(space, seed=0, n_init=5, batch_size=8)
+        for i in range(40):
+            config = agent.suggest()
+            value = 1.0 - (config["x"] - 0.6) ** 2
+            agent.observe(config, value, metrics=self._metrics(value))
+        assert agent.num_observations == 40
+        assert len(agent.buffer) > 0
+
+    def test_without_metrics_no_learning(self, space):
+        agent = DDPGOptimizer(space, seed=0, n_init=3)
+        for _ in range(6):
+            config = agent.suggest()
+            agent.observe(config, 1.0, metrics=None)
+        assert len(agent.buffer) == 0  # no state -> no transitions
+
+    def test_suggestions_valid(self, space):
+        agent = DDPGOptimizer(space, seed=1, n_init=3, batch_size=4)
+        for i in range(15):
+            config = agent.suggest()
+            for knob in space:
+                knob.validate(config[knob.name])
+            agent.observe(config, float(i), metrics=self._metrics(float(i)))

@@ -1,0 +1,53 @@
+"""Tests for the Appendix-A early-stopping policy."""
+
+import pytest
+
+from repro.tuning.early_stopping import EarlyStoppingPolicy
+
+
+def run_policy(policy, best_values, maximize=True):
+    """Feed a best-so-far series; return the (0-based) stop iteration or None."""
+    for i, value in enumerate(best_values):
+        if policy.should_stop(i, value, maximize):
+            return i
+    return None
+
+
+class TestEarlyStoppingPolicy:
+    def test_stops_after_patience_without_improvement(self):
+        policy = EarlyStoppingPolicy(min_improvement=0.01, patience=5, warmup=0)
+        values = [100.0] * 20  # flat forever
+        assert run_policy(policy, values) == 5
+
+    def test_improvement_resets_patience(self):
+        policy = EarlyStoppingPolicy(min_improvement=0.01, patience=5, warmup=0)
+        values = [100.0, 100.0, 100.0, 102.0] + [102.0] * 10
+        stop = run_policy(policy, values)
+        assert stop == 8  # patience counts from the improvement at i=3
+
+    def test_warmup_defers_stopping(self):
+        policy = EarlyStoppingPolicy(min_improvement=0.01, patience=2, warmup=10)
+        values = [100.0] * 12
+        assert run_policy(policy, values) == 10
+
+    def test_small_improvements_do_not_reset(self):
+        policy = EarlyStoppingPolicy(min_improvement=0.05, patience=4, warmup=0)
+        values = [100.0, 100.5, 101.0, 101.2, 101.3]
+        assert run_policy(policy, values) == 4
+
+    def test_minimize_direction(self):
+        policy = EarlyStoppingPolicy(min_improvement=0.01, patience=3, warmup=0)
+        values = [100.0, 90.0, 80.0] + [80.0] * 5
+        stop = run_policy(policy, values, maximize=False)
+        assert stop == 5
+
+    def test_never_stops_with_steady_improvement(self):
+        policy = EarlyStoppingPolicy(min_improvement=0.01, patience=3, warmup=0)
+        values = [100.0 * 1.02**i for i in range(30)]
+        assert run_policy(policy, values) is None
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EarlyStoppingPolicy(min_improvement=-0.1)
+        with pytest.raises(ValueError):
+            EarlyStoppingPolicy(patience=0)

@@ -1,0 +1,84 @@
+"""Tests for the optimizer-facing numeric space encoding."""
+
+import numpy as np
+import pytest
+
+from repro.optimizers.encoding import SpaceEncoding
+from repro.space.configspace import ConfigurationSpace
+from repro.space.knob import CategoricalKnob, FloatKnob, IntegerKnob
+from repro.space.postgres import postgres_v96_space
+
+
+@pytest.fixture
+def space():
+    return ConfigurationSpace(
+        [
+            IntegerKnob("i", default=5, lower=0, upper=10),
+            FloatKnob("f", default=0.5, lower=0.0, upper=2.0),
+            CategoricalKnob("c", default="b", choices=("a", "b", "c")),
+        ]
+    )
+
+
+class TestSpaceEncoding:
+    def test_categorical_mask(self, space):
+        enc = SpaceEncoding(space)
+        np.testing.assert_array_equal(enc.is_categorical, [False, False, True])
+        np.testing.assert_array_equal(enc.n_categories, [0, 0, 3])
+
+    def test_encode_values(self, space):
+        enc = SpaceEncoding(space)
+        vec = enc.encode(space.default_configuration())
+        assert vec[0] == pytest.approx(0.5)  # 5 of [0, 10]
+        assert vec[1] == pytest.approx(0.25)  # 0.5 of [0, 2]
+        assert vec[2] == 1.0  # index of "b"
+
+    def test_round_trip(self, space):
+        enc = SpaceEncoding(space)
+        config = space.configuration({"i": 7, "f": 1.9, "c": "c"})
+        assert enc.decode(enc.encode(config)) == config
+
+    def test_decode_clips_categorical_index(self, space):
+        enc = SpaceEncoding(space)
+        config = enc.decode(np.array([0.5, 0.5, 99.0]))
+        assert config["c"] == "c"
+
+    def test_random_vectors_decode_validly(self, space):
+        enc = SpaceEncoding(space)
+        rng = np.random.default_rng(0)
+        for vec in enc.random_vectors(50, rng):
+            config = enc.decode(vec)
+            for knob in space:
+                knob.validate(config[knob.name])
+
+    def test_lhs_vectors_cover_categories(self, space):
+        enc = SpaceEncoding(space)
+        rng = np.random.default_rng(0)
+        vectors = enc.lhs_vectors(30, rng)
+        assert set(np.unique(vectors[:, 2])) == {0.0, 1.0, 2.0}
+
+    def test_neighbors_change_one_dimension(self, space):
+        enc = SpaceEncoding(space)
+        rng = np.random.default_rng(0)
+        base = enc.encode(space.default_configuration())
+        for neighbor in enc.neighbors(base, rng, n=20):
+            diff = np.sum(neighbor != base)
+            assert diff <= 1
+
+    def test_neighbors_categorical_resamples_other_value(self, space):
+        enc = SpaceEncoding(space)
+        rng = np.random.default_rng(1)
+        base = enc.encode(space.default_configuration())
+        neighbors = enc.neighbors(base, rng, n=200)
+        cat_changed = neighbors[neighbors[:, 2] != base[2], 2]
+        assert len(cat_changed) > 0
+        assert base[2] not in cat_changed
+
+    def test_full_catalog_round_trip(self):
+        space = postgres_v96_space()
+        enc = SpaceEncoding(space)
+        rng = np.random.default_rng(2)
+        for vec in enc.random_vectors(10, rng):
+            config = enc.decode(vec)
+            redecoded = enc.decode(enc.encode(config))
+            assert redecoded == config

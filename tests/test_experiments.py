@@ -1,0 +1,63 @@
+"""Smoke tests for the experiment harness (tiny scale)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, Scale, run_experiment
+from repro.experiments.common import ExperimentReport, format_series
+from repro.experiments.fig4_special_value import sweep
+from repro.experiments.table1_importance import HAND_PICKED_YCSB_A
+
+TINY = Scale(seeds=(1,), n_iterations=12, lhs_samples=60, shap_permutations=30)
+
+
+class TestHarness:
+    def test_registry_covers_all_paper_artifacts(self):
+        expected = {
+            "table1", "fig2", "fig3", "fig4", "fig6", "fig7", "table5",
+            "fig9", "fig10", "table6", "table7", "table8", "table9",
+            "fig11", "table10", "table11",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+    def test_report_text_format(self):
+        report = ExperimentReport("x", "title")
+        report.add("row")
+        assert "=== x: title ===" in report.text()
+        assert "row" in report.text()
+
+    def test_format_series_samples_iterations(self):
+        text = format_series("label", list(range(100)), every=50)
+        assert "label" in text and "50:" in text and "100:" in text
+
+
+class TestFastExperiments:
+    """The cheap experiments run end-to-end at tiny scale."""
+
+    def test_fig4_shape(self):
+        results = sweep()
+        assert results[0] == max(results.values())  # special value wins
+        assert min(results, key=results.get) in (1, 2)  # small values worst
+
+    def test_table1_tiny(self):
+        report = run_experiment("table1", TINY)
+        assert len(report.data["shap_top8"]) == 8
+        assert report.data["hand_picked"] == list(HAND_PICKED_YCSB_A)
+
+    def test_table9_tiny(self):
+        report = run_experiment("table9", TINY)
+        assert set(report.data) == {"ycsb-b", "tpcc", "twitter", "resourcestresser"}
+        for row in report.data.values():
+            assert "improvement" in row and "speedup" in row
+
+    def test_table10_tiny(self):
+        report = run_experiment("table10", TINY)
+        for optimizer in ("smac", "gp-bo", "ddpg"):
+            assert report.data[optimizer]["baseline_seconds"] >= 0
+
+    def test_fig9_fig10_alias_table5(self):
+        assert EXPERIMENTS["fig9"] is EXPERIMENTS["table5"]
+        assert EXPERIMENTS["fig10"] is EXPERIMENTS["table5"]

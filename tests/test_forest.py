@@ -1,0 +1,118 @@
+"""Tests for the random-forest surrogate (SMAC's model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimizers.forest import RandomForestRegressor, RegressionTree
+
+
+def make_data(n=120, d=6, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, d))
+    y = 3.0 * X[:, 0] - 2.0 * X[:, 1] ** 2 + 0.1 * rng.normal(size=n)
+    return X, y
+
+
+class TestRegressionTree:
+    def test_fits_and_predicts(self):
+        X, y = make_data()
+        tree = RegressionTree(rng=np.random.default_rng(0)).fit(X, y)
+        mean, var = tree.predict_with_variance(X)
+        assert mean.shape == (len(X),)
+        assert np.all(var >= 0)
+
+    def test_constant_target_yields_leaf(self):
+        X = np.random.default_rng(0).random((20, 3))
+        y = np.full(20, 7.0)
+        tree = RegressionTree(rng=np.random.default_rng(0)).fit(X, y)
+        mean, var = tree.predict_with_variance(X[:5])
+        np.testing.assert_allclose(mean, 7.0)
+        np.testing.assert_allclose(var, 0.0)
+
+    def test_single_sample(self):
+        tree = RegressionTree(rng=np.random.default_rng(0))
+        tree.fit(np.array([[0.5, 0.5]]), np.array([3.0]))
+        mean, __ = tree.predict_with_variance(np.array([[0.1, 0.9]]))
+        assert mean[0] == 3.0
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict_with_variance(np.zeros((1, 2)))
+
+    def test_max_depth_respected(self):
+        X, y = make_data(n=200)
+        tree = RegressionTree(max_depth=1, rng=np.random.default_rng(0)).fit(X, y)
+        # Depth-1 tree has at most 2 leaves -> at most 2 distinct predictions.
+        mean, __ = tree.predict_with_variance(X)
+        assert len(np.unique(mean)) <= 2
+
+    def test_learns_dominant_feature(self):
+        """The split search should pick up the strongest signal."""
+        rng = np.random.default_rng(1)
+        X = rng.random((300, 5))
+        y = 10.0 * (X[:, 2] > 0.5).astype(float)
+        tree = RegressionTree(max_features=5, rng=rng).fit(X, y)
+        lo, __ = tree.predict_with_variance(np.array([[0.5, 0.5, 0.1, 0.5, 0.5]]))
+        hi, __ = tree.predict_with_variance(np.array([[0.5, 0.5, 0.9, 0.5, 0.5]]))
+        assert hi[0] - lo[0] > 5.0
+
+
+class TestRandomForest:
+    def test_mean_and_variance_shapes(self):
+        X, y = make_data()
+        forest = RandomForestRegressor(n_trees=8, seed=0).fit(X, y)
+        mean, var = forest.predict_mean_var(X[:10])
+        assert mean.shape == (10,)
+        assert np.all(var > 0)
+
+    def test_fit_quality_on_training_data(self):
+        X, y = make_data(n=200)
+        forest = RandomForestRegressor(n_trees=20, seed=0).fit(X, y)
+        pred = forest.predict(X)
+        ss_res = np.sum((pred - y) ** 2)
+        ss_tot = np.sum((y - y.mean()) ** 2)
+        assert 1.0 - ss_res / ss_tot > 0.7  # decent in-sample R^2
+
+    def test_uncertainty_grows_off_data(self):
+        """Predictive variance should be larger far from the training data
+        than at the training points themselves (on average)."""
+        rng = np.random.default_rng(2)
+        X = rng.random((100, 4)) * 0.3  # clustered in a corner
+        y = X.sum(axis=1) + 0.01 * rng.normal(size=100)
+        forest = RandomForestRegressor(n_trees=20, seed=0).fit(X, y)
+        __, var_in = forest.predict_mean_var(X)
+        __, var_out = forest.predict_mean_var(np.full((20, 4), 0.95))
+        assert var_out.mean() > var_in.mean()
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor().fit(np.empty((0, 3)), np.empty(0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict_mean_var(np.zeros((1, 2)))
+
+    def test_deterministic_given_seed(self):
+        X, y = make_data()
+        a = RandomForestRegressor(n_trees=5, seed=9).fit(X, y).predict(X[:5])
+        b = RandomForestRegressor(n_trees=5, seed=9).fit(X, y).predict(X[:5])
+        np.testing.assert_array_equal(a, b)
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_predictions_within_target_hull_property(self, seed):
+        """Tree/forest predictions are means of training targets, so they
+        can never leave [min(y), max(y)]."""
+        rng = np.random.default_rng(seed)
+        X = rng.random((60, 3))
+        y = rng.normal(size=60)
+        forest = RandomForestRegressor(n_trees=5, seed=seed).fit(X, y)
+        pred = forest.predict(rng.random((30, 3)))
+        assert np.all(pred >= y.min() - 1e-9)
+        assert np.all(pred <= y.max() + 1e-9)

@@ -1,0 +1,150 @@
+"""Tests for the workload trace generator and the LRU cache simulator,
+including the cross-validation of the analytical hit-rate curve."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.cache_sim import LRUCacheSimulator, steady_state_hit_rate
+from repro.dbms.components.buffer import cache_hit_fraction
+from repro.workloads import get_workload
+from repro.workloads.generator import (
+    PAGE_BYTES,
+    TransactionTemplate,
+    WorkloadTraceGenerator,
+    ZipfianKeyGenerator,
+    transaction_mix,
+)
+
+
+class TestZipfianKeyGenerator:
+    def test_skew_concentrates_mass(self):
+        gen = ZipfianKeyGenerator(10_000, theta=0.99, seed=0)
+        assert gen.hottest_fraction_mass(0.01) > 0.3
+
+    def test_uniform_when_theta_zero(self):
+        gen = ZipfianKeyGenerator(10_000, theta=0.0, seed=0)
+        assert gen.hottest_fraction_mass(0.10) == pytest.approx(0.10, abs=0.01)
+
+    def test_samples_in_range(self):
+        gen = ZipfianKeyGenerator(100, theta=1.0, seed=0)
+        samples = gen.sample(5000)
+        assert samples.min() >= 0 and samples.max() < 100
+
+    def test_hot_items_sampled_more(self):
+        gen = ZipfianKeyGenerator(1000, theta=1.0, seed=0)
+        samples = gen.sample(20_000)
+        hot = np.sum(samples < 10)
+        cold = np.sum(samples >= 990)
+        assert hot > 10 * max(cold, 1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ZipfianKeyGenerator(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfianKeyGenerator(10, -1.0)
+
+
+class TestTransactionMix:
+    def test_weights_match_read_fraction(self):
+        mix = transaction_mix(get_workload("ycsb-b"))
+        by_name = {t.name: t for t in mix}
+        assert by_name["read"].weight == pytest.approx(0.95)
+        assert by_name["read"].writes == 0
+        assert by_name["update"].writes >= 1
+
+    def test_complex_workloads_touch_more_pages(self):
+        simple = transaction_mix(get_workload("ycsb-a"))[0]
+        complex_ = transaction_mix(get_workload("tpcc"))[0]
+        assert complex_.reads > simple.reads
+
+
+class TestWorkloadTraceGenerator:
+    def test_transactions_shape(self):
+        gen = WorkloadTraceGenerator(get_workload("tpcc"), seed=0)
+        txns = list(gen.transactions(50))
+        assert len(txns) == 50
+        names = {name for name, __, __ in txns}
+        assert names <= {"read", "update"}
+
+    def test_write_heavy_workload_mostly_updates(self):
+        gen = WorkloadTraceGenerator(get_workload("tpcc"), seed=0)
+        names = [name for name, __, __ in gen.transactions(400)]
+        assert names.count("update") > 300  # TPC-C: 92% writers
+
+    def test_trace_pages_in_bounds(self):
+        gen = WorkloadTraceGenerator(get_workload("ycsb-a"), seed=0)
+        trace = gen.page_trace(5000)
+        assert trace.min() >= 0
+        assert trace.max() < gen.total_pages
+
+    def test_scaled_page_counts_preserve_ratio(self):
+        workload = get_workload("ycsb-b")
+        gen = WorkloadTraceGenerator(workload, seed=0)
+        expected = workload.working_set_gb / workload.database_gb
+        assert gen.hot_pages / gen.total_pages == pytest.approx(expected, rel=0.05)
+
+
+class TestLRUCacheSimulator:
+    def test_hit_after_access(self):
+        cache = LRUCacheSimulator(2)
+        assert not cache.access(1)
+        assert cache.access(1)
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCacheSimulator(2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # 2 is now least recent
+        cache.access(3)  # evicts 2
+        assert cache.access(1)
+        assert not cache.access(2)
+
+    def test_capacity_respected(self):
+        cache = LRUCacheSimulator(10)
+        for page in range(100):
+            cache.access(page)
+        assert len(cache) == 10
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCacheSimulator(0)
+
+    def test_steady_state_excludes_warmup(self):
+        rng = np.random.default_rng(0)
+        trace = rng.integers(0, 50, size=4000)
+        rate = steady_state_hit_rate(trace, capacity=50)
+        assert rate == pytest.approx(1.0, abs=0.02)  # everything fits
+
+
+class TestAnalyticalModelValidation:
+    """The closed-form hit curve should approximate trace-driven LRU."""
+
+    def test_hit_curve_tracks_lru(self):
+        """The closed-form curve is a *conservative* approximation of LRU:
+        same ordering and concavity, absolute error bounded by ~0.2, and
+        never optimistic (it under-predicts hits, so the simulator never
+        hands the tuner cache wins LRU would not deliver)."""
+        workload = get_workload("ycsb-a")
+        hot_pages = 5_000
+        gen = ZipfianKeyGenerator(hot_pages, workload.zipf_skew, seed=1)
+        trace = gen.sample(60_000)
+        measured, predicted = [], []
+        for coverage in (0.1, 0.3, 0.6, 1.0):
+            capacity = max(1, int(hot_pages * coverage))
+            measured.append(steady_state_hit_rate(trace, capacity))
+            predicted.append(
+                cache_hit_fraction(
+                    capacity * PAGE_BYTES,
+                    hot_pages * PAGE_BYTES,
+                    workload.zipf_skew,
+                )
+            )
+        # Same ordering, bounded gap, conservative direction.
+        assert predicted == sorted(predicted)
+        assert measured == sorted(measured)
+        for m, p in zip(measured, predicted):
+            assert abs(m - p) < 0.20
+            assert p <= m + 0.05  # rare cold first-touches at full coverage
+        # Full coverage: both agree the cache serves everything.
+        assert predicted[-1] == pytest.approx(1.0)
+        assert measured[-1] == pytest.approx(1.0, abs=0.05)

@@ -1,0 +1,72 @@
+"""Tests for the Gaussian process with mixed Matérn/Hamming kernel."""
+
+import numpy as np
+import pytest
+
+from repro.optimizers.gp import GaussianProcess, matern52
+
+
+class TestMatern52:
+    def test_zero_distance_is_one(self):
+        assert matern52(np.array(0.0)) == pytest.approx(1.0)
+
+    def test_decreasing_in_distance(self):
+        d = np.array([0.0, 0.5, 1.0, 4.0])
+        k = matern52(d)
+        assert np.all(np.diff(k) < 0)
+
+    def test_positive(self):
+        assert np.all(matern52(np.linspace(0, 100, 50)) > 0)
+
+
+def numeric_gp_data(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 3))
+    y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2 + 0.05 * rng.normal(size=n)
+    return X, y
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_data(self):
+        X, y = numeric_gp_data()
+        gp = GaussianProcess(np.zeros(3, dtype=bool), seed=0).fit(X, y)
+        mean, __ = gp.predict_mean_var(X)
+        assert np.corrcoef(mean, y)[0, 1] > 0.95
+
+    def test_variance_higher_off_data(self):
+        X, y = numeric_gp_data()
+        gp = GaussianProcess(np.zeros(3, dtype=bool), seed=0).fit(X, y)
+        __, var_in = gp.predict_mean_var(X)
+        __, var_out = gp.predict_mean_var(np.full((5, 3), 3.0))
+        assert var_out.mean() > var_in.mean()
+
+    def test_mixed_kernel_with_categoricals(self):
+        rng = np.random.default_rng(1)
+        is_cat = np.array([False, False, True])
+        X = np.column_stack(
+            [rng.random(60), rng.random(60), rng.integers(0, 3, 60)]
+        ).astype(float)
+        y = X[:, 0] + 2.0 * (X[:, 2] == 1)
+        gp = GaussianProcess(is_cat, seed=0).fit(X, y)
+        lo, __ = gp.predict_mean_var(np.array([[0.5, 0.5, 0.0]]))
+        hi, __ = gp.predict_mean_var(np.array([[0.5, 0.5, 1.0]]))
+        assert hi[0] - lo[0] > 1.0  # the Hamming kernel separates categories
+
+    def test_unfitted_raises(self):
+        gp = GaussianProcess(np.zeros(2, dtype=bool))
+        with pytest.raises(RuntimeError):
+            gp.predict_mean_var(np.zeros((1, 2)))
+
+    def test_handles_constant_target(self):
+        X = np.random.default_rng(0).random((20, 2))
+        y = np.full(20, 5.0)
+        gp = GaussianProcess(np.zeros(2, dtype=bool), seed=0).fit(X, y)
+        mean, __ = gp.predict_mean_var(X[:3])
+        np.testing.assert_allclose(mean, 5.0, atol=1e-6)
+
+    def test_prediction_deterministic_after_fit(self):
+        X, y = numeric_gp_data()
+        gp = GaussianProcess(np.zeros(3, dtype=bool), seed=0).fit(X, y)
+        a, _ = gp.predict_mean_var(X[:5])
+        b, _ = gp.predict_mean_var(X[:5])
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,110 @@
+"""Integration tests: full tuning sessions across the public API.
+
+These run real (reduced-budget) sessions through simulator + adapter +
+optimizer + session, asserting the paper's qualitative shapes rather than
+exact numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import baseline_session, llamatune_session
+from repro.dbms.versions import V136
+from repro.tuning import (
+    EarlyStoppingPolicy,
+    SessionSpec,
+    llamatune_factory,
+    mean_best_curve,
+    run_spec,
+    summarize_comparison,
+)
+
+
+class TestEndToEnd:
+    def test_llamatune_session_smoke(self):
+        result = llamatune_session("ycsb-a", seed=1, n_iterations=15)
+        assert len(result.best_curve) == 15
+        assert result.best_value > 0
+
+    def test_baseline_session_smoke(self):
+        result = baseline_session("ycsb-a", seed=1, n_iterations=15)
+        assert result.best_value > result.default_value * 0.5
+
+    @pytest.mark.parametrize("optimizer", ["smac", "gp-bo", "ddpg", "random"])
+    def test_all_optimizers_complete(self, optimizer):
+        result = llamatune_session(
+            "tpcc", optimizer=optimizer, seed=1, n_iterations=12
+        )
+        assert len(result.best_curve) == 12
+
+    def test_v136_session(self):
+        result = llamatune_session("seats", seed=1, n_iterations=12, version=V136)
+        assert result.best_value > 0
+
+    def test_latency_objective_session(self):
+        spec = SessionSpec(
+            workload="tpcc",
+            adapter=llamatune_factory(),
+            objective="latency",
+            target_rate=2000.0,
+            n_iterations=15,
+        )
+        result = spec.build(1).run()
+        assert not result.maximize
+        assert np.all(np.diff(result.best_curve) <= 0)
+
+    def test_tuning_beats_default(self):
+        """Any sane tuner should beat the DBMS default configuration."""
+        result = llamatune_session("tpcc", seed=2, n_iterations=30)
+        assert result.best_value > result.default_value * 1.2
+
+
+class TestPaperShape:
+    def test_llamatune_converges_faster_on_ycsb_b(self):
+        """The headline claim at small scale: LlamaTune reaches the vanilla
+        baseline's final best in far fewer iterations on YCSB-B."""
+        seeds = (1, 2)
+        base = run_spec(
+            SessionSpec(workload="ycsb-b", n_iterations=40), seeds
+        )
+        treat = run_spec(
+            SessionSpec(
+                workload="ycsb-b", adapter=llamatune_factory(), n_iterations=40
+            ),
+            seeds,
+        )
+        summary = summarize_comparison(
+            "ycsb-b",
+            [r.best_curve for r in base],
+            [r.best_curve for r in treat],
+        )
+        assert summary.speedup_mean > 1.5
+        assert summary.improvement_mean > -0.05  # at least no regression
+
+    def test_rs_has_small_gains(self):
+        """ResourceStresser is contention-bound: tuning yields ~10%."""
+        result = baseline_session("rs", seed=1, n_iterations=40)
+        assert result.best_value < result.default_value * 1.25
+
+    def test_early_stopping_shortens_session(self):
+        spec = SessionSpec(
+            workload="ycsb-a",
+            adapter=llamatune_factory(),
+            n_iterations=60,
+            early_stopping=EarlyStoppingPolicy(0.01, 10),
+        )
+        result = spec.build(1).run()
+        assert result.stopped_early_at is not None
+        assert result.stopped_early_at <= 60
+
+    def test_mean_best_curve_pads_early_stops(self):
+        spec = SessionSpec(
+            workload="ycsb-a",
+            adapter=llamatune_factory(),
+            n_iterations=40,
+            early_stopping=EarlyStoppingPolicy(0.05, 5),
+        )
+        results = run_spec(spec, (1, 2))
+        curve = mean_best_curve(results)
+        longest = max(len(r.best_curve) for r in results)
+        assert len(curve) == longest

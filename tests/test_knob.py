@@ -1,0 +1,132 @@
+"""Unit tests for knob definitions and their unit-interval conversions."""
+
+import math
+
+import pytest
+
+from repro.space.knob import (
+    CategoricalKnob,
+    FloatKnob,
+    IntegerKnob,
+    KnobError,
+    boolean_knob,
+)
+
+
+class TestIntegerKnob:
+    def test_round_trip_endpoints(self):
+        knob = IntegerKnob("k", default=5, lower=0, upper=10)
+        assert knob.from_unit(knob.to_unit(0)) == 0
+        assert knob.from_unit(knob.to_unit(10)) == 10
+        assert knob.from_unit(knob.to_unit(5)) == 5
+
+    def test_to_unit_scales_linearly(self):
+        knob = IntegerKnob("k", default=0, lower=0, upper=100)
+        assert knob.to_unit(0) == 0.0
+        assert knob.to_unit(100) == 1.0
+        assert knob.to_unit(50) == pytest.approx(0.5)
+
+    def test_from_unit_clips_out_of_range(self):
+        knob = IntegerKnob("k", default=0, lower=0, upper=10)
+        assert knob.from_unit(-0.5) == 0
+        assert knob.from_unit(1.5) == 10
+
+    def test_from_unit_rounds_to_integer(self):
+        knob = IntegerKnob("k", default=0, lower=0, upper=10)
+        assert knob.from_unit(0.549) == 5
+        assert knob.from_unit(0.551) == 6
+
+    def test_validate_rejects_out_of_range(self):
+        knob = IntegerKnob("k", default=0, lower=0, upper=10)
+        with pytest.raises(KnobError):
+            knob.validate(11)
+        with pytest.raises(KnobError):
+            knob.validate(-1)
+
+    def test_validate_rejects_non_int(self):
+        knob = IntegerKnob("k", default=0, lower=0, upper=10)
+        with pytest.raises(KnobError):
+            knob.validate(1.5)
+        with pytest.raises(KnobError):
+            knob.validate(True)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(KnobError):
+            IntegerKnob("k", default=0, lower=5, upper=1)
+
+    def test_special_value_outside_range_rejected(self):
+        with pytest.raises(KnobError):
+            IntegerKnob("k", default=0, lower=0, upper=10, special_values=(-1,))
+
+    def test_is_hybrid(self):
+        plain = IntegerKnob("k", default=0, lower=0, upper=10)
+        hybrid = IntegerKnob("h", default=0, lower=0, upper=10, special_values=(0,))
+        assert not plain.is_hybrid
+        assert hybrid.is_hybrid
+
+    def test_regular_range_excludes_edge_special(self):
+        knob = IntegerKnob("k", default=0, lower=-1, upper=100, special_values=(-1,))
+        assert knob.regular_range == (0, 100)
+
+    def test_regular_range_keeps_interior_special(self):
+        knob = IntegerKnob("k", default=0, lower=0, upper=100, special_values=(50,))
+        assert knob.regular_range == (0, 100)
+
+    def test_num_values(self):
+        assert IntegerKnob("k", default=0, lower=0, upper=9).num_values == 10
+
+
+class TestFloatKnob:
+    def test_round_trip(self):
+        knob = FloatKnob("f", default=0.5, lower=0.0, upper=2.0)
+        assert knob.from_unit(knob.to_unit(1.3)) == pytest.approx(1.3)
+
+    def test_num_values_is_infinite(self):
+        knob = FloatKnob("f", default=0.0, lower=0.0, upper=1.0)
+        assert math.isinf(knob.num_values)
+
+    def test_degenerate_range_maps_to_zero(self):
+        knob = FloatKnob("f", default=1.0, lower=1.0, upper=1.0)
+        assert knob.to_unit(1.0) == 0.0
+
+    def test_validate_rejects_bool(self):
+        knob = FloatKnob("f", default=0.0, lower=0.0, upper=1.0)
+        with pytest.raises(KnobError):
+            knob.validate(True)
+
+
+class TestCategoricalKnob:
+    def test_bins_partition_unit_interval(self):
+        knob = CategoricalKnob("c", default="a", choices=("a", "b", "c"))
+        assert knob.from_unit(0.0) == "a"
+        assert knob.from_unit(0.34) == "b"
+        assert knob.from_unit(0.99) == "c"
+        assert knob.from_unit(1.0) == "c"
+
+    def test_to_unit_is_bin_center(self):
+        knob = CategoricalKnob("c", default="a", choices=("a", "b"))
+        assert knob.to_unit("a") == pytest.approx(0.25)
+        assert knob.to_unit("b") == pytest.approx(0.75)
+
+    def test_round_trip_all_choices(self):
+        knob = CategoricalKnob("c", default="x", choices=("x", "y", "z", "w"))
+        for choice in knob.choices:
+            assert knob.from_unit(knob.to_unit(choice)) == choice
+
+    def test_rejects_duplicate_choices(self):
+        with pytest.raises(KnobError):
+            CategoricalKnob("c", default="a", choices=("a", "a"))
+
+    def test_rejects_single_choice(self):
+        with pytest.raises(KnobError):
+            CategoricalKnob("c", default="a", choices=("a",))
+
+    def test_rejects_invalid_default(self):
+        with pytest.raises(KnobError):
+            CategoricalKnob("c", default="q", choices=("a", "b"))
+
+    def test_boolean_knob_helper(self):
+        knob = boolean_knob("b", default="off")
+        assert knob.choices == ("off", "on")
+        assert knob.default == "off"
+        assert not knob.is_hybrid

@@ -1,0 +1,41 @@
+"""Tests for the shared main-table experiment driver."""
+
+import pytest
+
+from repro.experiments.common import Scale
+from repro.experiments.main_tables import TABLE_HEADER, compare_on_workload, main_table
+
+TINY = Scale(seeds=(1,), n_iterations=10)
+
+
+class TestMainTableDriver:
+    def test_compare_on_workload_returns_summary_and_raw(self):
+        summary, base, treat = compare_on_workload(
+            "ycsb-a", "random", TINY
+        )
+        assert summary.workload == "ycsb-a"
+        assert len(base) == len(treat) == 1
+        assert len(base[0].best_curve) == 10
+
+    def test_main_table_report_structure(self):
+        report, raw = main_table(
+            "tableX", "test table", ("ycsb-a",), "random", TINY
+        )
+        assert report.experiment_id == "tableX"
+        assert report.lines[0] == TABLE_HEADER
+        assert "ycsb-a" in report.data
+        assert set(report.data["ycsb-a"]) == {
+            "improvement",
+            "improvement_ci",
+            "speedup",
+            "speedup_ci",
+            "tto_iteration",
+        }
+        assert "ycsb-a" in raw
+
+    def test_latency_mode_with_rate(self):
+        summary, __, __ = compare_on_workload(
+            "tpcc", "random", TINY, objective="latency",
+            target_rate=2000.0,
+        )
+        assert summary.n_seeds == 1

@@ -1,0 +1,45 @@
+"""Tests for the OLAP extension workload (future work in the paper)."""
+
+import pytest
+
+from repro.workloads import WORKLOADS, get_workload
+from repro.workloads.olap import TPCH_LIKE
+
+
+class TestOlapWorkload:
+    def test_not_part_of_paper_catalog(self):
+        """The Table-4 catalog stays exactly the paper's six workloads."""
+        assert "tpch-like" not in WORKLOADS
+        assert len(WORKLOADS) == 6
+
+    def test_reachable_through_lookup(self):
+        assert get_workload("tpch-like") is TPCH_LIKE
+
+    def test_inverted_sensitivity_profile(self):
+        """OLAP headroom lives in memory/planner, not the commit path."""
+        tpcc = get_workload("tpcc")
+        assert TPCH_LIKE.weight("wal_commit") < 0.1 < tpcc.weight("wal_commit")
+        assert TPCH_LIKE.weight("memory") > tpcc.weight("memory")
+        assert TPCH_LIKE.weight("parallel") > tpcc.weight("parallel")
+
+    def test_pure_read_workload(self):
+        assert TPCH_LIKE.read_txn_fraction == 1.0
+        assert TPCH_LIKE.write_txn_fraction == 0.0
+
+    def test_simulator_accepts_olap(self):
+        from repro.dbms import PostgresSimulator
+
+        sim = PostgresSimulator(TPCH_LIKE, noise_std=0.0)
+        m = sim.default_measurement()
+        assert m.throughput == pytest.approx(TPCH_LIKE.base_throughput)
+
+    def test_work_mem_matters_most(self):
+        """Raising work_mem (ending temp spills) must clearly help OLAP."""
+        from repro.dbms import PostgresSimulator
+        from repro.space import postgres_v96_space
+
+        space = postgres_v96_space()
+        sim = PostgresSimulator(TPCH_LIKE, noise_std=0.0)
+        small = sim.evaluate(space.partial_configuration({"work_mem": 64}))
+        large = sim.evaluate(space.partial_configuration({"work_mem": 262_144}))
+        assert large.throughput > 1.1 * small.throughput

@@ -1,0 +1,81 @@
+"""Tests pinning the PostgreSQL knob catalogs to the paper's numbers."""
+
+import pytest
+
+from repro.space.knob import CategoricalKnob
+from repro.space.postgres import postgres_v96_space, postgres_v136_space
+
+
+class TestV96Catalog:
+    @pytest.fixture(scope="class")
+    def space(self):
+        return postgres_v96_space()
+
+    def test_knob_count_matches_paper(self, space):
+        assert space.dim == 90  # Section 6.1
+
+    def test_hybrid_count_matches_paper(self, space):
+        assert len(space.hybrid_knobs) == 17  # Section 4.1
+
+    def test_table2_hybrid_examples(self, space):
+        """The three hybrid-knob examples of the paper's Table 2."""
+        bfa = space["backend_flush_after"]
+        assert bfa.special_values == (0,)
+        assert (bfa.lower, bfa.upper) == (0, 256)
+
+        geqo = space["geqo_pool_size"]
+        assert geqo.special_values == (0,)
+
+        wal = space["wal_buffers"]
+        assert wal.special_values == (-1,)
+        assert wal.lower == -1
+
+    def test_table3_large_range_examples(self, space):
+        """Knobs Table 3 lists as having huge value ranges."""
+        assert space["commit_delay"].num_values == 100_001
+        assert space["max_files_per_process"].upper == 50_000
+        assert space["shared_buffers"].num_values > 2_000_000
+        assert space["wal_writer_flush_after"].num_values > 2_000_000
+
+    def test_default_config_is_valid(self, space):
+        config = space.default_configuration()
+        assert config["shared_buffers"] == 16384  # 128 MB in 8 kB pages
+
+    def test_special_value_defaults(self, space):
+        """About half the hybrid knobs default to their special value
+        (Section 4.1)."""
+        at_special = [
+            k
+            for k in space.hybrid_knobs
+            if k.default in k.special_values
+        ]
+        assert 0.3 <= len(at_special) / len(space.hybrid_knobs) <= 0.7
+
+    def test_no_jit_knobs_in_v96(self, space):
+        assert "jit" not in space
+        assert "jit_above_cost" not in space
+
+
+class TestV136Catalog:
+    @pytest.fixture(scope="class")
+    def space(self):
+        return postgres_v136_space()
+
+    def test_knob_count_matches_paper(self, space):
+        assert space.dim == 112  # Section 6.3
+
+    def test_hybrid_count_matches_paper(self, space):
+        assert len(space.hybrid_knobs) == 23  # Section 6.3
+
+    def test_v96_knobs_are_subset(self, space):
+        v96 = postgres_v96_space()
+        assert set(v96.names) <= set(space.names)
+
+    def test_jit_hybrid_knobs(self, space):
+        assert space["jit_above_cost"].special_values == (-1.0,)
+        assert isinstance(space["jit"], CategoricalKnob)
+
+    def test_all_defaults_valid(self, space):
+        config = space.default_configuration()
+        for knob in space:
+            knob.validate(config[knob.name])

@@ -1,0 +1,107 @@
+"""Tests for REMBO/HeSBO random projections, including the paper-relevant
+structural invariants (HeSBO containment, REMBO clipping)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.projections import (
+    HeSBOProjection,
+    REMBOProjection,
+    make_projection,
+)
+
+
+class TestHeSBO:
+    def test_one_nonzero_per_row(self):
+        proj = HeSBOProjection(90, 16, np.random.default_rng(0))
+        A = proj.matrix
+        assert A.shape == (90, 16)
+        nonzero_per_row = (A != 0).sum(axis=1)
+        np.testing.assert_array_equal(nonzero_per_row, np.ones(90))
+        assert set(np.unique(A[A != 0])) <= {-1.0, 1.0}
+
+    def test_projection_matches_matrix_product(self):
+        rng = np.random.default_rng(1)
+        proj = HeSBOProjection(30, 8, rng)
+        low = rng.uniform(-1, 1, size=8)
+        np.testing.assert_allclose(proj.project(low), proj.matrix @ low)
+
+    @given(
+        low=hnp.arrays(
+            np.float64, 8, elements=st.floats(-1.0, 1.0, allow_nan=False)
+        ),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_containment_property(self, low, seed):
+        """HeSBO invariant: projections of [-1,1]^d never leave [-1,1]^D."""
+        proj = HeSBOProjection(50, 8, np.random.default_rng(seed))
+        high = proj.project(low)
+        assert np.all(high >= -1.0) and np.all(high <= 1.0)
+
+    def test_low_bound_is_one(self):
+        assert HeSBOProjection(10, 4).low_bound == 1.0
+
+    def test_deterministic_given_rng(self):
+        a = HeSBOProjection(20, 4, np.random.default_rng(7))
+        b = HeSBOProjection(20, 4, np.random.default_rng(7))
+        np.testing.assert_array_equal(a.matrix, b.matrix)
+
+    def test_one_to_many_mapping(self):
+        """Every original knob is controlled by exactly one synthetic knob;
+        synthetic knobs control multiple originals (D > d forces sharing)."""
+        proj = HeSBOProjection(90, 16, np.random.default_rng(3))
+        counts = np.bincount(proj.column, minlength=16)
+        assert counts.sum() == 90
+        assert counts.max() > 1
+
+
+class TestREMBO:
+    def test_low_bound_is_sqrt_d(self):
+        proj = REMBOProjection(90, 16, np.random.default_rng(0))
+        assert proj.low_bound == pytest.approx(np.sqrt(16))
+
+    def test_projection_is_clipped(self):
+        proj = REMBOProjection(90, 16, np.random.default_rng(0))
+        low = np.full(16, proj.low_bound)
+        high = proj.project(low)
+        assert np.all(high >= -1.0) and np.all(high <= 1.0)
+
+    def test_clipping_is_pervasive_at_scale(self):
+        """The failure mode from the paper: most coordinates of typical
+        REMBO projections are clipped, pinning points to the facets."""
+        rng = np.random.default_rng(5)
+        proj = REMBOProjection(90, 16, rng)
+        fractions = [
+            proj.clip_fraction(rng.uniform(-proj.low_bound, proj.low_bound, 16))
+            for _ in range(50)
+        ]
+        assert np.mean(fractions) > 0.5
+
+    def test_zero_maps_to_interior(self):
+        proj = REMBOProjection(30, 8, np.random.default_rng(2))
+        np.testing.assert_allclose(proj.project(np.zeros(8)), np.zeros(30))
+
+
+class TestFactory:
+    def test_make_projection(self):
+        assert isinstance(make_projection("hesbo", 10, 4), HeSBOProjection)
+        assert isinstance(make_projection("rembo", 10, 4), REMBOProjection)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_projection("pca", 10, 4)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            HeSBOProjection(5, 10)
+        with pytest.raises(ValueError):
+            HeSBOProjection(5, 0)
+
+    def test_wrong_input_shape_rejected(self):
+        proj = HeSBOProjection(10, 4)
+        with pytest.raises(ValueError):
+            proj.project(np.zeros(5))

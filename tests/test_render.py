@@ -1,0 +1,75 @@
+"""Tests for postgresql.conf rendering and parsing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space.knob import KnobError
+from repro.space.postgres import postgres_v96_space
+from repro.space.render import from_conf, render_knob_value, to_conf
+from repro.space.sampling import uniform_configurations
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def space():
+    return postgres_v96_space()
+
+
+class TestRendering:
+    def test_units_rendered(self, space):
+        assert render_knob_value(space["work_mem"], 4096) == "4096kB"
+        assert render_knob_value(space["max_wal_size"], 1024) == "1024MB"
+        assert render_knob_value(space["bgwriter_delay"], 200) == "200ms"
+        # Page-sized and µs knobs are written as bare numbers.
+        assert render_knob_value(space["shared_buffers"], 16384) == "16384"
+        assert render_knob_value(space["commit_delay"], 10) == "10"
+
+    def test_categorical_and_float(self, space):
+        assert render_knob_value(space["synchronous_commit"], "off") == "off"
+        assert render_knob_value(space["random_page_cost"], 1.5) == "1.5"
+
+    def test_to_conf_contains_every_knob(self, space):
+        text = to_conf(space.default_configuration(), header="generated")
+        assert text.startswith("# generated")
+        for name in space.names:
+            assert f"{name} = " in text
+
+
+class TestParsing:
+    def test_round_trip_default(self, space):
+        config = space.default_configuration()
+        assert from_conf(space, to_conf(config)) == config
+
+    def test_round_trip_random(self, space):
+        rng = np.random.default_rng(0)
+        for config in uniform_configurations(space, 10, rng):
+            assert from_conf(space, to_conf(config)) == config
+
+    def test_unknown_settings_ignored(self, space):
+        config = from_conf(space, "not_a_knob = 42\nshared_buffers = 1000\n")
+        assert config["shared_buffers"] == 1000
+
+    def test_comments_and_blank_lines(self, space):
+        text = "# comment\n\nshared_buffers = 2000  # inline comment\n"
+        assert from_conf(space, text)["shared_buffers"] == 2000
+
+    def test_unit_conversion(self, space):
+        assert from_conf(space, "work_mem = 64MB")["work_mem"] == 65536
+        assert from_conf(space, "checkpoint_timeout = 5min")[
+            "checkpoint_timeout"
+        ] == 300
+
+    def test_missing_knobs_keep_defaults(self, space):
+        config = from_conf(space, "")
+        assert config == space.default_configuration()
+
+    def test_bad_unit_rejected(self, space):
+        with pytest.raises(KnobError):
+            from_conf(space, "work_mem = 10days")
+
+    def test_quoted_values(self, space):
+        assert from_conf(space, "wal_sync_method = 'fsync'")[
+            "wal_sync_method"
+        ] == "fsync"

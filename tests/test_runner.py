@@ -1,0 +1,88 @@
+"""Tests for the multi-seed experiment runner (SessionSpec and helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.versions import V96, V136
+from repro.space.postgres import postgres_v96_space, postgres_v136_space
+from repro.tuning.runner import (
+    SessionSpec,
+    compare_specs,
+    llamatune_factory,
+    mean_best_curve,
+    run_spec,
+    space_for_version,
+)
+
+
+class TestSpaceForVersion:
+    def test_v96(self):
+        assert space_for_version(V96).dim == 90
+
+    def test_v136(self):
+        assert space_for_version(V136).dim == 112
+
+
+class TestSessionSpec:
+    def test_build_baseline(self):
+        spec = SessionSpec(workload="ycsb-a", n_iterations=5)
+        session = spec.build(seed=1)
+        assert session.optimizer.space.dim == 90
+        assert session.n_iterations == 5
+
+    def test_build_llamatune(self):
+        spec = SessionSpec(
+            workload="ycsb-a", adapter=llamatune_factory(), n_iterations=5
+        )
+        session = spec.build(seed=1)
+        assert session.optimizer.space.dim == 16
+
+    def test_optimizer_kwargs_forwarded(self):
+        spec = SessionSpec(
+            workload="ycsb-a",
+            n_iterations=5,
+            optimizer_kwargs=(("n_trees", 7),),
+        )
+        session = spec.build(seed=1)
+        assert session.optimizer.n_trees == 7
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            SessionSpec(workload="tpch").build(seed=1)
+
+    def test_adapter_seed_varies_projection(self):
+        factory = llamatune_factory()
+        space = postgres_v96_space()
+        a = factory(space, 1)
+        b = factory(space, 2)
+        config = a.optimizer_space.default_configuration()
+        assert a.to_target(config) != b.to_target(config)
+
+
+class TestRunners:
+    def test_run_spec_returns_one_result_per_seed(self):
+        spec = SessionSpec(
+            workload="ycsb-a", optimizer="random", n_iterations=6
+        )
+        results = run_spec(spec, seeds=(1, 2, 3))
+        assert len(results) == 3
+        assert all(len(r.best_curve) == 6 for r in results)
+
+    def test_mean_best_curve_averages(self):
+        spec = SessionSpec(workload="ycsb-a", optimizer="random", n_iterations=6)
+        results = run_spec(spec, seeds=(1, 2))
+        curve = mean_best_curve(results)
+        expected = np.mean([r.best_curve for r in results], axis=0)
+        np.testing.assert_allclose(curve, expected)
+
+    def test_compare_specs_summary(self):
+        base = SessionSpec(workload="ycsb-a", optimizer="random", n_iterations=8)
+        treat = SessionSpec(
+            workload="ycsb-a",
+            optimizer="random",
+            adapter=llamatune_factory(),
+            n_iterations=8,
+        )
+        summary, b, t = compare_specs(base, treat, seeds=(1, 2))
+        assert summary.n_seeds == 2
+        assert len(b) == len(t) == 2

@@ -1,0 +1,66 @@
+"""Tests for Latin Hypercube and uniform sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space.postgres import postgres_v96_space
+from repro.space.sampling import (
+    latin_hypercube_configurations,
+    latin_hypercube_unit,
+    uniform_configurations,
+)
+
+
+class TestLatinHypercubeUnit:
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        samples = latin_hypercube_unit(7, 3, rng)
+        assert samples.shape == (7, 3)
+
+    def test_values_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        samples = latin_hypercube_unit(50, 5, rng)
+        assert np.all(samples >= 0.0) and np.all(samples < 1.0)
+
+    @given(n=st.integers(1, 40), d=st.integers(1, 10), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_stratification_property(self, n, d, seed):
+        """LHS invariant: each dimension has exactly one sample per stratum."""
+        rng = np.random.default_rng(seed)
+        samples = latin_hypercube_unit(n, d, rng)
+        strata = np.floor(samples * n).astype(int)
+        for j in range(d):
+            assert sorted(strata[:, j]) == list(range(n))
+
+    def test_invalid_args_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            latin_hypercube_unit(0, 3, rng)
+        with pytest.raises(ValueError):
+            latin_hypercube_unit(3, 0, rng)
+
+    def test_deterministic_given_seed(self):
+        a = latin_hypercube_unit(10, 4, np.random.default_rng(42))
+        b = latin_hypercube_unit(10, 4, np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestConfigurationSampling:
+    def test_lhs_configurations_are_valid(self):
+        space = postgres_v96_space()
+        rng = np.random.default_rng(1)
+        configs = latin_hypercube_configurations(space, 20, rng)
+        assert len(configs) == 20
+        for config in configs:
+            for knob in space:
+                knob.validate(config[knob.name])
+
+    def test_uniform_configurations_are_valid(self):
+        space = postgres_v96_space()
+        rng = np.random.default_rng(1)
+        configs = uniform_configurations(space, 20, rng)
+        assert len(configs) == 20
+        # Not all identical (overwhelmingly unlikely for 90 dims).
+        assert len({tuple(sorted(c.to_dict().items())) for c in configs}) > 1

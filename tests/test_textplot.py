@@ -1,0 +1,50 @@
+"""Tests for the ASCII convergence plots."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.textplot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_rendering(self):
+        text = ascii_plot({"a": [0, 1, 2, 3], "b": [3, 2, 1, 0]}, title="t")
+        assert text.startswith("t\n")
+        assert "* a" in text and "o b" in text
+        assert "iteration" in text
+
+    def test_y_axis_labels(self):
+        text = ascii_plot({"a": [0.0, 100.0]})
+        assert "100" in text
+        assert "0 |" in text
+
+    def test_monotone_series_marks_corners(self):
+        text = ascii_plot({"a": list(range(10))}, width=20, height=5)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert rows[0].rstrip().endswith("*")  # max at top-right
+        assert rows[-1].split("|")[1].lstrip().startswith("*")  # min bottom-left
+
+    def test_constant_series_ok(self):
+        text = ascii_plot({"a": [5.0, 5.0, 5.0]})
+        assert "*" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [1.0]})
+
+    def test_too_small_area_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [1, 2]}, width=2, height=2)
+
+    def test_width_controls_columns(self):
+        text = ascii_plot({"a": np.linspace(0, 1, 30)}, width=40, height=6)
+        plot_rows = [line for line in text.splitlines() if "|" in line]
+        assert all(len(line) <= 11 + 1 + 40 for line in plot_rows)

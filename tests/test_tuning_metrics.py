@@ -1,0 +1,89 @@
+"""Tests for the evaluation metrics (final improvement, time-to-optimal,
+iteration mapping, CIs)."""
+
+import numpy as np
+import pytest
+
+from repro.tuning.metrics import (
+    confidence_interval,
+    final_improvement,
+    iteration_mapping,
+    summarize_comparison,
+    time_to_optimal_iteration,
+    time_to_optimal_speedup,
+)
+
+
+class TestFinalImprovement:
+    def test_maximize(self):
+        assert final_improvement(np.array([1, 12.0]), np.array([1, 10.0])) == pytest.approx(0.2)
+
+    def test_minimize_is_reduction(self):
+        assert final_improvement(
+            np.array([100, 80.0]), np.array([100, 100.0]), maximize=False
+        ) == pytest.approx(0.2)
+
+    def test_negative_when_worse(self):
+        assert final_improvement(np.array([9.0]), np.array([10.0])) < 0
+
+
+class TestTimeToOptimal:
+    def test_earliest_iteration_one_based(self):
+        curve = np.array([1.0, 2.0, 5.0, 5.0])
+        assert time_to_optimal_iteration(curve, baseline_best=5.0) == 3
+
+    def test_none_when_never_reached(self):
+        curve = np.array([1.0, 2.0])
+        assert time_to_optimal_iteration(curve, baseline_best=10.0) is None
+
+    def test_minimize_direction(self):
+        curve = np.array([10.0, 6.0, 3.0])
+        assert time_to_optimal_iteration(curve, 5.0, maximize=False) == 3
+
+    def test_speedup_matches_paper_convention(self):
+        """Table 5 reads '5.5x [18 iter]' for a 100-iteration budget."""
+        curve = np.concatenate([np.linspace(0, 10, 18), np.full(82, 10.0)])
+        speedup = time_to_optimal_speedup(curve, baseline_best=10.0, budget=100)
+        assert speedup == pytest.approx(100 / 18)
+
+    def test_speedup_one_when_never_reached(self):
+        assert time_to_optimal_speedup(np.array([1.0]), 5.0, budget=100) == 1.0
+
+
+class TestIterationMapping:
+    def test_basic_mapping(self):
+        treatment = np.array([2.0, 4.0, 6.0])
+        baseline = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        mapping = iteration_mapping(treatment, baseline)
+        np.testing.assert_array_equal(mapping, [2, 4, 6])
+
+    def test_unreachable_maps_past_end(self):
+        mapping = iteration_mapping(np.array([100.0]), np.array([1.0, 2.0]))
+        assert mapping[0] == 3  # len(baseline) + 1
+
+
+class TestConfidenceInterval:
+    def test_percentiles(self):
+        lo, hi = confidence_interval(range(101))
+        assert lo == pytest.approx(5.0)
+        assert hi == pytest.approx(95.0)
+
+    def test_single_sample(self):
+        lo, hi = confidence_interval([3.0])
+        assert lo == hi == 3.0
+
+
+class TestSummarizeComparison:
+    def test_summary_fields(self):
+        baseline = [np.linspace(0, 10, 100) for __ in range(3)]
+        treatment = [np.linspace(0, 12, 100) for __ in range(3)]
+        summary = summarize_comparison("wl", baseline, treatment)
+        assert summary.workload == "wl"
+        assert summary.improvement_mean == pytest.approx(0.2)
+        assert summary.n_seeds == 3
+        assert summary.speedup_mean > 1.0
+        assert "wl" in summary.format_row()
+
+    def test_mismatched_seed_counts_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_comparison("wl", [np.array([1.0])], [])

@@ -1,0 +1,85 @@
+"""Tests for the workload catalog (paper, Table 4)."""
+
+import pytest
+
+from repro.workloads import WORKLOADS, Workload, get_workload
+
+
+class TestCatalogMatchesTable4:
+    """Pin the schema/transaction properties to the paper's Table 4."""
+
+    @pytest.mark.parametrize(
+        "name, tables, columns, read_only",
+        [
+            ("ycsb-a", 1, 11, 0.50),
+            ("ycsb-b", 1, 11, 0.95),
+            ("tpcc", 9, 92, 0.08),
+            ("seats", 10, 189, 0.45),
+            ("twitter", 5, 18, 0.01),
+            ("resourcestresser", 4, 23, 0.33),
+        ],
+    )
+    def test_table4_rows(self, name, tables, columns, read_only):
+        workload = get_workload(name)
+        assert workload.tables == tables
+        assert workload.columns == columns
+        assert workload.read_txn_fraction == pytest.approx(read_only)
+
+    def test_all_databases_are_20gb_with_40_clients(self):
+        for workload in WORKLOADS.values():
+            assert workload.database_gb == 20.0
+            assert workload.clients == 40
+
+    def test_write_fraction_complements_read(self):
+        for workload in WORKLOADS.values():
+            assert workload.write_txn_fraction == pytest.approx(
+                1.0 - workload.read_txn_fraction
+            )
+
+    def test_rs_has_least_tunable_headroom(self):
+        """RS's component weights are deliberately the smallest (Section 6.2:
+        only ~10% total gains)."""
+        rs_total = sum(
+            v for k, v in get_workload("rs").weights.items() if k != "texture"
+        )
+        for name, workload in WORKLOADS.items():
+            if name == "resourcestresser":
+                continue
+            other_total = sum(
+                v for k, v in workload.weights.items() if k != "texture"
+            )
+            assert rs_total < other_total
+
+
+class TestLookup:
+    def test_aliases(self):
+        assert get_workload("TPC-C").name == "tpcc"
+        assert get_workload("rs").name == "resourcestresser"
+        assert get_workload("YCSB_A").name == "ycsb-a"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("tpch")
+
+
+class TestWorkloadValidation:
+    def test_invalid_read_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(
+                name="bad", tables=1, columns=1, read_txn_fraction=1.5,
+                zipf_skew=0.5, working_set_gb=1.0, join_complexity=0.0,
+                contention=0.0, temp_heavy=0.0, base_throughput=100.0,
+            )
+
+    def test_working_set_larger_than_db_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(
+                name="bad", tables=1, columns=1, read_txn_fraction=0.5,
+                zipf_skew=0.5, working_set_gb=30.0, join_complexity=0.0,
+                contention=0.0, temp_heavy=0.0, base_throughput=100.0,
+            )
+
+    def test_weights_are_immutable(self):
+        workload = get_workload("ycsb-a")
+        with pytest.raises(TypeError):
+            workload.weights["buffer"] = 99.0
