@@ -77,3 +77,33 @@ def test_smac_suggest_after_50_observations(benchmark, space):
             value = 1000.0
         optimizer.observe(config, value)
     benchmark(optimizer.suggest)
+
+
+# --- batch paths (the vectorized counterparts of the scalar benches) --------
+
+
+def test_to_unit_array_256(benchmark, space):
+    rng = np.random.default_rng(0)
+    configs = uniform_configurations(space, 256, rng)
+    benchmark(space.to_unit_array, configs)
+
+
+def test_from_unit_array_256(benchmark, space):
+    rng = np.random.default_rng(0)
+    unit = rng.random((256, space.dim))
+    benchmark(space.from_unit_array, unit)
+
+
+def test_hesbo_to_target_batch_256(benchmark, space):
+    rng = np.random.default_rng(0)
+    adapter = llamatune_adapter(space, seed=0)
+    suggestions = uniform_configurations(adapter.optimizer_space, 256, rng)
+    benchmark(adapter.to_target_batch, suggestions)
+
+
+def test_simulator_evaluate_batch_16(benchmark, space):
+    simulator = PostgresSimulator(get_workload("tpcc"), noise_std=0.0)
+    rng = np.random.default_rng(0)
+    configs = uniform_configurations(space, 16, rng)
+    simulator.evaluate_batch(configs, on_crash="none")  # warm calibration
+    benchmark(simulator.evaluate_batch, configs, None, "none")

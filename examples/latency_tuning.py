@@ -7,6 +7,11 @@ the tuner minimizes 95th-percentile latency instead of maximizing
 throughput.  Demonstrates the `objective="latency"` / `target_rate` knobs
 of the public API.
 
+The seeds of each arm run concurrently through the parallel multi-seed
+runner (``run_spec(..., parallel=True)``; the CLI equivalent is
+``python -m repro --seeds 1,2,3 --parallel``).  Results are identical to
+sequential execution — sessions share no mutable state.
+
 Usage::
 
     python examples/latency_tuning.py
@@ -14,7 +19,7 @@ Usage::
 
 import numpy as np
 
-from repro.tuning import SessionSpec, llamatune_factory
+from repro.tuning import SessionSpec, llamatune_factory, run_spec
 from repro.tuning.metrics import final_improvement
 
 WORKLOAD = "tpcc"
@@ -36,8 +41,8 @@ def main() -> None:
     )
     baseline_spec = SessionSpec(adapter=None, **common)
     treatment_spec = SessionSpec(adapter=llamatune_factory(), **common)
-    baselines = [baseline_spec.build(seed).run() for seed in SEEDS]
-    treatments = [treatment_spec.build(seed).run() for seed in SEEDS]
+    baselines = run_spec(baseline_spec, SEEDS, parallel=True)
+    treatments = run_spec(treatment_spec, SEEDS, parallel=True)
     base_curve = np.mean([r.best_curve for r in baselines], axis=0)
     treat_curve = np.mean([r.best_curve for r in treatments], axis=0)
 

@@ -9,6 +9,10 @@ bucketization) — and compares convergence.
 Usage::
 
     python examples/quickstart.py [workload] [seed]
+
+For the paper's full five-seed protocol, use the CLI's parallel multi-seed
+runner instead: ``python -m repro --workload ycsb-a --seeds 1,2,3,4,5
+--parallel`` (see also ``examples/latency_tuning.py``).
 """
 
 import sys

@@ -12,6 +12,7 @@ Examples::
     python -m repro --workload seats --no-llamatune        # vanilla baseline
     python -m repro --workload tpcc --objective latency --rate 2000
     python -m repro --workload ycsb-b --conf-out best.conf --kb-out kb.json
+    python -m repro --workload tpcc --seeds 1,2,3,4,5 --parallel
 """
 
 from __future__ import annotations
@@ -24,7 +25,17 @@ from repro.dbms.versions import V96, V136
 from repro.space.render import to_conf
 from repro.tuning.early_stopping import EarlyStoppingPolicy
 from repro.tuning.persistence import save_result
-from repro.tuning.runner import SessionSpec, llamatune_factory
+from repro.tuning.runner import (
+    SessionSpec,
+    llamatune_factory,
+    mean_best_curve,
+    run_spec,
+)
+
+
+def _seed_list(text: str) -> list[int]:
+    """Parse a comma-separated seed list (argparse type for ``--seeds``)."""
+    return [int(s) for s in text.split(",") if s]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,6 +49,13 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["smac", "gp-bo", "ddpg", "random"])
     parser.add_argument("--iterations", type=int, default=100)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--seeds", metavar="S1,S2,...", type=_seed_list,
+                        default=None,
+                        help="run several seeds (overrides --seed) and report "
+                             "the seed-averaged curve and overall best")
+    parser.add_argument("--parallel", action="store_true",
+                        help="with --seeds, run the seeds concurrently via "
+                             "the parallel multi-seed runner")
     parser.add_argument("--objective", default="throughput",
                         choices=["throughput", "latency"])
     parser.add_argument("--rate", type=float, default=None,
@@ -99,21 +117,30 @@ def main(argv: list[str] | None = None) -> int:
         early_stopping=early_stopping,
     )
     label = "vanilla" if args.no_llamatune else "LlamaTune"
+    seeds = args.seeds if args.seeds else [args.seed]
     print(
         f"Tuning {args.workload} with {label} {args.optimizer} "
-        f"({args.iterations} iterations, PostgreSQL v{args.dbms_version})"
+        f"({args.iterations} iterations, PostgreSQL v{args.dbms_version}, "
+        f"{len(seeds)} seed{'s' if len(seeds) > 1 else ''}"
+        f"{', parallel' if args.parallel and len(seeds) > 1 else ''})"
     )
-    result = spec.build(args.seed).run()
+    results = run_spec(spec, seeds, parallel=args.parallel)
+    maximize = args.objective == "throughput"
+    pick = max if maximize else min
+    result = pick(results, key=lambda r: r.best_value)
+    curve = mean_best_curve(results) if len(results) > 1 else result.best_curve
 
     unit = "reqs/sec" if args.objective == "throughput" else "ms (p95)"
     if not args.no_plot:
         print()
-        print(ascii_plot({label: result.best_curve},
-                         title=f"best {args.objective} so far"))
+        title = f"best {args.objective} so far"
+        if len(results) > 1:
+            title += f" (mean of {len(results)} seeds)"
+        print(ascii_plot({label: curve}, title=title))
     print()
     print(f"default: {result.default_value:>12,.1f} {unit}")
     print(f"best:    {result.best_value:>12,.1f} {unit}")
-    print(f"crashed configurations: {result.crash_count}")
+    print(f"crashed configurations: {sum(r.crash_count for r in results)}")
     if result.stopped_early_at is not None:
         print(f"stopped early at iteration {result.stopped_early_at}")
 

@@ -17,8 +17,30 @@ any optimizer and any projection (design requirement 2, Section 5).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.space.configspace import ConfigurationSpace
 from repro.space.knob import CategoricalKnob, FloatKnob, IntegerKnob, Knob, KnobValue
+
+
+class _BiasedColumn:
+    """Precomputed per-knob arrays for the vectorized bias transform."""
+
+    __slots__ = ("index", "specials", "total_mass", "regular_lo", "regular_hi",
+                 "is_integer")
+
+    def __init__(self, index: int, knob: IntegerKnob | FloatKnob, bias: float):
+        self.index = index
+        self.is_integer = isinstance(knob, IntegerKnob)
+        dtype = np.int64 if self.is_integer else float
+        self.specials = np.asarray(knob.special_values, dtype=dtype)
+        self.total_mass = bias * len(knob.special_values)
+        if self.total_mass >= 1.0:
+            raise ValueError(
+                f"{knob.name}: bias {bias} with {len(knob.special_values)} "
+                "special values consumes the whole range"
+            )
+        self.regular_lo, self.regular_hi = knob.regular_range
 
 
 class SpecialValueBiaser:
@@ -36,6 +58,7 @@ class SpecialValueBiaser:
         self.space = space
         self.bias = bias
         self._hybrid_names = frozenset(k.name for k in space.hybrid_knobs)
+        self._columns: dict[int, _BiasedColumn] | None = None
 
     @property
     def hybrid_names(self) -> frozenset[str]:
@@ -76,3 +99,51 @@ class SpecialValueBiaser:
             return 0.0
         specials = getattr(knob, "special_values", ())
         return self.bias * len(specials)
+
+    # --- vectorized path ---------------------------------------------------
+
+    def biased_columns(self) -> dict[int, _BiasedColumn]:
+        """Precomputed bias arrays keyed by knob index (lazily built)."""
+        if self._columns is None:
+            knobs = self.space.knobs
+            self._columns = {
+                j: _BiasedColumn(j, knobs[j], self.bias)
+                for j in map(int, np.flatnonzero(self.space.arrays.is_hybrid))
+                if self.is_biased(knobs[j].name)
+            }
+        return self._columns
+
+    def bias_column(self, column: _BiasedColumn, unit: np.ndarray) -> list:
+        """Native values for one biased knob from a unit-interval column.
+
+        Vectorized equivalent of mapping :meth:`value_for` over ``unit``.
+        """
+        unit = np.clip(unit, 0.0, 1.0)
+        index = np.minimum(
+            (unit / self.bias).astype(np.int64), len(column.specials) - 1
+        )
+        special = column.specials[index]
+        rescaled = (unit - column.total_mass) / (1.0 - column.total_mass)
+        lo, hi = column.regular_lo, column.regular_hi
+        if column.is_integer:
+            regular = np.rint(rescaled * (hi - lo)).astype(np.int64) + lo
+        else:
+            regular = lo + rescaled * (hi - lo)
+        return np.where(unit < column.total_mass, special, regular).tolist()
+
+    def biased_value_columns(self, unit: np.ndarray) -> dict[int, list]:
+        """Native value columns for every biased knob of a unit matrix.
+
+        Vectorized over the rows via :meth:`bias_column` — equivalent to
+        mapping :meth:`value_for` over every (knob, row) pair.
+
+        Args:
+            unit: ``N x D`` matrix over the target space (clipped here).
+
+        Returns:
+            Mapping from knob index to a native value column of length N.
+        """
+        return {
+            j: self.bias_column(column, unit[:, j])
+            for j, column in self.biased_columns().items()
+        }

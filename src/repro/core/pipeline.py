@@ -22,6 +22,7 @@ optimizer through the grid of the synthetic knobs.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Sequence
 
 import numpy as np
 
@@ -47,6 +48,16 @@ class SearchSpaceAdapter(ABC):
     def to_target(self, config: Configuration) -> Configuration:
         """Convert an optimizer-space suggestion to a DBMS configuration."""
 
+    def to_target_batch(
+        self, configs: Sequence[Configuration]
+    ) -> list[Configuration]:
+        """Convert ``N`` optimizer-space suggestions at once.
+
+        The fallback maps :meth:`to_target` over the sequence; adapters with
+        an array-native pipeline override it with a vectorized pass.
+        """
+        return [self.to_target(config) for config in configs]
+
 
 class IdentityAdapter(SearchSpaceAdapter):
     """Baseline: the optimizer tunes the original knob space directly."""
@@ -57,6 +68,11 @@ class IdentityAdapter(SearchSpaceAdapter):
 
     def to_target(self, config: Configuration) -> Configuration:
         return config
+
+    def to_target_batch(
+        self, configs: Sequence[Configuration]
+    ) -> list[Configuration]:
+        return list(configs)
 
 
 class SubspaceAdapter(SearchSpaceAdapter):
@@ -106,6 +122,7 @@ class LlamaTuneAdapter(SearchSpaceAdapter):
         self.biaser = SpecialValueBiaser(target_space, bias)
         self.max_values = max_values
         self.projection: LinearProjection | None = None
+        self._scalar_plan: list[tuple] | None = None
 
         if projection is not None:
             rng = np.random.default_rng(seed)
@@ -159,51 +176,161 @@ class LlamaTuneAdapter(SearchSpaceAdapter):
 
     # --- conversion ------------------------------------------------------------
 
-    def _low_vector(self, config: Configuration) -> np.ndarray:
-        """Low-dimensional point in ``[-bound, bound]^d`` from a suggestion."""
+    def _low_matrix(self, configs: Sequence[Configuration]) -> np.ndarray:
+        """Low-dimensional points in ``[-bound, bound]^d``, one per row."""
         assert self.projection is not None
         bound = self.projection.low_bound
-        low = np.empty(self.projection.target_dim)
-        for j, knob in enumerate(self._optimizer_space):
-            value = config[knob.name]
-            if self.max_values is not None:
-                unit = float(value) / (self.max_values - 1)
-                low[j] = bound * (2.0 * unit - 1.0)
+        names = self._optimizer_space.names
+        raw = np.array(
+            [[config[name] for name in names] for config in configs], dtype=float
+        )
+        if self.max_values is not None:
+            unit = raw / (self.max_values - 1)
+            return bound * (2.0 * unit - 1.0)
+        return raw
+
+    def _plan(self) -> list[tuple]:
+        """Per-knob scalar conversion plan (lazily built).
+
+        ``to_target`` uses this to run the same formulas as the batch path
+        on plain Python scalars, skipping the array round trip that only
+        pays off for ``N > 1`` (the equivalence tests pin the two paths to
+        bit-identical outputs).  Entries are ``(kind, name, *payload)``
+        with kind in ``{"copy", "int", "float", "cat", "bias"}``.
+        """
+        if self._scalar_plan is not None:
+            return self._scalar_plan
+        space = self.target_space
+        arrays = space.arrays
+        biased = self.biaser.biased_columns()
+        plan: list[tuple] = []
+        for j, knob in enumerate(space):
+            name = knob.name
+            if self.projection is None:
+                bucketized = self._optimizer_space[name] is not knob
+                if not bucketized and j not in biased:
+                    continue  # passes through untouched
+                source = ("bucket", None, None) if bucketized else (
+                    "unit", float(arrays.lower[j]), float(arrays.span[j])
+                )
             else:
-                low[j] = float(value)
-        return low
+                source = ("proj", None, None)
+            if j in biased:
+                column = biased[j]
+                to_native = int if column.is_integer else float
+                plan.append((
+                    "bias", name, j, source,
+                    tuple(to_native(s) for s in column.specials.tolist()),
+                    len(column.specials), column.total_mass,
+                    column.regular_lo, column.regular_hi, column.is_integer,
+                ))
+            elif arrays.is_categorical[j]:
+                plan.append(("cat", name, j, source, arrays.choices[j],
+                             int(arrays.n_choices[j])))
+            elif arrays.is_integer[j]:
+                plan.append(("int", name, j, source, int(arrays.lower[j]),
+                             float(arrays.span[j])))
+            else:
+                plan.append(("float", name, j, source, float(arrays.lower[j]),
+                             float(arrays.span[j])))
+        self._scalar_plan = plan
+        return plan
 
     def to_target(self, config: Configuration) -> Configuration:
+        """Scalar conversion: the same formulas as :meth:`to_target_batch`
+        on plain Python scalars (cheaper than a one-row array round trip)."""
         if self.projection is not None:
-            high = self.projection.project(self._low_vector(config))
-            unit = (high + 1.0) / 2.0
-            values = {
-                knob.name: self.biaser.value_for(knob, float(unit[i]))
-                for i, knob in enumerate(self.target_space)
-            }
-            return Configuration(self.target_space, values)
+            low = self.projection.project(self._low_matrix([config])[0])
+            unit = np.clip((low + 1.0) / 2.0, 0.0, 1.0).tolist()
+            values: dict = {}
+        else:
+            unit = None
+            values = config.to_dict()  # pass-through baseline, then overwrite
+        for entry in self._plan():
+            kind, name, __, (origin, lower, span) = entry[:4]
+            if origin == "proj":
+                u = unit[entry[2]]
+            elif origin == "bucket":
+                u = config[name] / (self.max_values - 1)
+            else:
+                u = (config[name] - lower) / span if span > 0.0 else 0.0
+            if u < 0.0:
+                u = 0.0
+            elif u > 1.0:
+                u = 1.0
+            if kind == "bias":
+                specials, n_specials, mass, lo, hi, is_integer = entry[4:]
+                if u < mass:
+                    values[name] = specials[
+                        min(int(u / self.biaser.bias), n_specials - 1)
+                    ]
+                elif is_integer:
+                    values[name] = lo + round((u - mass) / (1.0 - mass) * (hi - lo))
+                else:
+                    values[name] = lo + (u - mass) / (1.0 - mass) * (hi - lo)
+            elif kind == "cat":
+                choices, k = entry[4], entry[5]
+                values[name] = choices[min(int(u * k), k - 1)]
+            elif kind == "int":
+                values[name] = entry[4] + round(u * entry[5])
+            else:
+                values[name] = entry[4] + u * entry[5]
+        return Configuration._trusted(self.target_space, values)
+
+    def to_target_batch(
+        self, configs: Sequence[Configuration]
+    ) -> list[Configuration]:
+        """Project, normalize, bias, and rescale ``N`` suggestions at once.
+
+        The whole pipeline runs on ``N x d`` / ``N x D`` matrices: one
+        projection pass, then per-kind array conversions with special-value
+        biasing applied through boolean masks (no per-knob dispatch).
+        """
+        if not configs:
+            return []
+        space = self.target_space
+        if self.projection is not None:
+            high = self.projection.project_batch(self._low_matrix(configs))
+            unit = np.clip((high + 1.0) / 2.0, 0.0, 1.0)
+            columns = space._columns_from_unit(unit)
+            for j, column in self.biaser.biased_value_columns(unit).items():
+                columns[j] = column
+            return space._configurations_from_columns(columns)
 
         # No projection: pass values through, biasing hybrid knobs and
         # un-bucketizing index knobs.
-        values = {}
-        for knob in self.target_space:
-            raw = config[knob.name]
-            opt_knob = self._optimizer_space[knob.name]
-            bucketized = opt_knob is not knob
-            if bucketized:
-                unit = float(raw) / (self.max_values - 1)  # type: ignore[operator]
-            elif isinstance(knob, CategoricalKnob):
-                values[knob.name] = raw
+        arrays = space.arrays
+        names = space.names
+        rows = [[config[name] for name in names] for config in configs]
+        columns: list[list] = list(map(list, zip(*rows)))
+        biased_columns = self.biaser.biased_columns()
+        for j, knob in enumerate(space):
+            if isinstance(knob, CategoricalKnob):
                 continue
+            bucketized = self._optimizer_space[knob.name] is not knob
+            biased = j in biased_columns
+            if not bucketized and not biased:
+                continue
+            raw = np.array(columns[j], dtype=float)
+            if bucketized:
+                unit = raw / (self.max_values - 1)  # type: ignore[operator]
             else:
-                unit = knob.to_unit(raw)
-            if self.biaser.is_biased(knob.name):
-                values[knob.name] = self.biaser.value_for(knob, unit)
-            elif bucketized:
-                values[knob.name] = knob.from_unit(unit)
+                span = arrays.span[j]
+                unit = (raw - arrays.lower[j]) / span if span > 0.0 else (
+                    np.zeros_like(raw)
+                )
+            if biased:
+                columns[j] = self.biaser.bias_column(biased_columns[j], unit)
+            elif arrays.is_integer[j]:
+                columns[j] = (
+                    np.rint(np.clip(unit, 0.0, 1.0) * arrays.span[j])
+                    .astype(np.int64) + int(arrays.lower[j])
+                ).tolist()
             else:
-                values[knob.name] = raw
-        return Configuration(self.target_space, values)
+                columns[j] = (
+                    arrays.lower[j] + np.clip(unit, 0.0, 1.0) * arrays.span[j]
+                ).tolist()
+        return space._configurations_from_columns(columns)
 
 
 def llamatune_adapter(

@@ -46,11 +46,30 @@ class LinearProjection(ABC):
     def project(self, low: np.ndarray) -> np.ndarray:
         """Project ``low`` (shape ``(d,)``) into ``[-1, 1]^D``."""
 
+    def project_batch(self, low: np.ndarray) -> np.ndarray:
+        """Project ``N`` low-dimensional points (shape ``(N, d)``) at once.
+
+        Subclasses override with a single vectorized pass; the fallback maps
+        :meth:`project` over the rows.
+        """
+        low = self._check_batch(low)
+        return np.stack([self.project(row) for row in low]) if len(low) else (
+            np.empty((0, self.input_dim))
+        )
+
     def _check(self, low: np.ndarray) -> np.ndarray:
         low = np.asarray(low, dtype=float)
         if low.shape != (self.target_dim,):
             raise ValueError(
                 f"expected shape ({self.target_dim},), got {low.shape}"
+            )
+        return low
+
+    def _check_batch(self, low: np.ndarray) -> np.ndarray:
+        low = np.asarray(low, dtype=float)
+        if low.ndim != 2 or low.shape[1] != self.target_dim:
+            raise ValueError(
+                f"expected shape (N, {self.target_dim}), got {low.shape}"
             )
         return low
 
@@ -71,6 +90,10 @@ class REMBOProjection(LinearProjection):
     def project(self, low: np.ndarray) -> np.ndarray:
         low = self._check(low)
         return np.clip(self.matrix @ low, -1.0, 1.0)
+
+    # project_batch deliberately uses the row-wise base implementation: a
+    # dense N x d GEMM rounds differently from the per-row GEMV, and the
+    # batch contract promises bit-identical results to N scalar projections.
 
     def clip_fraction(self, low: np.ndarray) -> float:
         """Fraction of coordinates clipped for this point (diagnostics)."""
@@ -98,6 +121,10 @@ class HeSBOProjection(LinearProjection):
     def project(self, low: np.ndarray) -> np.ndarray:
         low = self._check(low)
         return self.sign * low[self.column]
+
+    def project_batch(self, low: np.ndarray) -> np.ndarray:
+        low = self._check_batch(low)
+        return self.sign * low[:, self.column]
 
     @property
     def matrix(self) -> np.ndarray:

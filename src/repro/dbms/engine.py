@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -33,8 +33,30 @@ from repro.dbms.metrics import derive_metrics
 from repro.dbms.versions import V96, PostgresVersion
 from repro.space.configspace import Configuration
 from repro.space.knob import KnobValue
-from repro.space.postgres import postgres_v96_space
+from repro.space.postgres import postgres_space_for_version
 from repro.workloads.base import Workload
+
+#: Default configurations per catalog version, built once per process.
+#: ``postgres_v96_space()`` reconstructs all 90 knob objects on every call,
+#: which used to happen once per simulator during calibration.
+_DEFAULT_CONFIG_CACHE: dict[str, Configuration] = {}
+
+#: Calibration factors keyed on (simulator class, workload, version,
+#: hardware).  Keys hold ``id()`` triples; the values keep the keyed objects
+#: alive so ids cannot be recycled.  Profiles are frozen dataclasses, so an
+#: identical object always yields the identical calibration.
+_CALIBRATION_CACHE: dict[
+    tuple[type, int, int, int], tuple[Workload, PostgresVersion, Hardware, float]
+] = {}
+
+
+def _default_configuration(version: PostgresVersion) -> Configuration:
+    """The DBMS default configuration for a version's knob catalog (cached)."""
+    config = _DEFAULT_CONFIG_CACHE.get(version.name)
+    if config is None:
+        config = postgres_space_for_version(version.name).default_configuration()
+        _DEFAULT_CONFIG_CACHE[version.name] = config
+    return config
 
 
 @dataclass(frozen=True)
@@ -107,15 +129,31 @@ class PostgresSimulator:
         return math.exp(log_sum)
 
     def _calibrate(self) -> float:
-        """Scale factor mapping raw products onto calibrated req/s."""
+        """Scale factor mapping raw products onto calibrated req/s.
+
+        Calibrates against the simulator's own version catalog (v13.6 runs
+        use the v13.6 defaults) and caches the factor per (class, workload,
+        version, hardware) at module level, so building many simulators for
+        the same testbed does not recompute it.
+        """
         if self._calibration is None:
-            default = postgres_v96_space().default_configuration()
+            key = (
+                type(self), id(self.workload), id(self.version), id(self.hardware)
+            )
+            hit = _CALIBRATION_CACHE.get(key)
+            if hit is not None:
+                self._calibration = hit[3]
+                return self._calibration
+            default = _default_configuration(self.version)
             scores, __ = self._component_scores(dict(default))
             raw = self._raw_throughput(scores)
             target = self.workload.base_throughput * self.version.baseline_scale(
                 self.workload.name
             )
             self._calibration = target / raw
+            _CALIBRATION_CACHE[key] = (
+                self.workload, self.version, self.hardware, self._calibration
+            )
         return self._calibration
 
     def _p95_latency_ms(
@@ -187,7 +225,41 @@ class PostgresSimulator:
             component_scores=scores,
         )
 
+    def evaluate_batch(
+        self,
+        configs: Sequence[Configuration | Mapping[str, KnobValue]],
+        rng: np.random.Generator | None = None,
+        on_crash: str = "raise",
+    ) -> list[Measurement | None]:
+        """Run the workload once under each of ``N`` configurations.
+
+        Results (including the noise stream drawn from ``rng``) are
+        bit-identical to calling :meth:`evaluate` sequentially.  The batch
+        entry point shares one calibration lookup across the whole batch;
+        the per-configuration component models remain scalar Python, so this
+        is the seam where a future array-native component pass plugs in.
+
+        Args:
+            configs: Configurations to evaluate, in order.
+            rng: Optional noise stream, consumed in configuration order.
+            on_crash: ``"raise"`` propagates the first
+                :class:`DbmsCrashError`; ``"none"`` records ``None`` for
+                crashing configurations and keeps going (crashing
+                evaluations draw no noise, matching the scalar path).
+        """
+        if on_crash not in ("raise", "none"):
+            raise ValueError(f"unknown on_crash policy {on_crash!r}")
+        self._calibrate()
+        results: list[Measurement | None] = []
+        for config in configs:
+            try:
+                results.append(self.evaluate(config, rng=rng))
+            except DbmsCrashError:
+                if on_crash == "raise":
+                    raise
+                results.append(None)
+        return results
+
     def default_measurement(self) -> Measurement:
         """Noise-free measurement of the DBMS default configuration."""
-        default = postgres_v96_space().default_configuration()
-        return self.evaluate(dict(default))
+        return self.evaluate(dict(_default_configuration(self.version)))

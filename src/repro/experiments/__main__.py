@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import pathlib
 import sys
@@ -51,10 +52,17 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write each report's machine-readable data to DIR/<id>.json",
     )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="run the seeds of every tuning arm concurrently (thread pool)",
+    )
     args = parser.parse_args(argv)
     scale = {"paper": Scale.paper, "default": Scale.default, "quick": Scale.quick}[
         args.scale
     ]()
+    if args.parallel:
+        scale = dataclasses.replace(scale, parallel=True)
 
     ids = ORDERED_IDS if args.experiment == "all" else (args.experiment,)
     for experiment_id in ids:

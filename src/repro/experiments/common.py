@@ -14,12 +14,18 @@ from typing import Sequence
 
 @dataclass(frozen=True)
 class Scale:
-    """Execution scale of an experiment."""
+    """Execution scale of an experiment.
+
+    ``parallel`` runs the seeds of every tuning arm concurrently through
+    :func:`repro.tuning.runner.run_spec` (results are identical to the
+    sequential order; see the ``--parallel`` CLI flag).
+    """
 
     seeds: tuple[int, ...] = (1, 2, 3, 4, 5)
     n_iterations: int = 100
     lhs_samples: int = 2000  # importance-study sample count (paper: 2500)
     shap_permutations: int = 600
+    parallel: bool = False
 
     @classmethod
     def paper(cls) -> "Scale":

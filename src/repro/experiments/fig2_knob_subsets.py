@@ -51,7 +51,7 @@ def run(scale: Scale | None = None) -> ExperimentReport:
                 adapter=adapter,
                 n_iterations=scale.n_iterations,
             )
-            results = run_spec(spec, scale.seeds)
+            results = run_spec(spec, scale.seeds, parallel=scale.parallel)
             curve = mean_best_curve(results)
             finals[label] = float(curve[-1])
             report.add(format_series(label, curve))

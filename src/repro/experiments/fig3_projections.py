@@ -40,7 +40,7 @@ def run(scale: Scale | None = None) -> ExperimentReport:
 
     finals = {}
     for label, spec in arms.items():
-        curve = mean_best_curve(run_spec(spec, scale.seeds))
+        curve = mean_best_curve(run_spec(spec, scale.seeds, parallel=scale.parallel))
         finals[label] = float(curve[-1])
         report.add(format_series(label, curve))
 

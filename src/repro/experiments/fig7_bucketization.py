@@ -47,7 +47,7 @@ def run(scale: Scale | None = None) -> ExperimentReport:
                 adapter=adapter,
                 n_iterations=scale.n_iterations,
             )
-            curve = mean_best_curve(run_spec(spec, scale.seeds))
+            curve = mean_best_curve(run_spec(spec, scale.seeds, parallel=scale.parallel))
             finals[label] = float(curve[-1])
             report.add(format_series(label, curve))
         report.add()

@@ -44,7 +44,7 @@ def compare_on_workload(
     )
     baseline = SessionSpec(adapter=None, **common)
     treatment = SessionSpec(adapter=llamatune_factory(), **common)
-    return compare_specs(baseline, treatment, scale.seeds)
+    return compare_specs(baseline, treatment, scale.seeds, parallel=scale.parallel)
 
 
 def main_table(

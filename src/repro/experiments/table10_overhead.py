@@ -38,6 +38,9 @@ def run(scale: Scale | None = None) -> ExperimentReport:
             adapter=llamatune_factory(),
             n_iterations=scale.n_iterations,
         )
+        # Always sequential, even under Scale.parallel: this experiment
+        # measures per-suggestion wall-clock time, which concurrent seed
+        # sessions would contaminate.
         base_time = sum(
             r.suggest_seconds_total for r in run_spec(base_spec, seeds)
         ) / len(seeds)

@@ -35,6 +35,7 @@ def run(scale: Scale | None = None) -> ExperimentReport:
         baseline = run_spec(
             SessionSpec(workload=workload, n_iterations=scale.n_iterations),
             scale.seeds,
+            parallel=scale.parallel,
         )
         baseline_final = float(np.mean([r.best_value for r in baseline]))
         cells = []
@@ -46,7 +47,7 @@ def run(scale: Scale | None = None) -> ExperimentReport:
                 n_iterations=scale.n_iterations,
                 early_stopping=EarlyStoppingPolicy(min_improvement, patience),
             )
-            results = run_spec(spec, scale.seeds)
+            results = run_spec(spec, scale.seeds, parallel=scale.parallel)
             improvement = float(
                 np.mean([r.best_value / baseline_final - 1.0 for r in results])
             )

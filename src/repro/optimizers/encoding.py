@@ -40,24 +40,36 @@ class SpaceEncoding:
         return self.space.dim
 
     def encode(self, config: Configuration) -> np.ndarray:
-        values = np.empty(self.dim, dtype=float)
-        for i, knob in enumerate(self.space):
-            value = config[knob.name]
-            if isinstance(knob, CategoricalKnob):
-                values[i] = knob.choices.index(value)
-            else:
-                values[i] = knob.to_unit(value)
-        return values
+        return self.encode_batch([config])[0]
+
+    def encode_batch(self, configs: list[Configuration]) -> np.ndarray:
+        """Encode ``N`` configurations into an ``N x D`` matrix at once.
+
+        Numeric knobs carry their unit value, categoricals their category
+        index — i.e. the space's unit matrix with categorical bin centers
+        mapped back to indices.
+        """
+        unit = self.space.to_unit_array(configs)
+        cat = np.flatnonzero(self.is_categorical)
+        if len(cat):
+            # Invert the bin-center mapping: (index + 0.5) / k -> index.
+            unit[:, cat] = np.rint(unit[:, cat] * self.n_categories[cat] - 0.5)
+        return unit
 
     def decode(self, vector: np.ndarray) -> Configuration:
-        values = {}
-        for i, knob in enumerate(self.space):
-            if isinstance(knob, CategoricalKnob):
-                index = int(np.clip(round(vector[i]), 0, len(knob.choices) - 1))
-                values[knob.name] = knob.choices[index]
-            else:
-                values[knob.name] = knob.from_unit(float(vector[i]))
-        return Configuration(self.space, values)
+        return self.decode_batch(np.atleast_2d(np.asarray(vector, dtype=float)))[0]
+
+    def decode_batch(self, vectors: np.ndarray) -> list[Configuration]:
+        """Decode an ``N x D`` matrix into ``N`` configurations at once."""
+        vectors = np.asarray(vectors, dtype=float)
+        arrays = self.space.arrays
+        columns = self.space._columns_from_unit(vectors)
+        for j in np.flatnonzero(self.is_categorical):
+            k = self.n_categories[j]
+            index = np.clip(np.rint(vectors[:, j]), 0, k - 1).astype(np.int64)
+            choices = arrays.choices[j]
+            columns[j] = [choices[i] for i in index.tolist()]
+        return self.space._configurations_from_columns(columns)
 
     # --- sampling in encoded coordinates -----------------------------------
 
@@ -92,15 +104,21 @@ class SpaceEncoding:
         range); categorical dimensions resample a different category.
         """
         out = np.repeat(vector[None, :], n, axis=0)
+        rows = np.arange(n)
         dims = rng.integers(0, self.dim, size=n)
-        for row, d in enumerate(dims):
-            if self.is_categorical[d]:
-                k = self.n_categories[d]
-                if k > 1:
-                    choices = [c for c in range(k) if c != int(vector[d])]
-                    out[row, d] = rng.choice(choices)
-            else:
-                out[row, d] = np.clip(
-                    vector[d] + rng.normal(0.0, step), 0.0, 1.0
-                )
+        cat = self.is_categorical[dims]
+        num_rows, num_dims = rows[~cat], dims[~cat]
+        if len(num_rows):
+            steps = rng.normal(0.0, step, size=len(num_rows))
+            out[num_rows, num_dims] = np.clip(
+                vector[num_dims] + steps, 0.0, 1.0
+            )
+        cat_rows, cat_dims = rows[cat], dims[cat]
+        if len(cat_rows):
+            k = self.n_categories[cat_dims]
+            current = np.clip(vector[cat_dims].astype(int), 0, k - 1)
+            # Uniform draw over the k-1 other categories: sample an index in
+            # [0, k-1) and skip past the current category.
+            other = (rng.random(len(cat_rows)) * (k - 1)).astype(int)
+            out[cat_rows, cat_dims] = np.where(other >= current, other + 1, other)
         return out

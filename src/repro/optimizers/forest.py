@@ -111,39 +111,42 @@ class RegressionTree:
         """Pick the (feature, threshold) minimizing total within-child SSE
         among a random subset of features and random candidate positions.
 
-        Uses prefix sums over the sorted column, so scoring all candidate
-        thresholds of a feature is a vectorized O(n log n) pass.
+        All selected features are scored in one vectorized pass: a single
+        ``n x m`` sort, prefix sums down the columns, and a masked argmin
+        over the whole candidate matrix (no per-feature Python loop).
         """
         n, n_features = X.shape
         features = self.rng.permutation(n_features)[:max_features]
-        best_score = np.inf
-        best: tuple[int, float] | None = None
-        for f in features:
-            order = np.argsort(X[:, f], kind="stable")
-            xs = X[order, f]
-            ys = y[order]
-            positions = np.flatnonzero(xs[:-1] < xs[1:])  # split after index i
-            if len(positions) == 0:
-                continue
-            if len(positions) > self.n_thresholds:
-                positions = self.rng.choice(
-                    positions, size=self.n_thresholds, replace=False
-                )
-            cum = np.cumsum(ys)
-            cum_sq = np.cumsum(ys * ys)
-            total, total_sq = cum[-1], cum_sq[-1]
-            k = positions + 1  # samples going left
-            left_sse = cum_sq[positions] - cum[positions] ** 2 / k
-            right_sse = (total_sq - cum_sq[positions]) - (
-                total - cum[positions]
-            ) ** 2 / (n - k)
-            scores = left_sse + right_sse
-            i = int(np.argmin(scores))
-            if scores[i] < best_score:
-                best_score = float(scores[i])
-                p = positions[i]
-                best = (int(f), float((xs[p] + xs[p + 1]) / 2.0))
-        return best
+        Xf = X[:, features]  # n x m
+        order = np.argsort(Xf, axis=0, kind="stable")
+        xs = Xf[order, np.arange(Xf.shape[1])[None, :]]
+        ys = y[order]
+        valid = xs[:-1] < xs[1:]  # split after row i, per column
+        if not valid.any():
+            return None
+
+        cum = np.cumsum(ys, axis=0)
+        cum_sq = np.cumsum(ys * ys, axis=0)
+        total, total_sq = cum[-1], cum_sq[-1]
+        k = np.arange(1, n, dtype=float)[:, None]  # samples going left
+        left_sse = cum_sq[:-1] - cum[:-1] ** 2 / k
+        right_sse = (total_sq - cum_sq[:-1]) - (total - cum[:-1]) ** 2 / (n - k)
+        scores = np.where(valid, left_sse + right_sse, np.inf)
+
+        # Randomized threshold selection: keep at most n_thresholds valid
+        # candidates per feature, chosen uniformly via random keys.
+        if int(valid.sum(axis=0).max()) > self.n_thresholds:
+            keys = self.rng.random(scores.shape)
+            keys[~valid] = np.inf
+            kth = np.partition(keys, self.n_thresholds - 1, axis=0)[
+                self.n_thresholds - 1
+            ]
+            scores = np.where(keys <= kth, scores, np.inf)
+
+        p, c = np.unravel_index(int(np.argmin(scores)), scores.shape)
+        if not np.isfinite(scores[p, c]):
+            return None
+        return int(features[c]), float((xs[p, c] + xs[p + 1, c]) / 2.0)
 
     def predict_with_variance(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Leaf mean and leaf variance for each row of ``X``."""

@@ -70,7 +70,13 @@ class SMACOptimizer(Optimizer):
         return self.encoding.decode(candidates[int(np.argmax(ei))])
 
     def _candidates(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
-        """Random pool + local-search neighborhoods of the top incumbents."""
+        """Random pool + local-search neighborhoods of the top incumbents.
+
+        Everything stays in encoded matrix form end to end: the random pool,
+        the vectorized neighbor perturbations, and the EI scoring all operate
+        on one ``N x D`` candidate matrix; only the single argmax winner is
+        decoded back to a configuration.
+        """
         pools = [self.encoding.random_vectors(self.n_random_candidates, self.rng)]
         top = np.argsort(y)[-5:]
         for i in top:

@@ -399,3 +399,15 @@ def postgres_v136_space() -> ConfigurationSpace:
         + _v13_additional_knobs()
     )
     return ConfigurationSpace(knobs, name="postgres-13.6")
+
+
+def postgres_space_for_version(name: str) -> ConfigurationSpace:
+    """The knob catalog for a PostgreSQL version name.
+
+    ``"13.6"`` selects the 112-knob v13.6 catalog; everything else —
+    including custom version names like ``"9.6-patched"`` — falls back to
+    the paper's primary 90-knob v9.6 catalog.  The single dispatch point
+    shared by the simulator's calibration and the tuning runner, so both
+    always agree on the space a version tunes.
+    """
+    return postgres_v136_space() if name == "13.6" else postgres_v96_space()

@@ -39,7 +39,7 @@ def latin_hypercube_configurations(
 ) -> list[Configuration]:
     """Draw ``n_samples`` LHS configurations from a configuration space."""
     unit = latin_hypercube_unit(n_samples, space.dim, rng)
-    return [space.from_unit_vector(row) for row in unit]
+    return space.from_unit_array(unit)
 
 
 def uniform_configurations(
@@ -47,4 +47,4 @@ def uniform_configurations(
 ) -> list[Configuration]:
     """Draw ``n_samples`` i.i.d. uniform configurations."""
     unit = rng.random((n_samples, space.dim))
-    return [space.from_unit_vector(row) for row in unit]
+    return space.from_unit_array(unit)

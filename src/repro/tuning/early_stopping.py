@@ -35,6 +35,20 @@ class EarlyStoppingPolicy:
         self._reference: float | None = None
         self._reference_iteration = 0
 
+    def fresh(self) -> "EarlyStoppingPolicy":
+        """A new policy with the same parameters and pristine state.
+
+        ``should_stop`` mutates per-session tracking state, so every tuning
+        session must watch its own copy; sharing one instance across the
+        seeds of a multi-seed run leaks the previous seed's reference point
+        into the next (and races under the parallel runner).
+        """
+        return EarlyStoppingPolicy(
+            min_improvement=self.min_improvement,
+            patience=self.patience,
+            warmup=self.warmup,
+        )
+
     def should_stop(self, iteration: int, best_value: float, maximize: bool) -> bool:
         """Feed the best-so-far value after ``iteration`` (0-based); returns
         True when the session should terminate."""

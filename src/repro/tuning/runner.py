@@ -8,6 +8,8 @@ module turns the curves into Table-style rows.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -22,7 +24,7 @@ from repro.dbms.engine import PostgresSimulator
 from repro.dbms.versions import V96, PostgresVersion
 from repro.optimizers import make_optimizer
 from repro.space.configspace import ConfigurationSpace
-from repro.space.postgres import postgres_v96_space, postgres_v136_space
+from repro.space.postgres import postgres_space_for_version
 from repro.tuning.early_stopping import EarlyStoppingPolicy
 from repro.tuning.metrics import ComparisonSummary, summarize_comparison
 from repro.tuning.session import TuningResult, TuningSession
@@ -38,7 +40,9 @@ SessionFactory = Callable[[int], TuningSession]
 
 
 def space_for_version(version: PostgresVersion) -> ConfigurationSpace:
-    return postgres_v96_space() if version.name == "9.6" else postgres_v136_space()
+    """Delegates to the shared dispatch so the runner and the simulator's
+    calibration always tune/calibrate the same catalog."""
+    return postgres_space_for_version(version.name)
 
 
 @dataclass(frozen=True)
@@ -84,7 +88,12 @@ class SessionSpec:
             objective=self.objective,
             n_iterations=self.n_iterations,
             seed=seed + 10_000,  # evaluation noise stream, distinct from optimizer
-            early_stopping=self.early_stopping,
+            # Policies carry per-session mutable state; every session gets
+            # its own copy so seeds neither contaminate each other nor race
+            # under the parallel runner.
+            early_stopping=(
+                self.early_stopping.fresh() if self.early_stopping else None
+            ),
         )
 
 
@@ -110,9 +119,27 @@ def llamatune_factory(
 
 
 def run_spec(
-    spec: SessionSpec, seeds: Sequence[int] = DEFAULT_SEEDS
+    spec: SessionSpec,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    parallel: bool = False,
+    max_workers: int | None = None,
 ) -> list[TuningResult]:
-    """Run one arm across seeds."""
+    """Run one arm across seeds.
+
+    With ``parallel=True`` the seeds run concurrently on a thread pool (one
+    session per seed; sessions share no mutable state, so results are
+    identical to the sequential order).  ``max_workers`` defaults to
+    ``min(len(seeds), cpu_count)``.
+
+    Threads help when evaluations block — a real DBMS benchmark run, the
+    paper's 5-minute workloads — or release the GIL in long array ops; the
+    microsecond-scale simulator itself stays GIL-bound, so expect parity
+    there, not speedup (see ROADMAP.md for the process-pool follow-up).
+    """
+    if parallel and len(seeds) > 1:
+        workers = max_workers or min(len(seeds), os.cpu_count() or 1)
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            return list(executor.map(lambda seed: spec.build(seed).run(), seeds))
     return [spec.build(seed).run() for seed in seeds]
 
 
@@ -134,10 +161,11 @@ def compare_specs(
     baseline: SessionSpec,
     treatment: SessionSpec,
     seeds: Sequence[int] = DEFAULT_SEEDS,
+    parallel: bool = False,
 ) -> tuple[ComparisonSummary, list[TuningResult], list[TuningResult]]:
     """Run both arms and summarize treatment vs. baseline."""
-    baseline_results = run_spec(baseline, seeds)
-    treatment_results = run_spec(treatment, seeds)
+    baseline_results = run_spec(baseline, seeds, parallel=parallel)
+    treatment_results = run_spec(treatment, seeds, parallel=parallel)
     summary = summarize_comparison(
         baseline.workload,
         [r.best_curve for r in baseline_results],

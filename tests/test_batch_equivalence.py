@@ -1,0 +1,298 @@
+"""Batch paths must be bit-identical to N scalar calls.
+
+The vectorized layer (``to_unit_array``/``from_unit_array``,
+``to_target_batch``, ``evaluate_batch``) promises exact equivalence with the
+scalar APIs — same values, same native Python types, same noise streams —
+for seeded random configurations, including hybrid-knob biasing and crash
+handling.  These tests pin that contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import IdentityAdapter, LlamaTuneAdapter
+from repro.dbms.engine import PostgresSimulator
+from repro.dbms.errors import DbmsCrashError
+from repro.optimizers.encoding import SpaceEncoding
+from repro.space.configspace import Configuration, ConfigurationSpace
+from repro.space.knob import KnobError
+from repro.space.postgres import postgres_v96_space, postgres_v136_space
+from repro.space.sampling import uniform_configurations
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def space():
+    return postgres_v96_space()
+
+
+def assert_identical(batch, scalars, space):
+    """Equal values AND equal native types, knob by knob."""
+    assert len(batch) == len(scalars)
+    for b, s in zip(batch, scalars):
+        assert b == s
+        for name in space.names:
+            assert type(b[name]) is type(s[name]), name
+
+
+class TestUnitArrayEquivalence:
+    def test_to_unit_array_matches_scalar(self, space):
+        rng = np.random.default_rng(0)
+        configs = uniform_configurations(space, 32, rng)
+        batch = space.to_unit_array(configs)
+        stacked = np.stack([space.to_unit_vector(c) for c in configs])
+        np.testing.assert_array_equal(batch, stacked)
+
+    def test_from_unit_array_matches_scalar(self, space):
+        rng = np.random.default_rng(1)
+        unit = rng.random((32, space.dim))
+        unit[0] = 0.0  # exercise the cube corners
+        unit[1] = 1.0
+        batch = space.from_unit_array(unit)
+        scalars = [space.from_unit_vector(row) for row in unit]
+        assert_identical(batch, scalars, space)
+
+    def test_from_unit_array_clips_like_scalar(self, space):
+        rng = np.random.default_rng(2)
+        unit = rng.random((8, space.dim)) * 3.0 - 1.0  # out-of-cube values
+        batch = space.from_unit_array(unit)
+        scalars = [space.from_unit_vector(row) for row in unit]
+        assert_identical(batch, scalars, space)
+
+    def test_round_trip(self, space):
+        rng = np.random.default_rng(3)
+        configs = uniform_configurations(space, 16, rng)
+        back = space.from_unit_array(space.to_unit_array(configs))
+        assert_identical(back, configs, space)
+
+    def test_to_unit_array_matches_per_knob_reference(self, space):
+        """Independent oracle: the scalar vector methods now delegate to the
+        batch paths, so compare against Knob.to_unit itself."""
+        rng = np.random.default_rng(20)
+        configs = uniform_configurations(space, 16, rng)
+        batch = space.to_unit_array(configs)
+        for i, config in enumerate(configs):
+            for j, knob in enumerate(space):
+                assert batch[i, j] == knob.to_unit(config[knob.name]), knob.name
+
+    def test_from_unit_array_matches_per_knob_reference(self, space):
+        rng = np.random.default_rng(21)
+        unit = rng.random((16, space.dim))
+        unit[0] = 0.0
+        unit[-1] = 1.0
+        batch = space.from_unit_array(unit)
+        for i, config in enumerate(batch):
+            for j, knob in enumerate(space):
+                expected = knob.from_unit(float(unit[i, j]))
+                got = config[knob.name]
+                assert got == expected, knob.name
+                assert type(got) is type(expected), knob.name
+
+    def test_bad_shape_rejected(self, space):
+        with pytest.raises(KnobError):
+            space.from_unit_array(np.zeros((4, space.dim + 1)))
+        with pytest.raises(KnobError):
+            space.from_unit_array(np.zeros(space.dim))
+
+    def test_empty_batch(self, space):
+        assert space.from_unit_array(np.empty((0, space.dim))) == []
+        assert space.to_unit_array([]).shape == (0, space.dim)
+
+
+class TestAdapterEquivalence:
+    @pytest.mark.parametrize("projection", ["hesbo", "rembo"])
+    @pytest.mark.parametrize("max_values", [10_000, None])
+    def test_projection_pipeline(self, space, projection, max_values):
+        adapter = LlamaTuneAdapter(
+            space, projection=projection, seed=5, max_values=max_values
+        )
+        rng = np.random.default_rng(4)
+        suggestions = uniform_configurations(adapter.optimizer_space, 24, rng)
+        batch = adapter.to_target_batch(suggestions)
+        scalars = [adapter.to_target(c) for c in suggestions]
+        assert_identical(batch, scalars, space)
+
+    @pytest.mark.parametrize("bias", [0.0, 0.2])
+    @pytest.mark.parametrize("max_values", [10_000, None])
+    def test_no_projection_pipeline(self, space, bias, max_values):
+        adapter = LlamaTuneAdapter(
+            space, projection=None, bias=bias, max_values=max_values
+        )
+        rng = np.random.default_rng(5)
+        suggestions = uniform_configurations(adapter.optimizer_space, 24, rng)
+        batch = adapter.to_target_batch(suggestions)
+        scalars = [adapter.to_target(c) for c in suggestions]
+        assert_identical(batch, scalars, space)
+
+    def test_v136_hybrid_knobs(self):
+        space = postgres_v136_space()
+        adapter = LlamaTuneAdapter(space, projection="hesbo", seed=1)
+        rng = np.random.default_rng(6)
+        suggestions = uniform_configurations(adapter.optimizer_space, 16, rng)
+        assert_identical(
+            adapter.to_target_batch(suggestions),
+            [adapter.to_target(c) for c in suggestions],
+            space,
+        )
+
+    def test_biasing_actually_hits_specials(self, space):
+        """The sampled batch must exercise the special-value branch."""
+        adapter = LlamaTuneAdapter(space, projection="hesbo", bias=0.2, seed=2)
+        rng = np.random.default_rng(7)
+        suggestions = uniform_configurations(adapter.optimizer_space, 64, rng)
+        batch = adapter.to_target_batch(suggestions)
+        hybrid = space.hybrid_knobs
+        hits = sum(
+            config[k.name] in k.special_values for config in batch for k in hybrid
+        )
+        assert hits > 0
+
+    def test_identity_adapter_batch(self, space):
+        adapter = IdentityAdapter(space)
+        rng = np.random.default_rng(8)
+        configs = uniform_configurations(space, 4, rng)
+        assert adapter.to_target_batch(configs) == configs
+
+
+class TestEncodingEquivalence:
+    @pytest.fixture(scope="class")
+    def encoding(self):
+        return SpaceEncoding(postgres_v96_space())
+
+    def test_encode_batch(self, encoding):
+        rng = np.random.default_rng(9)
+        configs = uniform_configurations(encoding.space, 16, rng)
+        batch = encoding.encode_batch(configs)
+        stacked = np.stack([encoding.encode(c) for c in configs])
+        np.testing.assert_array_equal(batch, stacked)
+
+    def test_decode_batch(self, encoding):
+        rng = np.random.default_rng(10)
+        vectors = encoding.random_vectors(16, rng)
+        batch = encoding.decode_batch(vectors)
+        scalars = [encoding.decode(v) for v in vectors]
+        assert_identical(batch, scalars, encoding.space)
+
+    def test_encode_decode_round_trip(self, encoding):
+        rng = np.random.default_rng(11)
+        configs = uniform_configurations(encoding.space, 8, rng)
+        back = encoding.decode_batch(encoding.encode_batch(configs))
+        assert_identical(back, configs, encoding.space)
+
+
+class TestSimulatorBatchEquivalence:
+    def _crashing_mix(self, space, n, seed):
+        """Safe (default-based) configurations with a known crasher spliced
+        in; uniform random 90-knob configurations crash too often to serve
+        as reliable non-crashers."""
+        rng = np.random.default_rng(seed)
+        configs = [
+            space.partial_configuration(
+                {"work_mem": int(rng.integers(64, 8192))}
+            )
+            for _ in range(n)
+        ]
+        # Memory over-commit: maximal buffers and work_mem across many
+        # clients reliably crashes the simulated DBMS.
+        crasher = space.partial_configuration(
+            {
+                "shared_buffers": space["shared_buffers"].upper,
+                "work_mem": space["work_mem"].upper,
+                "maintenance_work_mem": space["maintenance_work_mem"].upper,
+            }
+        )
+        configs[1] = crasher
+        return configs, crasher
+
+    def test_batch_matches_sequential_with_noise(self, space):
+        simulator = PostgresSimulator(get_workload("ycsb-a"), noise_std=0.05)
+        rng = np.random.default_rng(12)
+        configs = uniform_configurations(space, 12, rng)
+        batch = simulator.evaluate_batch(
+            configs, rng=np.random.default_rng(99), on_crash="none"
+        )
+        sequential = []
+        rng2 = np.random.default_rng(99)
+        for config in configs:
+            try:
+                sequential.append(simulator.evaluate(config, rng=rng2))
+            except DbmsCrashError:
+                sequential.append(None)
+        assert len(batch) == len(sequential)
+        for b, s in zip(batch, sequential):
+            if s is None:
+                assert b is None
+                continue
+            assert b.throughput == s.throughput
+            assert b.p95_latency_ms == s.p95_latency_ms
+            assert dict(b.metrics) == dict(s.metrics)
+
+    def test_crash_handling_none_policy(self, space):
+        simulator = PostgresSimulator(get_workload("tpcc"), noise_std=0.0)
+        configs, crasher = self._crashing_mix(space, 6, seed=13)
+        with pytest.raises(DbmsCrashError):
+            simulator.evaluate(crasher)
+        results = simulator.evaluate_batch(configs, on_crash="none")
+        assert results[1] is None
+        assert all(r is not None for i, r in enumerate(results) if i != 1)
+
+    def test_crash_handling_raise_policy(self, space):
+        simulator = PostgresSimulator(get_workload("tpcc"), noise_std=0.0)
+        configs, __ = self._crashing_mix(space, 4, seed=14)
+        with pytest.raises(DbmsCrashError):
+            simulator.evaluate_batch(configs)
+
+    def test_unknown_crash_policy_rejected(self, space):
+        simulator = PostgresSimulator(get_workload("tpcc"), noise_std=0.0)
+        with pytest.raises(ValueError):
+            simulator.evaluate_batch([], on_crash="penalty")
+
+    def test_v136_calibrates_against_own_space(self):
+        """V136 simulators calibrate on the v13.6 catalog defaults, so the
+        default measurement lands exactly on the calibrated target."""
+        from repro.dbms.versions import V136
+
+        workload = get_workload("ycsb-b")
+        simulator = PostgresSimulator(workload, version=V136, noise_std=0.0)
+        target = workload.base_throughput * V136.baseline_scale(workload.name)
+        assert simulator.default_measurement().throughput == pytest.approx(target)
+
+
+class TestConfigurationHashCache:
+    def test_hash_stable_and_equal(self, space):
+        rng = np.random.default_rng(15)
+        config = uniform_configurations(space, 1, rng)[0]
+        rebuilt = Configuration(space, config.to_dict())
+        assert hash(config) == hash(config)  # cached second call
+        assert hash(config) == hash(rebuilt)
+        assert config == rebuilt
+
+    def test_replace_changes_hash_independently(self, space):
+        config = space.default_configuration()
+        __ = hash(config)  # populate the cache
+        replaced = config.replace(work_mem=config["work_mem"] + 1)
+        assert replaced != config
+        assert hash(replaced) != hash(config) or replaced == config
+
+    def test_index_of(self, space):
+        for i, name in enumerate(space.names):
+            assert space.index_of(name) == i
+        with pytest.raises(KeyError):
+            space.index_of("nonexistent_knob")
+
+
+class TestParallelRunnerEquivalence:
+    def test_parallel_results_match_sequential(self):
+        from repro.tuning.runner import SessionSpec, llamatune_factory, run_spec
+
+        spec = SessionSpec(
+            workload="ycsb-a",
+            adapter=llamatune_factory(),
+            n_iterations=6,
+        )
+        sequential = run_spec(spec, seeds=(1, 2, 3))
+        parallel = run_spec(spec, seeds=(1, 2, 3), parallel=True)
+        for s, p in zip(sequential, parallel):
+            np.testing.assert_array_equal(s.best_curve, p.best_curve)
+            assert s.default_value == p.default_value
+            assert s.crash_count == p.crash_count

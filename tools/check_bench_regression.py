@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Benchmark-regression smoke check for ``benchmarks/bench_micro.py``.
+
+Runs the micro-benchmarks under ``pytest-benchmark --benchmark-json`` and
+compares each test's mean time against the committed baseline
+(``benchmarks/baseline_micro.json``).  A test slower than
+``threshold x baseline`` fails the check; new tests (absent from the
+baseline) are reported but never fail.
+
+Usage::
+
+    python tools/check_bench_regression.py            # check against baseline
+    python tools/check_bench_regression.py --update   # re-record the baseline
+    python tools/check_bench_regression.py --threshold 2.0
+
+The committed baseline is machine-specific by nature; re-record it with
+``--update`` when benchmarks move for a *good* reason (and say why in the
+commit), or when migrating CI to different hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "baseline_micro.json"
+BENCH_FILE = REPO_ROOT / "benchmarks" / "bench_micro.py"
+
+
+def run_benchmarks(min_rounds: int) -> dict[str, float]:
+    """Execute the micro-benchmarks; return {test_name: mean_seconds}."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out = pathlib.Path(tmp) / "bench.json"
+        cmd = [
+            sys.executable, "-m", "pytest", str(BENCH_FILE), "-q",
+            "--benchmark-only", f"--benchmark-min-rounds={min_rounds}",
+            f"--benchmark-json={out}",
+        ]
+        env = dict(__import__("os").environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + (
+            ":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        result = subprocess.run(cmd, env=env, cwd=REPO_ROOT)
+        if result.returncode != 0:
+            sys.exit(f"benchmark run failed with exit code {result.returncode}")
+        payload = json.loads(out.read_text())
+    return {
+        bench["name"]: float(bench["stats"]["mean"])
+        for bench in payload["benchmarks"]
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="re-record the baseline instead of checking")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="fail when mean time exceeds threshold x baseline")
+    parser.add_argument("--min-rounds", type=int, default=5)
+    parser.add_argument("--baseline", type=pathlib.Path, default=BASELINE_PATH,
+                        help="baseline JSON to read/write (CI records one on "
+                             "its own hardware; default: the committed file)")
+    args = parser.parse_args(argv)
+
+    means = run_benchmarks(args.min_rounds)
+
+    if args.update:
+        args.baseline.write_text(
+            json.dumps(dict(sorted(means.items())), indent=2) + "\n"
+        )
+        print(f"baseline written to {args.baseline} ({len(means)} benchmarks)")
+        return 0
+
+    if not args.baseline.exists():
+        sys.exit(f"no baseline at {args.baseline}; run with --update first")
+    baseline = json.loads(args.baseline.read_text())
+
+    failures = []
+    width = max(len(name) for name in means)
+    for name, mean in sorted(means.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"{name:{width}s}  {mean * 1e6:10.1f} us  (new, no baseline)")
+            continue
+        ratio = mean / base
+        status = "ok" if ratio <= args.threshold else "REGRESSION"
+        print(
+            f"{name:{width}s}  {mean * 1e6:10.1f} us  "
+            f"baseline {base * 1e6:10.1f} us  x{ratio:5.2f}  {status}"
+        )
+        if ratio > args.threshold:
+            failures.append((name, ratio))
+
+    missing = sorted(set(baseline) - set(means))
+    for name in missing:
+        print(f"{name:{width}s}  MISSING (present in baseline, not run)")
+
+    if failures or missing:
+        if failures:
+            print(
+                f"\n{len(failures)} benchmark(s) regressed beyond "
+                f"{args.threshold}x the baseline"
+            )
+        if missing:
+            # A silently vanished benchmark is lost regression coverage;
+            # deliberate removals must re-record the baseline (--update).
+            print(
+                f"\n{len(missing)} baseline benchmark(s) missing from the "
+                "run; re-record with --update if the removal is intended"
+            )
+        return 1
+    print("\nno benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
