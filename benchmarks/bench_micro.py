@@ -107,3 +107,13 @@ def test_simulator_evaluate_batch_16(benchmark, space):
     configs = uniform_configurations(space, 16, rng)
     simulator.evaluate_batch(configs, on_crash="none")  # warm calibration
     benchmark(simulator.evaluate_batch, configs, None, "none")
+
+
+def test_simulator_evaluate_batch_256(benchmark, space):
+    """The LHS-init / sweep hot path: one whole-matrix component pass over
+    256 configurations (must stay well under 256x the scalar evaluate)."""
+    simulator = PostgresSimulator(get_workload("tpcc"), noise_std=0.0)
+    rng = np.random.default_rng(0)
+    configs = uniform_configurations(space, 256, rng)
+    simulator.evaluate_batch(configs, on_crash="none")  # warm calibration
+    benchmark(simulator.evaluate_batch, configs, None, "none")

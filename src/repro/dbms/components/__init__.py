@@ -1,9 +1,15 @@
 """Simulator component models.
 
-Each module exposes ``score(ctx) -> float``: a relative speed factor for one
-subsystem of the DBMS (≈1.0 at a neutral setting, above when tuned well,
-below when misconfigured).  The engine combines them as a weighted
-geometric product per workload; see :mod:`repro.dbms.engine`.
+Each module exposes the array-native ``score_batch(ctx) -> np.ndarray``: a
+relative speed factor per configuration for one subsystem of the DBMS
+(≈1.0 at a neutral setting, above when tuned well, below when
+misconfigured), evaluated for all ``N`` rows of a
+:class:`~repro.dbms.context.BatchEvalContext` at once.  The engine combines
+them as a weighted geometric product per workload; see
+:mod:`repro.dbms.engine`.
+
+``score(ctx) -> float`` is the scalar compatibility view (a one-row batch
+under the hood), kept for component unit tests and external callers.
 """
 
 from repro.dbms.components import (
@@ -20,9 +26,25 @@ from repro.dbms.components import (
     writeback,
 )
 
-#: Evaluation order.  ``memory`` goes first because it can raise
-#: :class:`~repro.dbms.errors.DbmsCrashError`; ``wal`` precedes
-#: ``checkpoint`` because the checkpoint model reads the WAL volume note.
+#: Evaluation order.  ``memory`` goes first because it flags crashing rows
+#: (the scalar shim raises :class:`~repro.dbms.errors.DbmsCrashError`);
+#: ``wal`` precedes ``checkpoint`` because the checkpoint model reads the
+#: WAL volume note.
+BATCH_COMPONENTS = {
+    "memory": memory.score_batch,
+    "buffer": buffer.score_batch,
+    "writeback": writeback.score_batch,
+    "wal_commit": wal.score_batch,
+    "checkpoint": checkpoint.score_batch,
+    "vacuum": vacuum.score_batch,
+    "planner": planner.score_batch,
+    "parallel": parallel.score_batch,
+    "locks": locks.score_batch,
+    "stats": stats.score_batch,
+    "texture": texture.score_batch,
+}
+
+#: Scalar views of the same models, in the same evaluation order.
 COMPONENTS = {
     "memory": memory.score,
     "buffer": buffer.score,
@@ -37,4 +59,4 @@ COMPONENTS = {
     "texture": texture.score,
 }
 
-__all__ = ["COMPONENTS"]
+__all__ = ["BATCH_COMPONENTS", "COMPONENTS"]

@@ -10,22 +10,26 @@ properties LlamaTune's projections must cope with.
 
 from __future__ import annotations
 
-from repro.dbms.context import EvalContext
+import numpy as np
+
+from repro.dbms.context import BatchEvalContext, EvalContext, run_component_scalar
 
 GIB = 1024**3
 
 
-def cache_hit_fraction(cache_bytes: float, working_set_bytes: float,
-                       skew: float) -> float:
+def cache_hit_fraction(cache_bytes, working_set_bytes, skew):
     """Fraction of page accesses served by a cache of the given size.
 
     Uses a concave power-law approximation of the Zipfian hit curve:
     ``hit = (cache / working_set) ** alpha`` with ``alpha = 1 / (1 + 2*skew)``
     so that skewed workloads reach high hit rates with small caches.
+    Accepts scalars or arrays (the batch path passes ``(N,)`` columns).
     """
     if working_set_bytes <= 0:
-        return 1.0
-    coverage = min(1.0, max(0.0, cache_bytes / working_set_bytes))
+        return np.ones_like(np.asarray(cache_bytes, dtype=float)) if np.ndim(
+            cache_bytes
+        ) else 1.0
+    coverage = np.minimum(1.0, np.maximum(0.0, cache_bytes / working_set_bytes))
     alpha = 1.0 / (1.0 + 2.0 * max(0.0, skew))
     return coverage**alpha
 
@@ -36,19 +40,19 @@ def cache_hit_fraction(cache_bytes: float, working_set_bytes: float,
 HOT_ACCESS_FRACTION = 0.85
 
 
-def score(ctx: EvalContext) -> float:
+def score_batch(ctx: BatchEvalContext) -> np.ndarray:
     hw = ctx.hardware
     wl = ctx.workload
     working_set = wl.working_set_gb * GIB
     database = wl.database_gb * GIB
 
     sb = ctx.shared_buffers_bytes()
-    os_cache = max(0.0, hw.ram_bytes - sb - hw.fixed_overhead_bytes) * 0.85
+    os_cache = np.maximum(0.0, hw.ram_bytes - sb - hw.fixed_overhead_bytes) * 0.85
 
-    def tier_hits(span: float, skew: float) -> tuple[float, float]:
+    def tier_hits(span, skew):
         in_sb = cache_hit_fraction(sb, span, skew)
         in_total = cache_hit_fraction(sb + os_cache, span, skew)
-        return in_sb, max(0.0, in_total - in_sb)
+        return in_sb, np.maximum(0.0, in_total - in_sb)
 
     hot_sb, hot_os = tier_hits(working_set, wl.zipf_skew)
     cold_sb, cold_os = tier_hits(database, wl.zipf_skew * 0.3)
@@ -56,11 +60,15 @@ def score(ctx: EvalContext) -> float:
     h = HOT_ACCESS_FRACTION
     hit_sb = h * hot_sb + (1.0 - h) * cold_sb
     hit_os = h * hot_os + (1.0 - h) * cold_os
-    miss = max(0.0, 1.0 - hit_sb - hit_os)
+    miss = np.maximum(0.0, 1.0 - hit_sb - hit_os)
 
-    t_sb = hw.shared_buffer_read_ms
-    if ctx.get("huge_pages", "try") in ("on", "try") and sb >= 2 * GIB:
-        t_sb *= 0.88  # fewer TLB misses once the pool is large
+    hp = ctx.get("huge_pages", "try")
+    hp_wanted = (hp == "on") | (hp == "try")
+    t_sb = np.where(
+        hp_wanted & (sb >= 2 * GIB),
+        hw.shared_buffer_read_ms * 0.88,  # fewer TLB misses, large pool
+        hw.shared_buffer_read_ms,
+    )
 
     read_ms = hit_sb * t_sb + hit_os * hw.os_cache_read_ms + miss * hw.ssd_read_ms
 
@@ -73,3 +81,8 @@ def score(ctx: EvalContext) -> float:
     # physical (a fully cached page still costs executor CPU).
     cpu_floor_ms = 0.008
     return cpu_floor_ms / (cpu_floor_ms + read_ms)
+
+
+def score(ctx: EvalContext) -> float:
+    """Scalar shim over :func:`score_batch`."""
+    return run_component_scalar(score_batch, ctx)

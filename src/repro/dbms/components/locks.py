@@ -10,27 +10,38 @@ from __future__ import annotations
 
 import math
 
-from repro.dbms.context import EvalContext
+import numpy as np
+
+from repro.dbms.context import BatchEvalContext, EvalContext, run_component_scalar
 
 
-def score(ctx: EvalContext) -> float:
+def score_batch(ctx: BatchEvalContext) -> np.ndarray:
     wl = ctx.workload
     contention = wl.contention
 
     # Deadlock detection: ~200 ms is the sweet spot for contended OLTP;
     # very low values burn CPU on checks, very high ones stall victims.
-    dt = float(ctx.get("deadlock_timeout"))
-    tuning = 1.0 - min(1.0, abs(math.log(dt / 200.0)) / math.log(3000.0))
+    dt = ctx.get("deadlock_timeout")
+    tuning = 1.0 - np.minimum(1.0, np.abs(np.log(dt / 200.0)) / math.log(3000.0))
     gain = 0.06 * contention * tuning
 
     # Generous lock tables avoid lock-escalation style slowdowns for
     # schema-heavy workloads.
-    if int(ctx.get("max_locks_per_transaction")) >= 128 and wl.tables >= 5:
-        gain += 0.015 * contention
-    if int(ctx.get("max_pred_locks_per_transaction")) < 32:
-        gain -= 0.01 * contention
+    gain = gain + np.where(
+        (ctx.get("max_locks_per_transaction") >= 128) & (wl.tables >= 5),
+        0.015 * contention,
+        0.0,
+    )
+    gain = gain - np.where(
+        ctx.get("max_pred_locks_per_transaction") < 32, 0.01 * contention, 0.0
+    )
 
     ctx.notes["lock_wait_fraction"] = contention * (0.25 - 0.1 * tuning)
     ctx.notes["deadlocks_per_min"] = contention * 2.0 * (1.0 - tuning)
 
     return 1.0 + gain
+
+
+def score(ctx: EvalContext) -> float:
+    """Scalar shim over :func:`score_batch`."""
+    return run_component_scalar(score_batch, ctx)

@@ -11,51 +11,62 @@ v13.6 experiments surface (Table 7: SEATS gains the most).
 
 from __future__ import annotations
 
-from repro.dbms.context import EvalContext
+import numpy as np
+
+from repro.dbms.context import BatchEvalContext, EvalContext, run_component_scalar
 
 
-def _jit_effect(ctx: EvalContext) -> float:
+def _jit_effect(ctx: BatchEvalContext) -> np.ndarray:
+    zero = np.zeros(ctx.n)
     if not ctx.version.has_jit:
-        return 0.0
-    if not ctx.is_on("jit", default="on"):
-        return 0.0
-    above = float(ctx.get("jit_above_cost", 100000.0))
-    if above == -1.0:
-        return 0.0  # special value: JIT disabled
+        return zero
     wl = ctx.workload
+    above = ctx.get("jit_above_cost", 100000.0)
     # How often queries of this workload cross the JIT cost threshold.
-    trigger = max(0.0, 1.0 - above / 400_000.0) * (0.3 + wl.join_complexity)
+    trigger = np.maximum(0.0, 1.0 - above / 400_000.0) * (0.3 + wl.join_complexity)
     overhead = 0.22 * trigger
-    inline = float(ctx.get("jit_inline_above_cost", 500000.0))
-    optimize = float(ctx.get("jit_optimize_above_cost", 500000.0))
-    for threshold in (inline, optimize):
-        if threshold != -1.0 and threshold < 200_000.0:
-            overhead += 0.05 * trigger
-    return -overhead
+    for threshold in (
+        ctx.get("jit_inline_above_cost", 500000.0),
+        ctx.get("jit_optimize_above_cost", 500000.0),
+    ):
+        overhead = overhead + np.where(
+            (threshold != -1.0) & (threshold < 200_000.0), 0.05 * trigger, 0.0
+        )
+    # jit = off, or the jit_above_cost = -1 special value: JIT disabled.
+    enabled = ctx.is_on("jit", default="on") & (above != -1.0)
+    return np.where(enabled, -overhead, zero)
 
 
-def _worker_effect(ctx: EvalContext) -> float:
+def _worker_effect(ctx: BatchEvalContext) -> np.ndarray:
     wl = ctx.workload
-    per_gather = int(ctx.get("max_parallel_workers_per_gather"))
-    if per_gather == 0:
-        return 0.0  # special value: parallel query execution disabled
+    per_gather = ctx.get("max_parallel_workers_per_gather")
     if ctx.version.has_jit:
         # v13 parallelism can help the heavier analytical-ish queries a bit,
         # then oversubscription costs kick in.
-        helpful = min(per_gather, 4) * 0.015 * wl.join_complexity
-        oversub = 0.004 * max(0, per_gather - 4)
+        helpful = np.minimum(per_gather, 4) * 0.015 * wl.join_complexity
+        oversub = 0.004 * np.maximum(0, per_gather - 4)
         effect = helpful - oversub
     else:
-        effect = -0.010 * min(per_gather, 8) ** 0.5  # v9.6: overhead only
-    if ctx.get("force_parallel_mode", "off") != "off":
-        effect -= 0.08
-    workers = int(ctx.get("max_worker_processes"))
-    if workers > ctx.hardware.cores * 4:
-        effect -= 0.01
-    return effect
+        effect = -0.010 * np.minimum(per_gather, 8) ** 0.5  # v9.6: overhead only
+    forced = ctx.get("force_parallel_mode", "off") != "off"
+    effect = np.where(forced, effect - 0.08, effect)
+    effect = np.where(
+        ctx.get("max_worker_processes") > ctx.hardware.cores * 4,
+        effect - 0.01,
+        effect,
+    )
+    # Special value: parallel query execution disabled (before the
+    # force/worker modifiers, matching the scalar model's early return).
+    return np.where(per_gather == 0, 0.0, effect)
+
+
+def score_batch(ctx: BatchEvalContext) -> np.ndarray:
+    jit = _jit_effect(ctx)
+    effect = jit + _worker_effect(ctx)
+    ctx.notes["jit_overhead"] = -jit
+    return np.maximum(0.3, 1.0 + effect)
 
 
 def score(ctx: EvalContext) -> float:
-    effect = _jit_effect(ctx) + _worker_effect(ctx)
-    ctx.notes["jit_overhead"] = -_jit_effect(ctx)
-    return max(0.3, 1.0 + effect)
+    """Scalar shim over :func:`score_batch`."""
+    return run_component_scalar(score_batch, ctx)

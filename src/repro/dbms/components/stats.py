@@ -8,17 +8,21 @@ lives in :mod:`repro.dbms.components.vacuum`, which checks the same knob.
 
 from __future__ import annotations
 
-from repro.dbms.context import EvalContext
+import numpy as np
+
+from repro.dbms.context import BatchEvalContext, EvalContext, run_component_scalar
+
+
+def score_batch(ctx: BatchEvalContext) -> np.ndarray:
+    gain = np.where(~ctx.is_on("track_activities"), 0.004, 0.0)
+    # Bookkeeping saved; vacuum.py charges the real cost.
+    gain = gain + np.where(~ctx.is_on("track_counts"), 0.006, 0.0)
+    # Two clock reads per block I/O.
+    gain = gain - np.where(ctx.is_on("track_io_timing", default="off"), 0.010, 0.0)
+    gain = gain + np.where(~ctx.is_on("update_process_title"), 0.003, 0.0)
+    return 1.0 + gain
 
 
 def score(ctx: EvalContext) -> float:
-    gain = 0.0
-    if not ctx.is_on("track_activities"):
-        gain += 0.004
-    if not ctx.is_on("track_counts"):
-        gain += 0.006  # bookkeeping saved; vacuum.py charges the real cost
-    if ctx.is_on("track_io_timing", default="off"):
-        gain -= 0.010  # two clock reads per block I/O
-    if not ctx.is_on("update_process_title"):
-        gain += 0.003
-    return 1.0 + gain
+    """Scalar shim over :func:`score_batch`."""
+    return run_component_scalar(score_batch, ctx)

@@ -11,53 +11,61 @@ interaction PostgreSQL documents and tuners routinely trip over.
 
 from __future__ import annotations
 
-from repro.dbms.context import EvalContext
+import numpy as np
+
+from repro.dbms.context import BatchEvalContext, EvalContext, run_component_scalar
 
 
-def _vacuum_pace(ctx: EvalContext) -> float:
+def _vacuum_pace(ctx: BatchEvalContext) -> np.ndarray:
     """Relative cleaning pace; 1.0 matches the default throttle."""
     limit = ctx.autovacuum_cost_limit()
     delay_ms = ctx.autovacuum_cost_delay_ms()
     page_cost = (
-        float(ctx.get("vacuum_cost_page_hit"))
-        + float(ctx.get("vacuum_cost_page_miss"))
-        + float(ctx.get("vacuum_cost_page_dirty"))
+        ctx.get("vacuum_cost_page_hit")
+        + ctx.get("vacuum_cost_page_miss")
+        + ctx.get("vacuum_cost_page_dirty")
     ) / 31.0  # defaults sum to 31
-    pace = (limit / 200.0) / ((1.0 + delay_ms) * max(page_cost, 0.05))
-    pace *= min(2.0, int(ctx.get("autovacuum_max_workers")) / 3.0)
+    pace = (limit / 200.0) / ((1.0 + delay_ms) * np.maximum(page_cost, 0.05))
+    pace = pace * np.minimum(2.0, ctx.get("autovacuum_max_workers") / 3.0)
     return pace / 1.05  # default works out slightly above 1
 
 
-def score(ctx: EvalContext) -> float:
+def score_batch(ctx: BatchEvalContext) -> np.ndarray:
     wl = ctx.workload
     writes = wl.write_txn_fraction
 
-    autovacuum_works = ctx.is_on("autovacuum") and ctx.is_on("track_counts")
-    if not autovacuum_works:
-        bloat = 0.28 * writes
-        ctx.notes["dead_tuple_ratio"] = 0.30
-        ctx.notes["autovacuum_runs"] = 0.0
-        return 1.0 - bloat
+    works = ctx.is_on("autovacuum") & ctx.is_on("track_counts")
+
+    # Autovacuum silently disabled: steady-state bloat, no vacuum runs.
+    broken_score = 1.0 - 0.28 * writes
 
     # Trigger lag: fraction of a table that may be dead before vacuum runs.
-    lag = float(ctx.get("autovacuum_vacuum_scale_factor"))
-    lag += int(ctx.get("autovacuum_vacuum_threshold")) / 2e6
-    lag += min(0.05, int(ctx.get("autovacuum_naptime")) / 7200.0)
-    bloat = writes * min(0.30, 0.80 * lag)
+    lag = ctx.get("autovacuum_vacuum_scale_factor")
+    lag = lag + ctx.get("autovacuum_vacuum_threshold") / 2e6
+    lag = lag + np.minimum(0.05, ctx.get("autovacuum_naptime") / 7200.0)
+    bloat = writes * np.minimum(0.30, 0.80 * lag)
 
     pace = _vacuum_pace(ctx)
     # Too slow: cleaning cannot keep up, adding residual bloat.
-    sluggish = 0.10 * writes * max(0.0, 1.0 - pace)
+    sluggish = 0.10 * writes * np.maximum(0.0, 1.0 - pace)
     # Too fast: vacuum I/O competes with the workload.
-    interference = 0.05 * writes * max(0.0, min(3.0, pace) - 1.2)
+    interference = 0.05 * writes * np.maximum(0.0, np.minimum(3.0, pace) - 1.2)
 
     # Stale planner statistics if analyze lags far behind.
-    analyze_lag = float(ctx.get("autovacuum_analyze_scale_factor"))
-    stale_stats = 0.05 * wl.join_complexity * min(1.0, analyze_lag / 0.5)
+    analyze_lag = ctx.get("autovacuum_analyze_scale_factor")
+    stale_stats = 0.05 * wl.join_complexity * np.minimum(1.0, analyze_lag / 0.5)
 
-    ctx.notes["dead_tuple_ratio"] = min(0.30, 0.80 * lag)
-    ctx.notes["autovacuum_runs"] = pace
-    ctx.notes["vacuum_pace"] = pace
+    ctx.notes["dead_tuple_ratio"] = np.where(
+        works, np.minimum(0.30, 0.80 * lag), 0.30
+    )
+    ctx.notes["autovacuum_runs"] = np.where(works, pace, 0.0)
+    ctx.notes["vacuum_pace"] = np.where(works, pace, 0.0)
 
     total = bloat + sluggish + interference + stale_stats
-    return max(0.3, 1.0 - total)
+    working_score = np.maximum(0.3, 1.0 - total)
+    return np.where(works, working_score, broken_score)
+
+
+def score(ctx: EvalContext) -> float:
+    """Scalar shim over :func:`score_batch`."""
+    return run_component_scalar(score_batch, ctx)

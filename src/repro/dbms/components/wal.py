@@ -11,7 +11,9 @@ flush-immediately special value 0).
 
 from __future__ import annotations
 
-from repro.dbms.context import EvalContext
+import numpy as np
+
+from repro.dbms.context import BatchEvalContext, EvalContext, run_component_scalar
 
 MIB = 1024**2
 
@@ -27,48 +29,48 @@ _SYNC_METHOD_COST = {
 _WAL_LEVEL_VOLUME = {"minimal": 1.00, "replica": 1.06, "logical": 1.14}
 
 
-def _wal_volume_multiplier(ctx: EvalContext) -> float:
-    volume = _WAL_LEVEL_VOLUME[str(ctx.get("wal_level"))]
-    if not ctx.is_on("full_page_writes"):
-        volume *= 0.62  # no full-page images after checkpoints
-    if ctx.is_on("wal_compression", default="off"):
-        volume *= 0.78
-    return volume
+def _wal_volume_multiplier(ctx: BatchEvalContext) -> np.ndarray:
+    volume = ctx.map_values("wal_level", _WAL_LEVEL_VOLUME)
+    # No full-page images after checkpoints.
+    volume = np.where(ctx.is_on("full_page_writes"), volume, volume * 0.62)
+    compressed = ctx.is_on("wal_compression", default="off")
+    return np.where(compressed, volume * 0.78, volume)
 
 
-def _commit_sync_ms(ctx: EvalContext) -> float:
-    """Time a committing backend spends making its WAL durable."""
+def _commit_sync_ms(ctx: BatchEvalContext) -> np.ndarray:
+    """Time a committing backend spends making its WAL durable, resolved as
+    a branch-free selection over the scalar model's decision tree."""
     hw = ctx.hardware
     wl = ctx.workload
 
-    if not ctx.is_on("fsync"):
-        return 0.13  # writes are not forced; still pay buffered-write CPU
-    if ctx.get("synchronous_commit") == "off":
-        # Commits return before the flush; the WAL writer absorbs the work.
-        wwfa = int(ctx.get("wal_writer_flush_after"))
-        delay_ms = float(ctx.get("wal_writer_delay"))
-        if wwfa == 0:
-            return 0.190  # special value: flush on every WAL-writer pass
-        # Larger flush-after and saner delays amortize flushes better.
-        amortize = min(1.0, (wwfa * 8192) / (2 * MIB)) * min(
-            1.0, delay_ms / 100.0
-        )
-        return 0.175 - 0.065 * amortize
+    # Asynchronous commits: the WAL writer absorbs the flush; larger
+    # flush-after and saner delays amortize flushes better.  wal_writer_
+    # flush_after = 0 is the flush-on-every-pass special value.
+    wwfa = ctx.get("wal_writer_flush_after")
+    delay_ms = ctx.get("wal_writer_delay")
+    amortize = np.minimum(1.0, (wwfa * 8192) / (2 * MIB)) * np.minimum(
+        1.0, delay_ms / 100.0
+    )
+    async_ms = np.where(wwfa == 0, 0.190, 0.175 - 0.065 * amortize)
 
-    t_sync = hw.fsync_ms * _SYNC_METHOD_COST[str(ctx.get("wal_sync_method"))]
+    t_sync = hw.fsync_ms * ctx.map_values("wal_sync_method", _SYNC_METHOD_COST)
 
-    delay_us = int(ctx.get("commit_delay"))
-    siblings = int(ctx.get("commit_siblings"))
-    if delay_us > 0 and wl.clients > siblings:
-        # Group commit: the delay batches concurrent committers into one
-        # flush, at the price of added latency for each of them.
-        batch = 1.0 + min(7.0, (delay_us / 150.0) ** 0.8)
-        added_latency_ms = (delay_us / 1000.0) * 0.25
-        return t_sync / batch + added_latency_ms
-    return t_sync
+    # Group commit: the delay batches concurrent committers into one flush,
+    # at the price of added latency for each of them.
+    delay_us = ctx.get("commit_delay")
+    siblings = ctx.get("commit_siblings")
+    batch = 1.0 + np.minimum(7.0, (delay_us / 150.0) ** 0.8)
+    added_latency_ms = (delay_us / 1000.0) * 0.25
+    grouped = (delay_us > 0) & (wl.clients > siblings)
+    sync_ms = np.where(grouped, t_sync / batch + added_latency_ms, t_sync)
+
+    async_commit = ctx.get("synchronous_commit") == "off"
+    out = np.where(async_commit, async_ms, sync_ms)
+    # fsync off: writes are not forced; still pay buffered-write CPU.
+    return np.where(ctx.is_on("fsync"), out, 0.13)
 
 
-def score(ctx: EvalContext) -> float:
+def score_batch(ctx: BatchEvalContext) -> np.ndarray:
     hw = ctx.hardware
     wl = ctx.workload
 
@@ -81,9 +83,9 @@ def score(ctx: EvalContext) -> float:
 
     # Undersized WAL buffers stall writers waiting for buffer space.
     wal_buf = ctx.wal_buffers_bytes()
-    t_stall = 0.15 * max(0.0, 1.0 - wal_buf / (1 * MIB))
+    t_stall = 0.15 * np.maximum(0.0, 1.0 - wal_buf / (1 * MIB))
 
-    t_cpu = 0.02 if ctx.is_on("wal_compression", default="off") else 0.0
+    t_cpu = np.where(ctx.is_on("wal_compression", default="off"), 0.02, 0.0)
 
     t_wal = t_commit + t_stream + t_stall + t_cpu
 
@@ -94,3 +96,8 @@ def score(ctx: EvalContext) -> float:
     # Floor represents the non-WAL work of a writing transaction.
     floor_ms = 0.55
     return floor_ms / (floor_ms + t_wal * wl.write_txn_fraction * 2.0)
+
+
+def score(ctx: EvalContext) -> float:
+    """Scalar shim over :func:`score_batch`."""
+    return run_component_scalar(score_batch, ctx)

@@ -13,29 +13,35 @@ improved writeback handling narrows the gap (paper, Table 7 discussion).
 
 from __future__ import annotations
 
-from repro.dbms.context import EvalContext
+import numpy as np
+
+from repro.dbms.context import BatchEvalContext, EvalContext, run_component_scalar
 
 
-def score(ctx: EvalContext) -> float:
+def score_batch(ctx: BatchEvalContext) -> np.ndarray:
     wl = ctx.workload
     impact = ctx.version.writeback_impact
 
-    bfa = int(ctx.get("backend_flush_after"))
-    if bfa == 0:
-        read_side = 1.0
-    else:
-        # 1 page -> ~0.55, 256 pages -> ~0.85 of the writeback-free speed.
-        read_side = 0.55 + 0.30 * (bfa / 256.0) ** 0.7
+    bfa = ctx.get("backend_flush_after")
+    disabled = bfa == 0
+    # 1 page -> ~0.55, 256 pages -> ~0.85 of the writeback-free speed.
+    read_side = np.where(disabled, 1.0, 0.55 + 0.30 * (bfa / 256.0) ** 0.7)
     # Only the modeled fraction of the penalty applies on newer versions.
     read_side = 1.0 - impact * (1.0 - read_side)
 
     # Mild I/O smoothing benefit of moderate writeback for writers.
-    if bfa > 0:
-        smooth = 1.0 + 0.04 * wl.write_txn_fraction * (
-            1.0 - abs(bfa - 64) / 256.0
-        )
-    else:
-        smooth = 1.0
+    smooth = np.where(
+        disabled,
+        1.0,
+        1.0 + 0.04 * wl.write_txn_fraction * (1.0 - np.abs(bfa - 64) / 256.0),
+    )
 
-    ctx.notes["bgwriter_flushes"] = 0.0 if bfa == 0 else 256.0 / bfa
+    ctx.notes["bgwriter_flushes"] = np.where(
+        disabled, 0.0, 256.0 / np.where(disabled, 1, bfa)
+    )
     return read_side * smooth
+
+
+def score(ctx: EvalContext) -> float:
+    """Scalar shim over :func:`score_batch`."""
+    return run_component_scalar(score_batch, ctx)

@@ -15,21 +15,29 @@ Throughput composes the component scores as a weighted geometric product::
 
 calibrated so the DBMS default configuration lands on the workload's
 ``base_throughput`` (times the version's baseline multiplier).
+
+The simulator is array-native: :meth:`PostgresSimulator.evaluate_batch`
+runs one whole-matrix pass — batched component scores over a
+:class:`~repro.dbms.context.BatchEvalContext`, a single weighted-geometric
+reduction, vectorized noise draws, and batched latency/metric derivation —
+and the scalar :meth:`~PostgresSimulator.evaluate` is a one-row call into
+the same pipeline, which makes batch results bit-identical to N scalar
+calls by construction.
 """
 
 from __future__ import annotations
 
-import math
+import dataclasses
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.dbms.components import COMPONENTS
-from repro.dbms.context import EvalContext
+from repro.dbms.components import BATCH_COMPONENTS
+from repro.dbms.context import BatchEvalContext
 from repro.dbms.errors import DbmsCrashError
 from repro.dbms.hardware import C220G5, Hardware
-from repro.dbms.metrics import derive_metrics
+from repro.dbms.metrics import derive_metrics_batch
 from repro.dbms.versions import V96, PostgresVersion
 from repro.space.configspace import Configuration
 from repro.space.knob import KnobValue
@@ -41,13 +49,31 @@ from repro.workloads.base import Workload
 #: which used to happen once per simulator during calibration.
 _DEFAULT_CONFIG_CACHE: dict[str, Configuration] = {}
 
-#: Calibration factors keyed on (simulator class, workload, version,
-#: hardware).  Keys hold ``id()`` triples; the values keep the keyed objects
-#: alive so ids cannot be recycled.  Profiles are frozen dataclasses, so an
-#: identical object always yields the identical calibration.
-_CALIBRATION_CACHE: dict[
-    tuple[type, int, int, int], tuple[Workload, PostgresVersion, Hardware, float]
-] = {}
+#: Calibration factors keyed on the *value identity* of (simulator class,
+#: workload, version, hardware).  Profiles are frozen dataclasses, so two
+#: structurally equal profiles — even freshly constructed ones, as in
+#: parameter sweeps — share one cache entry, and the cache holds no object
+#: references that would pin profiles alive.
+_CALIBRATION_CACHE: dict[tuple, float] = {}
+
+#: Utilization at which the open-loop queueing model saturates.
+_RHO_SATURATION = 0.97
+
+
+def _profile_key(profile) -> tuple:
+    """Hashable value identity for a frozen profile dataclass.
+
+    Mapping-valued fields (workload weights, version base multipliers) are
+    flattened to sorted item tuples because ``MappingProxyType`` is
+    unhashable.
+    """
+    parts: list = [type(profile)]
+    for field in dataclasses.fields(profile):
+        value = getattr(profile, field.name)
+        if isinstance(value, Mapping):
+            value = tuple(sorted(value.items()))
+        parts.append((field.name, value))
+    return tuple(parts)
 
 
 def _default_configuration(version: PostgresVersion) -> Configuration:
@@ -108,65 +134,76 @@ class PostgresSimulator:
 
     # --- internals ---------------------------------------------------------
 
-    def _component_scores(
-        self, values: Mapping[str, KnobValue]
-    ) -> tuple[dict[str, float], dict[str, float]]:
-        ctx = EvalContext(
-            values=values,
-            workload=self.workload,
-            hardware=self.hardware,
-            version=self.version,
+    def _batch_context(
+        self, rows: Sequence[Mapping[str, KnobValue]]
+    ) -> BatchEvalContext:
+        return BatchEvalContext.from_values(
+            rows, self.workload, self.hardware, self.version
         )
-        scores = {name: fn(ctx) for name, fn in COMPONENTS.items()}
-        return scores, ctx.notes
 
-    def _raw_throughput(self, scores: Mapping[str, float]) -> float:
-        log_sum = 0.0
+    def _component_scores_batch(
+        self, ctx: BatchEvalContext
+    ) -> dict[str, np.ndarray]:
+        """All component scores as ``(N,)`` columns; crash rows are flagged
+        on the context rather than raised."""
+        n = ctx.n
+        scores = {}
+        for name, fn in BATCH_COMPONENTS.items():
+            score = np.asarray(fn(ctx), dtype=float)
+            scores[name] = (
+                score if score.shape == (n,) else np.broadcast_to(score, (n,))
+            )
+        return scores
+
+    def _raw_throughput_batch(
+        self, scores: Mapping[str, np.ndarray], n: int
+    ) -> np.ndarray:
+        """One weighted-geometric-product reduction over all rows."""
+        log_sum = np.zeros(n)
         for name, score in scores.items():
             weight = self.workload.weight(name)
             if weight:
-                log_sum += weight * math.log(max(score, 1e-9))
-        return math.exp(log_sum)
+                log_sum = log_sum + weight * np.log(np.maximum(score, 1e-9))
+        return np.exp(log_sum)
 
     def _calibrate(self) -> float:
         """Scale factor mapping raw products onto calibrated req/s.
 
         Calibrates against the simulator's own version catalog (v13.6 runs
         use the v13.6 defaults) and caches the factor per (class, workload,
-        version, hardware) at module level, so building many simulators for
-        the same testbed does not recompute it.
+        version, hardware) *value* at module level, so building many
+        simulators — or rebuilding structurally identical profiles in a
+        sweep — never recomputes or leaks.
         """
         if self._calibration is None:
             key = (
-                type(self), id(self.workload), id(self.version), id(self.hardware)
+                type(self),
+                _profile_key(self.workload),
+                _profile_key(self.version),
+                _profile_key(self.hardware),
             )
             hit = _CALIBRATION_CACHE.get(key)
-            if hit is not None:
-                self._calibration = hit[3]
-                return self._calibration
-            default = _default_configuration(self.version)
-            scores, __ = self._component_scores(dict(default))
-            raw = self._raw_throughput(scores)
-            target = self.workload.base_throughput * self.version.baseline_scale(
-                self.workload.name
-            )
-            self._calibration = target / raw
-            _CALIBRATION_CACHE[key] = (
-                self.workload, self.version, self.hardware, self._calibration
-            )
+            if hit is None:
+                default = _default_configuration(self.version)
+                ctx = self._batch_context([default])
+                scores = self._component_scores_batch(ctx)
+                raw = float(self._raw_throughput_batch(scores, 1)[0])
+                target = self.workload.base_throughput * self.version.baseline_scale(
+                    self.workload.name
+                )
+                hit = target / raw
+                _CALIBRATION_CACHE[key] = hit
+            self._calibration = hit
         return self._calibration
 
-    def _p95_latency_ms(
-        self,
-        values: Mapping[str, KnobValue],
-        throughput: float,
-        notes: Mapping[str, float],
-    ) -> float:
+    def _p95_latency_ms_batch(
+        self, ctx: BatchEvalContext, throughput: np.ndarray
+    ) -> np.ndarray:
         wl = self.workload
-        burst = float(notes.get("checkpoint_burst", 0.3))
-        lock_wait = float(notes.get("lock_wait_fraction", 0.0))
+        burst = ctx.notes.get("checkpoint_burst", 0.3)
+        lock_wait = ctx.notes.get("lock_wait_fraction", 0.0)
         tail_factor = 1.6 + 2.2 * burst * wl.write_txn_fraction + 1.5 * lock_wait
-        commit_delay_ms = int(values.get("commit_delay", 0)) / 1000.0
+        commit_delay_ms = ctx.get("commit_delay", 0) / 1000.0
 
         if self.target_rate is None:
             # Closed loop: mean latency is clients / throughput.
@@ -175,15 +212,20 @@ class PostgresSimulator:
 
         # Open loop at a fixed arrival rate: queueing inflates the tail as
         # utilization approaches the configuration's capacity.
-        rho = self.target_rate / max(throughput, 1e-9)
-        service_ms = 1000.0 * wl.clients / max(throughput, 1e-9) * 0.25
-        if rho >= 0.97:
-            return 8000.0 * rho  # saturated: latency explodes
+        rho = self.target_rate / np.maximum(throughput, 1e-9)
+        service_ms = 1000.0 * wl.clients / np.maximum(throughput, 1e-9) * 0.25
         # Damped queueing tail: superlinear in utilization but without the
         # 1/(1-rho) blow-up, so moderate capacity differences translate to
         # moderate tail-latency differences (the paper's 3-15% reductions).
-        queue = 1.0 + 0.8 * rho + 0.25 * rho**2 / np.sqrt(1.0 - rho)
-        return service_ms * queue * tail_factor + commit_delay_ms * 0.8
+        capped = np.minimum(rho, _RHO_SATURATION)
+        queue = 1.0 + 0.8 * capped + 0.25 * capped**2 / np.sqrt(1.0 - capped)
+        p95 = service_ms * queue * tail_factor + commit_delay_ms * 0.8
+        # Past saturation the tail explodes, but *continuously*: the factor
+        # is exactly 1 at the threshold and grows quartically with excess
+        # utilization, so the saturated branch keeps the tail_factor and
+        # commit-delay terms instead of jumping to a disconnected regime.
+        excess = np.maximum(0.0, rho - _RHO_SATURATION) / (1.0 - _RHO_SATURATION)
+        return p95 * (1.0 + excess) ** 4
 
     # --- public API ---------------------------------------------------------
 
@@ -192,38 +234,14 @@ class PostgresSimulator:
         config: Configuration | Mapping[str, KnobValue],
         rng: np.random.Generator | None = None,
     ) -> Measurement:
-        """Run the workload once under ``config``.
+        """Run the workload once under ``config`` (a one-row batch pass).
 
         Raises:
             DbmsCrashError: If the configuration cannot be started (e.g.
                 memory over-commit).  Callers implementing the paper's
                 protocol should convert this into the ¼-of-worst penalty.
         """
-        values = dict(config)
-        scores, notes = self._component_scores(values)
-        throughput = self._calibrate() * self._raw_throughput(scores)
-
-        if rng is not None and self.noise_std > 0:
-            throughput *= float(
-                np.exp(rng.normal(0.0, self.noise_std))
-            )
-
-        p95 = self._p95_latency_ms(values, throughput, notes)
-        if rng is not None and self.noise_std > 0:
-            p95 *= float(np.exp(rng.normal(0.0, self.noise_std * 2.0)))
-
-        metrics = derive_metrics(
-            notes,
-            throughput=throughput,
-            clients=self.workload.clients,
-            read_fraction=self.workload.read_txn_fraction,
-        )
-        return Measurement(
-            throughput=throughput,
-            p95_latency_ms=p95,
-            metrics=metrics,
-            component_scores=scores,
-        )
+        return self._evaluate_native([config], rng, "raise")[0]
 
     def evaluate_batch(
         self,
@@ -233,33 +251,108 @@ class PostgresSimulator:
     ) -> list[Measurement | None]:
         """Run the workload once under each of ``N`` configurations.
 
-        Results (including the noise stream drawn from ``rng``) are
-        bit-identical to calling :meth:`evaluate` sequentially.  The batch
-        entry point shares one calibration lookup across the whole batch;
-        the per-configuration component models remain scalar Python, so this
-        is the seam where a future array-native component pass plugs in.
+        One whole-matrix pass: the component models evaluate all rows at
+        once, throughput is one weighted-geometric reduction, noise is one
+        vectorized draw, and latency/metrics derive in bulk.  Results
+        (including the noise stream drawn from ``rng``) are bit-identical
+        to calling :meth:`evaluate` sequentially — per-row noise pairs are
+        drawn in row order and crashing rows draw no noise, exactly like
+        the scalar path.
 
         Args:
             configs: Configurations to evaluate, in order.
             rng: Optional noise stream, consumed in configuration order.
-            on_crash: ``"raise"`` propagates the first
-                :class:`DbmsCrashError`; ``"none"`` records ``None`` for
-                crashing configurations and keeps going (crashing
-                evaluations draw no noise, matching the scalar path).
+            on_crash: ``"raise"`` propagates a
+                :class:`DbmsCrashError` for the first crashing row;
+                ``"none"`` records ``None`` for crashing configurations and
+                keeps going.
         """
         if on_crash not in ("raise", "none"):
             raise ValueError(f"unknown on_crash policy {on_crash!r}")
-        self._calibrate()
+        if type(self).evaluate is not PostgresSimulator.evaluate:
+            # A subclass customized the scalar path (failure injection,
+            # real-DBMS drivers): honor its semantics row by row instead of
+            # silently bypassing it with the native matrix pass.
+            results: list[Measurement | None] = []
+            for config in configs:
+                try:
+                    results.append(self.evaluate(config, rng=rng))
+                except DbmsCrashError:
+                    if on_crash == "raise":
+                        raise
+                    results.append(None)
+            return results
+        return self._evaluate_native(configs, rng, on_crash)
+
+    def _evaluate_native(
+        self,
+        configs: Sequence[Configuration | Mapping[str, KnobValue]],
+        rng: np.random.Generator | None,
+        on_crash: str,
+    ) -> list[Measurement | None]:
+        """The whole-matrix pass behind both public evaluation entry points."""
+        calibration = self._calibrate()
+        n = len(configs)
+        if n == 0:
+            return []
+
+        ctx = self._batch_context(configs)
+        scores = self._component_scores_batch(ctx)
+        crashed = ctx.crashed
+        if on_crash == "raise" and crashed.any():
+            first = int(np.flatnonzero(crashed)[0])
+            if rng is not None and self.noise_std > 0:
+                # Sequential semantics: the rows before the crashing one
+                # have already drawn their noise pairs by the time the
+                # exception propagates — keep the stream position identical.
+                rng.standard_normal((first, 2))
+            raise DbmsCrashError(ctx.crash_messages[first])
+
+        throughput = calibration * self._raw_throughput_batch(scores, n)
+
+        p95_noise: np.ndarray | None = None
+        if rng is not None and self.noise_std > 0:
+            # One draw pass, interleaved per row (throughput then latency,
+            # matching the scalar call order); crashed rows draw nothing.
+            alive = ~crashed
+            draws = rng.standard_normal((int(alive.sum()), 2))
+            throughput_noise = np.ones(n)
+            throughput_noise[alive] = np.exp(draws[:, 0] * self.noise_std)
+            p95_noise = np.ones(n)
+            p95_noise[alive] = np.exp(draws[:, 1] * (self.noise_std * 2.0))
+            throughput = throughput * throughput_noise
+
+        p95 = self._p95_latency_ms_batch(ctx, throughput)
+        if p95_noise is not None:
+            p95 = p95 * p95_noise
+
+        metric_columns = derive_metrics_batch(
+            ctx.notes,
+            throughput=throughput,
+            clients=self.workload.clients,
+            read_fraction=self.workload.read_txn_fraction,
+        )
+
         results: list[Measurement | None] = []
-        for config in configs:
-            try:
-                results.append(self.evaluate(config, rng=rng))
-            except DbmsCrashError:
-                if on_crash == "raise":
-                    raise
+        for i in range(n):
+            if crashed[i]:
                 results.append(None)
+                continue
+            results.append(
+                Measurement(
+                    throughput=float(throughput[i]),
+                    p95_latency_ms=float(p95[i]),
+                    metrics={
+                        name: float(column[i])
+                        for name, column in metric_columns.items()
+                    },
+                    component_scores={
+                        name: float(column[i]) for name, column in scores.items()
+                    },
+                )
+            )
         return results
 
     def default_measurement(self) -> Measurement:
         """Noise-free measurement of the DBMS default configuration."""
-        return self.evaluate(dict(_default_configuration(self.version)))
+        return self.evaluate(_default_configuration(self.version))

@@ -4,6 +4,9 @@ The paper's DDPG integration (Section 6.4) feeds 27 system-wide PostgreSQL
 metrics, averaged over each iteration, to the actor network as the DBMS
 state.  We derive the same kind of metrics from the simulator's component
 models so the RL path exercises realistic, configuration-dependent state.
+
+:func:`derive_metrics_batch` is the primary, array-native derivation over
+``(N,)`` note columns; :func:`derive_metrics` is its one-row scalar view.
 """
 
 from __future__ import annotations
@@ -46,26 +49,36 @@ METRIC_NAMES: tuple[str, ...] = (
 assert len(METRIC_NAMES) == 27
 
 
-def derive_metrics(
-    notes: Mapping[str, float],
-    throughput: float,
+def derive_metrics_batch(
+    notes: Mapping[str, np.ndarray],
+    throughput: np.ndarray,
     clients: int,
     read_fraction: float,
-) -> dict[str, float]:
-    """Build the 27-metric snapshot from component notes and the outcome."""
-    hit_ratio = float(notes.get("buffer_hit_ratio", 0.5))
-    os_hit = float(notes.get("os_cache_hit_ratio", 0.3))
-    miss = float(notes.get("blks_read_fraction", 0.1))
+) -> dict[str, np.ndarray]:
+    """Build the 27 metric columns for ``N`` evaluations at once.
+
+    ``notes`` values and the returned columns are ``(N,)`` arrays (scalars
+    broadcast); missing notes fall back to neutral defaults.
+    """
+    throughput = np.asarray(throughput, dtype=float)
+    n = throughput.shape[0]
+
+    def note(key: str, default: float):
+        return notes.get(key, default)
+
+    hit_ratio = note("buffer_hit_ratio", 0.5)
+    os_hit = note("os_cache_hit_ratio", 0.3)
+    miss = note("blks_read_fraction", 0.1)
     reads_per_txn = 6.0
     writes = 1.0 - read_fraction
-    wal_bytes = float(notes.get("wal_bytes_per_txn", 30000.0))
-    burst = float(notes.get("checkpoint_burst", 0.3))
-    spill = float(notes.get("temp_spill_ratio", 0.0))
+    wal_bytes = note("wal_bytes_per_txn", 30000.0)
+    burst = note("checkpoint_burst", 0.3)
+    spill = note("temp_spill_ratio", 0.0)
 
     metrics = {
         "xact_commit_rate": throughput,
         "xact_rollback_rate": throughput * 0.01
-        + throughput * float(notes.get("deadlocks_per_min", 0.0)) * 0.001,
+        + throughput * note("deadlocks_per_min", 0.0) * 0.001,
         "blks_read_rate": throughput * reads_per_txn * miss,
         "blks_hit_rate": throughput * reads_per_txn * hit_ratio,
         "buffer_hit_ratio": hit_ratio,
@@ -75,24 +88,45 @@ def derive_metrics(
         "tup_updated_rate": throughput * writes * 2.5,
         "tup_deleted_rate": throughput * writes * 0.3,
         "wal_bytes_rate": throughput * writes * wal_bytes,
-        "checkpoints_per_run": float(notes.get("checkpoints_per_run", 1.0)),
+        "checkpoints_per_run": note("checkpoints_per_run", 1.0),
         "checkpoint_write_time": burst * 100.0,
         "buffers_checkpoint": throughput * writes * burst * 2.0,
-        "buffers_clean": float(notes.get("bgwriter_flushes", 1.0)) * 100.0,
+        "buffers_clean": note("bgwriter_flushes", 1.0) * 100.0,
         "buffers_backend": throughput * writes * 0.5,
         "maxwritten_clean": burst * 10.0,
-        "dead_tuple_ratio": float(notes.get("dead_tuple_ratio", 0.05)),
-        "autovacuum_runs": float(notes.get("autovacuum_runs", 1.0)),
+        "dead_tuple_ratio": note("dead_tuple_ratio", 0.05),
+        "autovacuum_runs": note("autovacuum_runs", 1.0),
         "temp_files_rate": throughput * spill * 0.1,
         "temp_bytes_rate": throughput * spill * 1e5,
-        "deadlocks_per_min": float(notes.get("deadlocks_per_min", 0.0)),
-        "lock_wait_fraction": float(notes.get("lock_wait_fraction", 0.0)),
+        "deadlocks_per_min": note("deadlocks_per_min", 0.0),
+        "lock_wait_fraction": note("lock_wait_fraction", 0.0),
         "active_connections": float(clients),
-        "cpu_utilization": min(1.0, 0.3 + 0.5 * hit_ratio),
-        "io_utilization": min(1.0, miss * 2.0 + writes * 0.4),
-        "memory_pressure": float(notes.get("memory_pressure", 0.3)),
+        "cpu_utilization": np.minimum(1.0, 0.3 + 0.5 * hit_ratio),
+        "io_utilization": np.minimum(1.0, miss * 2.0 + writes * 0.4),
+        "memory_pressure": note("memory_pressure", 0.3),
     }
-    return metrics
+    out = {}
+    for key, value in metrics.items():
+        column = np.asarray(value, dtype=float)
+        out[key] = column if column.shape == (n,) else np.broadcast_to(column, (n,))
+    return out
+
+
+def derive_metrics(
+    notes: Mapping[str, float],
+    throughput: float,
+    clients: int,
+    read_fraction: float,
+) -> dict[str, float]:
+    """Build the 27-metric snapshot from component notes and the outcome
+    (the one-row view of :func:`derive_metrics_batch`)."""
+    columns = derive_metrics_batch(
+        {key: np.asarray([value], dtype=float) for key, value in notes.items()},
+        np.asarray([throughput], dtype=float),
+        clients=clients,
+        read_fraction=read_fraction,
+    )
+    return {key: float(column[0]) for key, column in columns.items()}
 
 
 def metrics_vector(metrics: Mapping[str, float]) -> np.ndarray:

@@ -46,6 +46,29 @@ class Optimizer(ABC):
             return self.encoding.decode(self._next_init_vector())
         return self._suggest_model()
 
+    def suggest_init_batch(self) -> list[Configuration]:
+        """All remaining init-phase (LHS) suggestions, decoded in one pass.
+
+        The batch is exactly the sequence :meth:`suggest` would return over
+        the rest of the init phase — same LHS design, same RNG consumption,
+        bit-identical decoded configurations (``decode_batch`` is pinned to
+        the scalar decode) — so callers may evaluate it in bulk and feed
+        the results back through :meth:`observe` one by one.  Consuming is
+        implicit: :meth:`observe` advances the design index.  Returns ``[]``
+        once the init phase is over (or for optimizers that cannot batch,
+        e.g. DDPG's per-step action bookkeeping).
+        """
+        if len(self._y) >= self.n_init:
+            return []
+        if self._init_points is None:
+            self._init_points = list(
+                self.encoding.lhs_vectors(self.n_init, self.rng)
+            )
+        remaining = self._init_points[len(self._y):]
+        if not remaining:
+            return []
+        return self.encoding.decode_batch(np.stack(remaining))
+
     def observe(
         self,
         config: Configuration,

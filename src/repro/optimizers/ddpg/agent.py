@@ -118,6 +118,12 @@ class DDPGOptimizer(Optimizer):
             return config
         return self._suggest_model()
 
+    def suggest_init_batch(self) -> list[Configuration]:
+        """DDPG cannot batch its init phase: every suggestion must record
+        the matching unit-cube action before the paired observe stores the
+        replay transition.  Callers fall back to the scalar loop."""
+        return []
+
     def _action_from_vector(self, vector: np.ndarray) -> np.ndarray:
         action = vector.copy()
         for i in np.flatnonzero(self.encoding.is_categorical):

@@ -57,6 +57,8 @@ class KnowledgeBase:
         return float(values.max() if self.maximize else values.min())
 
     def best_observation(self) -> Observation:
+        if not self.observations:
+            raise RuntimeError("knowledge base is empty")
         values = self.values
         index = int(values.argmax() if self.maximize else values.argmin())
         return self.observations[index]

@@ -50,7 +50,10 @@ class SessionSpec:
     """Declarative description of one tuning-session arm.
 
     ``adapter`` is a factory ``(space, seed) -> SearchSpaceAdapter`` or None
-    for the identity (vanilla) baseline.
+    for the identity (vanilla) baseline.  ``batch_init`` (default on) makes
+    every session evaluate its whole LHS init phase through the batch
+    pipeline — one decode, one conversion, one simulator matrix pass per
+    seed — with bit-identical results to the scalar loop.
     """
 
     workload: str
@@ -63,6 +66,7 @@ class SessionSpec:
     target_rate: float | None = None
     early_stopping: EarlyStoppingPolicy | None = None
     optimizer_kwargs: tuple[tuple[str, object], ...] = ()
+    batch_init: bool = True
 
     def build(self, seed: int) -> TuningSession:
         space = space_for_version(self.version)
@@ -87,6 +91,7 @@ class SessionSpec:
             adapter=adapter,
             objective=self.objective,
             n_iterations=self.n_iterations,
+            batch_init=self.batch_init,
             seed=seed + 10_000,  # evaluation noise stream, distinct from optimizer
             # Policies carry per-session mutable state; every session gets
             # its own copy so seeds neither contaminate each other nor race

@@ -69,6 +69,11 @@ class TuningSession:
         n_iterations: Iteration budget (100 in the paper).
         seed: Seed for evaluation noise.
         early_stopping: Optional Appendix-A policy.
+        batch_init: Evaluate the whole LHS init phase through the batch
+            pipeline (one ``suggest_init_batch`` decode, one
+            ``to_target_batch`` conversion, one ``evaluate_batch`` pass).
+            Results are bit-identical to the scalar loop; disable only to
+            cross-check that equivalence.
     """
 
     def __init__(
@@ -80,6 +85,7 @@ class TuningSession:
         n_iterations: int = 100,
         seed: int = 0,
         early_stopping: EarlyStoppingPolicy | None = None,
+        batch_init: bool = True,
     ):
         if objective not in ("throughput", "latency"):
             raise ValueError(f"unknown objective {objective!r}")
@@ -96,6 +102,7 @@ class TuningSession:
         self.n_iterations = n_iterations
         self.rng = np.random.default_rng(seed)
         self.early_stopping = early_stopping
+        self.batch_init = batch_init
 
     @property
     def maximize(self) -> bool:
@@ -107,53 +114,56 @@ class TuningSession:
         default_value = default.value(self.objective)
         # The crash penalty references the worst performance seen so far,
         # initialized with the default configuration's performance.
-        worst_seen = default_value
+        self._worst_seen = default_value
         stopped_at: int | None = None
+        iteration = 0
 
-        for iteration in range(self.n_iterations):
+        if self.batch_init:
+            # Fast path: the whole LHS init phase is one decode, one
+            # adapter conversion, and one simulator matrix pass.  Every
+            # batch stage is pinned bit-identical to its scalar
+            # counterpart, and outcomes are fed back in order with the
+            # same penalty/early-stop bookkeeping, so the knowledge base
+            # and optimizer state match the scalar loop exactly.
             started = time.perf_counter()
-            opt_config = self.optimizer.suggest()
-            suggest_seconds = time.perf_counter() - started
-
-            target_config = self.adapter.to_target(opt_config)
-            crashed = False
-            metrics = None
-            throughput = None
-            p95 = None
-            try:
-                measurement = self.simulator.evaluate(target_config, rng=self.rng)
-                value = measurement.value(self.objective)
-                metrics = measurement.metrics
-                throughput = measurement.throughput
-                p95 = measurement.p95_latency_ms
-                if self.maximize:
-                    worst_seen = min(worst_seen, value)
-                else:
-                    worst_seen = max(worst_seen, value)
-            except DbmsCrashError:
-                crashed = True
-                value = worst_seen / 4.0 if self.maximize else worst_seen * 4.0
-
-            signed = value if self.maximize else -value
-            self.optimizer.observe(opt_config, signed, metrics=metrics)
-            kb.record(
-                Observation(
-                    iteration=iteration,
-                    optimizer_config=opt_config,
-                    target_config=target_config,
-                    value=value,
-                    crashed=crashed,
-                    suggest_seconds=suggest_seconds,
-                    throughput=throughput,
-                    p95_latency_ms=p95,
+            init_configs = self.optimizer.suggest_init_batch()[: self.n_iterations]
+            suggest_elapsed = time.perf_counter() - started
+            if init_configs:
+                target_configs = self.adapter.to_target_batch(init_configs)
+                measurements = self.simulator.evaluate_batch(
+                    target_configs, rng=self.rng, on_crash="none"
                 )
-            )
+                per_suggest = suggest_elapsed / len(init_configs)
+                for opt_config, target_config, measurement in zip(
+                    init_configs, target_configs, measurements
+                ):
+                    stopped_at = self._record(
+                        kb, iteration, opt_config, target_config, measurement,
+                        per_suggest,
+                    )
+                    iteration += 1
+                    if stopped_at is not None:
+                        break
 
-            if self.early_stopping is not None and self.early_stopping.should_stop(
-                iteration, kb.best_value(), self.maximize
-            ):
-                stopped_at = iteration + 1
-                break
+        if stopped_at is None:
+            for iteration in range(iteration, self.n_iterations):
+                started = time.perf_counter()
+                opt_config = self.optimizer.suggest()
+                suggest_seconds = time.perf_counter() - started
+
+                target_config = self.adapter.to_target(opt_config)
+                try:
+                    measurement = self.simulator.evaluate(
+                        target_config, rng=self.rng
+                    )
+                except DbmsCrashError:
+                    measurement = None
+                stopped_at = self._record(
+                    kb, iteration, opt_config, target_config, measurement,
+                    suggest_seconds,
+                )
+                if stopped_at is not None:
+                    break
 
         return TuningResult(
             knowledge_base=kb,
@@ -161,3 +171,52 @@ class TuningSession:
             default_value=default_value,
             stopped_early_at=stopped_at,
         )
+
+    def _record(
+        self,
+        kb: KnowledgeBase,
+        iteration: int,
+        opt_config,
+        target_config,
+        measurement,
+        suggest_seconds: float,
+    ) -> int | None:
+        """Apply one outcome (``None`` = crash) to the optimizer and the
+        knowledge base; returns the early-stop iteration, if triggered."""
+        if measurement is None:
+            crashed = True
+            metrics = throughput = p95 = None
+            value = (
+                self._worst_seen / 4.0 if self.maximize else self._worst_seen * 4.0
+            )
+        else:
+            crashed = False
+            value = measurement.value(self.objective)
+            metrics = measurement.metrics
+            throughput = measurement.throughput
+            p95 = measurement.p95_latency_ms
+            if self.maximize:
+                self._worst_seen = min(self._worst_seen, value)
+            else:
+                self._worst_seen = max(self._worst_seen, value)
+
+        signed = value if self.maximize else -value
+        self.optimizer.observe(opt_config, signed, metrics=metrics)
+        kb.record(
+            Observation(
+                iteration=iteration,
+                optimizer_config=opt_config,
+                target_config=target_config,
+                value=value,
+                crashed=crashed,
+                suggest_seconds=suggest_seconds,
+                throughput=throughput,
+                p95_latency_ms=p95,
+            )
+        )
+
+        if self.early_stopping is not None and self.early_stopping.should_stop(
+            iteration, kb.best_value(), self.maximize
+        ):
+            return iteration + 1
+        return None

@@ -7,17 +7,27 @@ for seeded random configurations, including hybrid-knob biasing and crash
 handling.  These tests pin that contract.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.core.pipeline import IdentityAdapter, LlamaTuneAdapter
+from repro.dbms import engine as engine_module
+from repro.dbms.components import BATCH_COMPONENTS, COMPONENTS
+from repro.dbms.context import BatchEvalContext, EvalContext
 from repro.dbms.engine import PostgresSimulator
 from repro.dbms.errors import DbmsCrashError
+from repro.dbms.hardware import C220G5
+from repro.dbms.versions import V96, V136
+from repro.optimizers import SMACOptimizer
 from repro.optimizers.encoding import SpaceEncoding
 from repro.space.configspace import Configuration, ConfigurationSpace
 from repro.space.knob import KnobError
 from repro.space.postgres import postgres_v96_space, postgres_v136_space
 from repro.space.sampling import uniform_configurations
+from repro.tuning.early_stopping import EarlyStoppingPolicy
+from repro.tuning.session import TuningSession
 from repro.workloads import get_workload
 
 
@@ -180,6 +190,54 @@ class TestEncodingEquivalence:
         assert_identical(back, configs, encoding.space)
 
 
+class TestComponentBatchEquivalence:
+    """Every component's N-row batch pass must match its one-row scalar
+    view bit for bit — scores, notes, and crash messages."""
+
+    @pytest.mark.parametrize(
+        "workload,version,spacename",
+        [("tpcc", V96, "v96"), ("ycsb-b", V96, "v96"), ("seats", V136, "v136")],
+    )
+    def test_scores_and_notes_match_scalar(self, workload, version, spacename):
+        space = postgres_v96_space() if spacename == "v96" else postgres_v136_space()
+        rng = np.random.default_rng(33)
+        configs = uniform_configurations(space, 24, rng)
+        wl = get_workload(workload)
+
+        bctx = BatchEvalContext.from_values(configs, wl, C220G5, version)
+        batch_scores = {name: fn(bctx) for name, fn in BATCH_COMPONENTS.items()}
+
+        crashes = 0
+        for i, config in enumerate(configs):
+            ctx = EvalContext(dict(config), wl, C220G5, version)
+            if bctx.crashed[i]:
+                crashes += 1
+                with pytest.raises(DbmsCrashError) as err:
+                    for fn in COMPONENTS.values():
+                        fn(ctx)
+                assert str(err.value) == bctx.crash_messages[i]
+                continue
+            for name, fn in COMPONENTS.items():
+                assert fn(ctx) == batch_scores[name][i], name
+            for key, column in bctx.notes.items():
+                assert ctx.notes[key] == np.asarray(column)[i], key
+        # The sampled batch must exercise both outcomes.
+        assert 0 < crashes < len(configs)
+
+    def test_memory_crash_precedence(self, space):
+        """Startup failures outrank OOM kills, exactly as the scalar check
+        order promises."""
+        crasher = space.partial_configuration(
+            {"shared_buffers": space["shared_buffers"].upper}
+        )
+        bctx = BatchEvalContext.from_values(
+            [crasher], get_workload("ycsb-a"), C220G5, V96
+        )
+        BATCH_COMPONENTS["memory"](bctx)
+        assert bctx.crashed[0]
+        assert "shared memory" in bctx.crash_messages[0]
+
+
 class TestSimulatorBatchEquivalence:
     def _crashing_mix(self, space, n, seed):
         """Safe (default-based) configurations with a known crasher spliced
@@ -226,6 +284,54 @@ class TestSimulatorBatchEquivalence:
             assert b.throughput == s.throughput
             assert b.p95_latency_ms == s.p95_latency_ms
             assert dict(b.metrics) == dict(s.metrics)
+            assert dict(b.component_scores) == dict(s.component_scores)
+
+    def test_batch_matches_sequential_open_loop_v136(self):
+        """Noise + open-loop latency + v13.6 hybrid knobs in one batch."""
+        space = postgres_v136_space()
+        simulator = PostgresSimulator(
+            get_workload("seats"), version=V136, noise_std=0.03, target_rate=900.0
+        )
+        rng = np.random.default_rng(40)
+        configs = uniform_configurations(space, 10, rng)
+        batch = simulator.evaluate_batch(
+            configs, rng=np.random.default_rng(41), on_crash="none"
+        )
+        rng2 = np.random.default_rng(41)
+        for config, b in zip(configs, batch):
+            try:
+                s = simulator.evaluate(config, rng=rng2)
+            except DbmsCrashError:
+                s = None
+            if s is None:
+                assert b is None
+                continue
+            assert b.throughput == s.throughput
+            assert b.p95_latency_ms == s.p95_latency_ms
+
+    def test_raise_policy_reports_scalar_message(self, space):
+        simulator = PostgresSimulator(get_workload("tpcc"), noise_std=0.0)
+        configs, crasher = self._crashing_mix(space, 5, seed=17)
+        with pytest.raises(DbmsCrashError) as scalar_err:
+            simulator.evaluate(crasher)
+        with pytest.raises(DbmsCrashError) as batch_err:
+            simulator.evaluate_batch(configs)
+        assert str(batch_err.value) == str(scalar_err.value)
+
+    def test_raise_policy_preserves_noise_stream_position(self, space):
+        """Sequential semantics: rows before the crash draw their noise
+        pairs before the exception propagates, so a caller reusing the rng
+        afterwards sees the same stream either way."""
+        simulator = PostgresSimulator(get_workload("tpcc"), noise_std=0.05)
+        configs, __ = self._crashing_mix(space, 5, seed=18)  # crash at row 1
+        batch_rng = np.random.default_rng(77)
+        with pytest.raises(DbmsCrashError):
+            simulator.evaluate_batch(configs, rng=batch_rng)
+        scalar_rng = np.random.default_rng(77)
+        with pytest.raises(DbmsCrashError):
+            for config in configs:
+                simulator.evaluate(config, rng=scalar_rng)
+        assert batch_rng.standard_normal() == scalar_rng.standard_normal()
 
     def test_crash_handling_none_policy(self, space):
         simulator = PostgresSimulator(get_workload("tpcc"), noise_std=0.0)
@@ -281,6 +387,101 @@ class TestConfigurationHashCache:
             space.index_of("nonexistent_knob")
 
 
+class TestCalibrationCacheValueIdentity:
+    def test_fresh_equal_profiles_share_entry(self):
+        """Structurally identical (but freshly constructed) profiles must
+        hit the same cache entry instead of growing the cache forever."""
+        workload = get_workload("twitter")
+        first = PostgresSimulator(workload, noise_std=0.0)
+        first.default_measurement()
+        size_after_first = len(engine_module._CALIBRATION_CACHE)
+
+        clone = dataclasses.replace(workload)
+        assert clone is not workload
+        second = PostgresSimulator(clone, noise_std=0.0)
+        second.default_measurement()
+        assert len(engine_module._CALIBRATION_CACHE) == size_after_first
+        assert second._calibration == first._calibration
+
+    def test_cache_holds_no_object_references(self):
+        """Values are plain floats, so cached profiles are not pinned alive
+        (the old id()-keyed cache leaked every profile ever calibrated)."""
+        for value in engine_module._CALIBRATION_CACHE.values():
+            assert isinstance(value, float)
+
+    def test_distinct_workloads_get_distinct_entries(self):
+        workload = get_workload("twitter")
+        PostgresSimulator(workload, noise_std=0.0).default_measurement()
+        size = len(engine_module._CALIBRATION_CACHE)
+        rescaled = dataclasses.replace(workload, base_throughput=12345.0)
+        PostgresSimulator(rescaled, noise_std=0.0).default_measurement()
+        assert len(engine_module._CALIBRATION_CACHE) == size + 1
+
+
+class TestSessionBatchInitEquivalence:
+    """The batched LHS init phase must reproduce the scalar loop exactly:
+    same knowledge base, same noise stream, same crash penalties, same
+    early-stopping decisions."""
+
+    def _run(self, batch_init, n_iterations=12, early_stopping=None,
+             objective="throughput"):
+        space = postgres_v96_space()
+        simulator = PostgresSimulator(
+            get_workload("ycsb-a"),
+            noise_std=0.05,
+            target_rate=10_000.0 if objective == "latency" else None,
+        )
+        adapter = LlamaTuneAdapter(space, projection="hesbo", seed=5)
+        optimizer = SMACOptimizer(adapter.optimizer_space, seed=7, n_init=8)
+        return TuningSession(
+            simulator,
+            optimizer,
+            adapter,
+            objective=objective,
+            n_iterations=n_iterations,
+            seed=21,
+            early_stopping=early_stopping,
+            batch_init=batch_init,
+        ).run()
+
+    def _assert_identical_results(self, batched, scalar):
+        assert len(batched.knowledge_base) == len(scalar.knowledge_base)
+        assert batched.stopped_early_at == scalar.stopped_early_at
+        for b, s in zip(batched.knowledge_base, scalar.knowledge_base):
+            assert b.iteration == s.iteration
+            assert b.optimizer_config == s.optimizer_config
+            assert b.target_config == s.target_config
+            assert b.value == s.value
+            assert b.crashed == s.crashed
+            assert b.throughput == s.throughput
+            assert b.p95_latency_ms == s.p95_latency_ms
+
+    def test_batched_init_matches_scalar_loop(self):
+        self._assert_identical_results(
+            self._run(batch_init=True), self._run(batch_init=False)
+        )
+
+    def test_latency_objective(self):
+        self._assert_identical_results(
+            self._run(batch_init=True, objective="latency"),
+            self._run(batch_init=False, objective="latency"),
+        )
+
+    def test_budget_smaller_than_init_design(self):
+        batched = self._run(batch_init=True, n_iterations=4)
+        scalar = self._run(batch_init=False, n_iterations=4)
+        assert len(batched.knowledge_base) == 4
+        self._assert_identical_results(batched, scalar)
+
+    def test_early_stop_inside_init_batch(self):
+        policy = EarlyStoppingPolicy(min_improvement=10.0, patience=1, warmup=2)
+        batched = self._run(batch_init=True, early_stopping=policy.fresh())
+        scalar = self._run(batch_init=False, early_stopping=policy.fresh())
+        assert batched.stopped_early_at is not None
+        assert batched.stopped_early_at < 8  # stopped mid-design
+        self._assert_identical_results(batched, scalar)
+
+
 class TestParallelRunnerEquivalence:
     def test_parallel_results_match_sequential(self):
         from repro.tuning.runner import SessionSpec, llamatune_factory, run_spec
@@ -296,3 +497,14 @@ class TestParallelRunnerEquivalence:
             np.testing.assert_array_equal(s.best_curve, p.best_curve)
             assert s.default_value == p.default_value
             assert s.crash_count == p.crash_count
+
+    def test_runner_scalar_init_spec_matches_batched(self):
+        from repro.tuning.runner import SessionSpec, llamatune_factory, run_spec
+
+        batched = SessionSpec(
+            workload="tpcc", adapter=llamatune_factory(), n_iterations=8
+        )
+        scalar = dataclasses.replace(batched, batch_init=False)
+        for b, s in zip(run_spec(batched, seeds=(1, 2)), run_spec(scalar, seeds=(1, 2))):
+            np.testing.assert_array_equal(b.best_curve, s.best_curve)
+            assert b.crash_count == s.crash_count

@@ -7,8 +7,10 @@ import pytest
 from repro.cli import build_parser, main
 from repro.core.pipeline import llamatune_adapter
 from repro.space.postgres import postgres_v96_space
+from repro.tuning.knowledge_base import KnowledgeBase, Observation
 from repro.tuning.persistence import load_result, result_to_dict, save_result
 from repro.tuning.runner import SessionSpec, llamatune_factory
+from repro.tuning.session import TuningResult
 
 
 @pytest.fixture(scope="module")
@@ -49,6 +51,90 @@ class TestPersistence:
         adapter = llamatune_adapter(space, seed=3)
         with pytest.raises(ValueError):
             load_result(path, adapter.optimizer_space, space)
+
+
+class TestPersistenceEdgeCases:
+    """Round trips for the awkward observations: crashes (None measurement
+    fields), early-stopped sessions, and JSON's int/float blurring."""
+
+    def _make_result(self, space, stopped_early_at=None):
+        kb = KnowledgeBase(maximize=True)
+        ok = space.default_configuration()
+        crasher = space.partial_configuration(
+            {"shared_buffers": space["shared_buffers"].upper}
+        )
+        kb.record(
+            Observation(
+                iteration=0,
+                optimizer_config=ok,
+                target_config=ok,
+                value=1200.0,
+                crashed=False,
+                suggest_seconds=0.01,
+                throughput=1200.0,
+                p95_latency_ms=33.0,
+            )
+        )
+        kb.record(
+            Observation(
+                iteration=1,
+                optimizer_config=crasher,
+                target_config=crasher,
+                value=300.0,  # ¼-of-worst penalty
+                crashed=True,
+                suggest_seconds=0.02,
+                throughput=None,
+                p95_latency_ms=None,
+            )
+        )
+        return TuningResult(
+            knowledge_base=kb,
+            objective="throughput",
+            default_value=1200.0,
+            stopped_early_at=stopped_early_at,
+        )
+
+    def test_crashed_observation_round_trip(self, tmp_path):
+        space = postgres_v96_space()
+        path = tmp_path / "kb.json"
+        save_result(self._make_result(space), path)
+        loaded = load_result(path, space, space)
+        crash = loaded.knowledge_base.observations[1]
+        assert crash.crashed is True
+        assert crash.throughput is None
+        assert crash.p95_latency_ms is None
+        assert crash.value == 300.0
+        # The measured observation keeps its fields.
+        ok = loaded.knowledge_base.observations[0]
+        assert ok.throughput == 1200.0
+        assert ok.p95_latency_ms == 33.0
+        assert loaded.crash_count == 1
+
+    def test_early_stopped_round_trip(self, tmp_path):
+        space = postgres_v96_space()
+        path = tmp_path / "kb.json"
+        save_result(self._make_result(space, stopped_early_at=2), path)
+        loaded = load_result(path, space, space)
+        assert loaded.stopped_early_at == 2
+
+    def test_integer_knob_float_coercion(self, tmp_path):
+        """JSON writers (e.g. ``default=float``) may render integer knob
+        values as 1.0; loading must coerce them back to native ints."""
+        space = postgres_v96_space()
+        payload = result_to_dict(self._make_result(space))
+        for obs in payload["observations"]:
+            obs["optimizer_config"]["work_mem"] = float(
+                obs["optimizer_config"]["work_mem"]
+            )
+            obs["target_config"]["shared_buffers"] = float(
+                obs["target_config"]["shared_buffers"]
+            )
+        path = tmp_path / "kb.json"
+        path.write_text(json.dumps(payload))
+        loaded = load_result(path, space, space)
+        for obs in loaded.knowledge_base:
+            assert type(obs.optimizer_config["work_mem"]) is int
+            assert type(obs.target_config["shared_buffers"]) is int
 
 
 class TestCli:

@@ -156,6 +156,41 @@ class TestLatencyModel:
         ).p95_latency_ms
         assert tuned < base
 
+    def test_saturation_is_continuous(self, space):
+        """p95 must not jump discontinuously at the saturation threshold:
+        rates straddling rho = 0.97 by ±0.2% give nearby latencies (the old
+        saturated branch jumped by two orders of magnitude here)."""
+        workload = get_workload("tpcc")
+        config = space.default_configuration()
+        capacity = PostgresSimulator(workload, noise_std=0.0).evaluate(
+            config
+        ).throughput
+
+        def p95_at(rho):
+            sim = PostgresSimulator(
+                workload, noise_std=0.0, target_rate=rho * capacity
+            )
+            return sim.evaluate(config).p95_latency_ms
+
+        below, above = p95_at(0.968), p95_at(0.972)
+        assert above > below  # still monotone in utilization
+        assert above < below * 1.5  # ... but continuous, not a cliff
+
+    def test_saturated_branch_keeps_commit_delay_and_tail(self, space):
+        """The saturated regime scales the full queueing-branch latency, so
+        commit_delay and the burst-driven tail factor still matter."""
+        workload = get_workload("tpcc")
+        sim = PostgresSimulator(workload, noise_std=0.0, target_rate=50_000.0)
+        plain = sim.evaluate(space.default_configuration()).p95_latency_ms
+        delayed = sim.evaluate(
+            space.partial_configuration({"commit_delay": 100_000})
+        ).p95_latency_ms
+        bursty = sim.evaluate(
+            space.partial_configuration({"max_wal_size": 32})
+        ).p95_latency_ms
+        assert delayed > plain
+        assert bursty > plain
+
 
 class TestMetrics:
     def test_27_metrics_emitted(self, space):

@@ -125,8 +125,14 @@ class TestKnowledgeBase:
         assert kb.worst_value() == 10.0
 
     def test_empty_kb_raises(self):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(RuntimeError, match="knowledge base is empty"):
             KnowledgeBase().best_value()
+
+    def test_empty_kb_best_observation_raises(self):
+        """Same guard as best_value (used to surface as a numpy argmax
+        error through the CLI's --conf-out path)."""
+        with pytest.raises(RuntimeError, match="knowledge base is empty"):
+            KnowledgeBase().best_observation()
 
     def test_best_observation(self):
         kb = KnowledgeBase(maximize=True)
