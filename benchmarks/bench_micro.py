@@ -49,12 +49,32 @@ def test_forest_fit_100x90(benchmark):
     benchmark(lambda: RandomForestRegressor(n_trees=20, seed=0).fit(X, y))
 
 
+def test_forest_fit_50x90(benchmark):
+    """The refit shape inside a 100-iteration SMAC session (the suggest
+    hot path refits on the observation count, not the candidate pool)."""
+    rng = np.random.default_rng(0)
+    X = rng.random((50, 90))
+    y = rng.normal(size=50)
+    benchmark(lambda: RandomForestRegressor(n_trees=20, seed=0).fit(X, y))
+
+
 def test_forest_predict_1000_candidates(benchmark):
     rng = np.random.default_rng(0)
     X = rng.random((100, 90))
     y = rng.normal(size=100)
     forest = RandomForestRegressor(n_trees=20, seed=0).fit(X, y)
     candidates = rng.random((1000, 90))
+    benchmark(forest.predict_mean_var, candidates)
+
+
+def test_forest_predict_64_candidates(benchmark):
+    """Small-batch predict: packed-traversal overhead must stay flat when
+    the frontier is narrow."""
+    rng = np.random.default_rng(0)
+    X = rng.random((100, 90))
+    y = rng.normal(size=100)
+    forest = RandomForestRegressor(n_trees=20, seed=0).fit(X, y)
+    candidates = rng.random((64, 90))
     benchmark(forest.predict_mean_var, candidates)
 
 
@@ -66,17 +86,41 @@ def test_gp_fit_100x16(benchmark):
     benchmark(lambda: GaussianProcess(is_cat, seed=0).fit(X, y))
 
 
-def test_smac_suggest_after_50_observations(benchmark, space):
+def test_gp_fit_100x16_mixed(benchmark):
+    """Mixed numeric/categorical fit: exercises both precomputed kernel
+    tensors (squared distances and Hamming mismatch)."""
+    rng = np.random.default_rng(0)
+    X = rng.random((100, 16))
+    X[:, 12:] = rng.integers(0, 3, size=(100, 4))
+    y = rng.normal(size=100)
+    is_cat = np.zeros(16, dtype=bool)
+    is_cat[12:] = True
+    benchmark(lambda: GaussianProcess(is_cat, seed=0).fit(X, y))
+
+
+def _observed_smac(space, n_obs: int = 50) -> SMACOptimizer:
     rng = np.random.default_rng(0)
     optimizer = SMACOptimizer(space, seed=0, n_init=10)
     simulator = PostgresSimulator(get_workload("ycsb-a"), noise_std=0.0)
-    for config in uniform_configurations(space, 50, rng):
+    for config in uniform_configurations(space, n_obs, rng):
         try:
             value = simulator.evaluate(config).throughput
         except Exception:
             value = 1000.0
         optimizer.observe(config, value)
+    return optimizer
+
+
+def test_smac_suggest_after_50_observations(benchmark, space):
+    optimizer = _observed_smac(space)
     benchmark(optimizer.suggest)
+
+
+def test_smac_suggest_batch8_after_50_observations(benchmark, space):
+    """Model-phase batch suggest: one forest fit and one shared candidate
+    pool amortized over 8 EI-ranked suggestions."""
+    optimizer = _observed_smac(space)
+    benchmark(optimizer.suggest_batch, 8)
 
 
 # --- batch paths (the vectorized counterparts of the scalar benches) --------

@@ -56,6 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--parallel", action="store_true",
                         help="with --seeds, run the seeds concurrently via "
                              "the parallel multi-seed runner")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="with --parallel, cap the pool at N workers")
+    parser.add_argument("--process-pool", action="store_true",
+                        help="with --parallel, use a process pool instead "
+                             "of threads (sidesteps the GIL for simulated "
+                             "seeds)")
+    parser.add_argument("--suggest-batch", type=int, default=1, metavar="Q",
+                        help="model-phase batch size: fit the surrogate "
+                             "once per round and evaluate the top-Q "
+                             "EI-ranked candidates in one batch (Q=1 is "
+                             "the paper's sequential loop)")
     parser.add_argument("--objective", default="throughput",
                         choices=["throughput", "latency"])
     parser.add_argument("--rate", type=float, default=None,
@@ -87,6 +98,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.objective == "latency" and args.rate is None:
         print("error: --objective latency requires --rate", file=sys.stderr)
         return 2
+    if args.suggest_batch < 1:
+        print("error: --suggest-batch must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.process_pool and not (args.parallel and args.seeds and len(args.seeds) > 1):
+        print(
+            "error: --process-pool requires --parallel and a multi-seed "
+            "--seeds list (it would otherwise silently run sequentially)",
+            file=sys.stderr,
+        )
+        return 2
 
     early_stopping = None
     if args.early_stop:
@@ -115,6 +139,7 @@ def main(argv: list[str] | None = None) -> int:
         n_iterations=args.iterations,
         target_rate=args.rate,
         early_stopping=early_stopping,
+        suggest_batch=args.suggest_batch,
     )
     label = "vanilla" if args.no_llamatune else "LlamaTune"
     seeds = args.seeds if args.seeds else [args.seed]
@@ -124,7 +149,13 @@ def main(argv: list[str] | None = None) -> int:
         f"{len(seeds)} seed{'s' if len(seeds) > 1 else ''}"
         f"{', parallel' if args.parallel and len(seeds) > 1 else ''})"
     )
-    results = run_spec(spec, seeds, parallel=args.parallel)
+    results = run_spec(
+        spec,
+        seeds,
+        parallel=args.parallel,
+        max_workers=args.workers,
+        mode="process" if args.process_pool else "thread",
+    )
     maximize = args.objective == "throughput"
     pick = max if maximize else min
     result = pick(results, key=lambda r: r.best_value)

@@ -32,6 +32,20 @@ class PostgresVersion:
             self, "base_multiplier", MappingProxyType(dict(self.base_multiplier))
         )
 
+    def __reduce__(self):
+        # MappingProxyType is unpicklable; rebuild from a plain dict so
+        # version profiles (and the SessionSpecs carrying them) can cross
+        # process boundaries for the process-pool runner.
+        return (
+            self.__class__,
+            (
+                self.name,
+                self.has_jit,
+                self.writeback_impact,
+                dict(self.base_multiplier),
+            ),
+        )
+
     def baseline_scale(self, workload_name: str) -> float:
         return self.base_multiplier.get(workload_name, 1.0)
 

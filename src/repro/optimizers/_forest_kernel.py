@@ -1,0 +1,599 @@
+"""Optional native (C) tree-build kernel for the random-forest surrogate.
+
+The pure-numpy tree builder in :mod:`repro.optimizers.forest` is exact but
+dispatch-bound: one CART node costs ~30 small numpy calls, and the RNG
+stream pins the build to strictly sequential node order, so vectorizing
+across nodes is impossible.  This module compiles (with the system C
+compiler, on first use, cached next to the package) a kernel that runs the
+whole per-tree recursion in C and *calls back into Python for every RNG
+draw*, so the PCG64 stream is consumed by the very same
+``Generator.permutation`` / ``Generator.random`` / ``Generator.integers``
+calls, in the same order, as the numpy implementation.
+
+Bit-exactness contract (enforced by ``tests/test_forest.py``):
+
+* bootstrap/permutation/threshold-key draws happen in Python, in build
+  order — the kernel only *reads* the filled buffers;
+* float arithmetic replicates numpy ufunc loops operation-for-operation:
+  sequential ``add.accumulate``, numpy's pairwise summation for
+  ``add.reduce`` (mean/variance), IEEE ``+ - * /`` per element with FMA
+  contraction disabled (``-ffp-contract=off``);
+* stable sorts replicate ``np.argsort(kind="stable")`` (stability makes
+  the permutation unique; NaNs sort last) and the candidate argmin uses
+  numpy's first-minimum / NaN-first semantics in the historical
+  position-major order.
+
+If no compiler is available (or ``REPRO_FOREST_KERNEL=0``), everything
+silently falls back to the numpy implementation — results are identical,
+only slower.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import pathlib
+import subprocess
+import tempfile
+import threading
+
+import numpy as np
+
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <math.h>
+#include <string.h>
+
+typedef void (*perm_cb_t)(void);
+typedef void (*keys_cb_t)(int64_t);
+
+typedef struct {
+    int64_t n, d, m, min_split, max_depth, n_thresholds, bootstrap, cap;
+    const double *x_t;      /* d x n original matrix, feature-major */
+    const double *y;        /* n */
+    const int64_t *boot;    /* n bootstrap indices into original rows */
+    const int64_t *perm;    /* d, filled by need_perm */
+    const double *keys;     /* >= (n-1)*m, filled by need_keys */
+    int64_t *feature;       /* outputs, capacity cap */
+    double *threshold;
+    int64_t *left;
+    int64_t *right;
+    double *value;
+    double *variance;
+    double *ws_d;
+    int64_t *ws_i;
+    uint8_t *member;        /* n */
+    perm_cb_t need_perm;
+    keys_cb_t need_keys;
+} params_t;
+
+/* numpy's pairwise summation (umath loops), exactly: sequential below 8,
+ * 8-accumulator unrolled blocks up to 128, then recursive halving with the
+ * split rounded down to a multiple of 8. */
+static double pairwise_sum(const double *a, int64_t n)
+{
+    if (n < 8) {
+        double res = 0.0;
+        for (int64_t i = 0; i < n; i++) res += a[i];
+        return res;
+    }
+    else if (n <= 128) {
+        double r0 = a[0], r1 = a[1], r2 = a[2], r3 = a[3];
+        double r4 = a[4], r5 = a[5], r6 = a[6], r7 = a[7];
+        int64_t i;
+        for (i = 8; i < n - (n % 8); i += 8) {
+            r0 += a[i + 0]; r1 += a[i + 1]; r2 += a[i + 2]; r3 += a[i + 3];
+            r4 += a[i + 4]; r5 += a[i + 5]; r6 += a[i + 6]; r7 += a[i + 7];
+        }
+        double res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7));
+        for (; i < n; i++) res += a[i];
+        return res;
+    }
+    else {
+        int64_t n2 = n / 2;
+        n2 -= n2 % 8;
+        return pairwise_sum(a, n2) + pairwise_sum(a + n2, n - n2);
+    }
+}
+
+/* "a sorts strictly before b" under numpy stable-sort rules (NaN last). */
+static int sort_before(double a, double b)
+{
+    if (isnan(b)) return !isnan(a);
+    return a < b;
+}
+
+/* Stable mergesort of idx[0..n) by vals[idx[i]]; tmp has n slots. */
+static void stable_argsort(const double *vals, int64_t *idx, int64_t *tmp,
+                           int64_t n)
+{
+    for (int64_t w = 1; w < n; w *= 2) {
+        for (int64_t lo = 0; lo < n; lo += 2 * w) {
+            int64_t mid = lo + w < n ? lo + w : n;
+            int64_t hi = lo + 2 * w < n ? lo + 2 * w : n;
+            int64_t i = lo, j = mid, k = lo;
+            while (i < mid && j < hi) {
+                if (sort_before(vals[idx[j]], vals[idx[i]]))
+                    tmp[k++] = idx[j++];
+                else
+                    tmp[k++] = idx[i++];
+            }
+            while (i < mid) tmp[k++] = idx[i++];
+            while (j < hi) tmp[k++] = idx[j++];
+            memcpy(idx + lo, tmp + lo, (size_t)(hi - lo) * sizeof(int64_t));
+        }
+    }
+}
+
+/* k-th smallest (0-based) by insertion sort; columns are <= n-1 long. */
+static double kth_smallest(double *a, int64_t n, int64_t k)
+{
+    for (int64_t i = 1; i < n; i++) {
+        double v = a[i];
+        int64_t j = i - 1;
+        while (j >= 0 && a[j] > v) { a[j + 1] = a[j]; j--; }
+        a[j + 1] = v;
+    }
+    return a[k < n ? k : n - 1];
+}
+
+int64_t build_tree(params_t *p)
+{
+    const int64_t n = p->n, d = p->d, m = p->m;
+    const int64_t min_split = p->min_split, max_depth = p->max_depth;
+    const int64_t nt = p->n_thresholds;
+
+    /* --- workspace layout ------------------------------------------- */
+    double *xb_t = p->ws_d;             /* d*n bootstrapped X, f-major */
+    double *xsort = xb_t + d * n;       /* d*n X values, sorted/feature */
+    double *ysort = xsort + d * n;      /* d*n y values, sorted/feature */
+    double *yb = ysort + d * n;         /* n bootstrapped y */
+    double *xs = yb + n;                /* m*n node X rows */
+    double *ys = xs + m * n;            /* m*n node y rows */
+    double *cum = ys + m * n;           /* m*n */
+    double *cumsq = cum + m * n;        /* m*n */
+    double *scores = cumsq + m * n;     /* m*(n-1) */
+    double *colbuf = scores + m * n;    /* n */
+    double *ybuf = colbuf + n;          /* n */
+    double *prodbuf = ybuf + n;         /* n */
+
+    int64_t *presort = p->ws_i;         /* d*n */
+    int64_t *mtmp = presort + d * n;    /* n mergesort scratch */
+    int64_t *arena = mtmp + n;          /* n*(max_depth+3) member lists */
+    int64_t *meta = arena + n * (max_depth + 3);  /* stack: 5 per entry */
+    uint8_t *member = p->member;
+
+    /* --- per-tree tables -------------------------------------------- */
+    for (int64_t i = 0; i < n; i++) yb[i] = p->y[p->boot[i]];
+    for (int64_t j = 0; j < d; j++) {
+        const double *src = p->x_t + j * n;
+        double *dst = xb_t + j * n;
+        for (int64_t i = 0; i < n; i++) dst[i] = src[p->boot[i]];
+    }
+    for (int64_t j = 0; j < d; j++) {
+        int64_t *ord = presort + j * n;
+        for (int64_t i = 0; i < n; i++) ord[i] = i;
+        stable_argsort(xb_t + j * n, ord, mtmp, n);
+        const double *xv = xb_t + j * n;
+        double *xo = xsort + j * n, *yo = ysort + j * n;
+        for (int64_t i = 0; i < n; i++) {
+            xo[i] = xv[ord[i]];
+            yo[i] = yb[ord[i]];
+        }
+    }
+    memset(member, 0, (size_t)n);
+
+    /* --- pre-order DFS ----------------------------------------------- */
+    int64_t n_nodes = 0;
+    int64_t arena_top = n;
+    for (int64_t i = 0; i < n; i++) arena[i] = i;
+    int64_t sp = 0; /* meta stack: off, cnt, depth, parent, is_right */
+    meta[0] = 0; meta[1] = n; meta[2] = 0; meta[3] = -1; meta[4] = 0;
+    sp = 1;
+
+    while (sp > 0) {
+        sp--;
+        const int64_t off = meta[sp * 5 + 0], cnt = meta[sp * 5 + 1];
+        const int64_t depth = meta[sp * 5 + 2], parent = meta[sp * 5 + 3];
+        const int64_t is_right = meta[sp * 5 + 4];
+        const int64_t *idx = arena + off;
+
+        if (n_nodes >= p->cap) return -1;
+        const int64_t node = n_nodes++;
+        if (parent >= 0) {
+            if (is_right) p->right[parent] = node;
+            else p->left[parent] = node;
+        }
+        p->feature[node] = -1;
+        p->threshold[node] = 0.0;
+        p->left[node] = -1;
+        p->right[node] = -1;
+        p->value[node] = 0.0;
+        p->variance[node] = 0.0;
+
+        int split_found = 0;
+        int64_t best_f = -1;
+        double best_t = 0.0;
+
+        int try_split = depth < max_depth && cnt >= min_split;
+        if (try_split) {
+            /* ptp == 0 check: max/min are order-independent, NaN poisons */
+            double mn = yb[idx[0]], mx = mn;
+            int has_nan = isnan(mn);
+            for (int64_t i = 1; i < cnt && !has_nan; i++) {
+                double v = yb[idx[i]];
+                if (isnan(v)) { has_nan = 1; break; }
+                if (v < mn) mn = v;
+                if (v > mx) mx = v;
+            }
+            if (!has_nan && mx - mn == 0.0) try_split = 0;
+        }
+
+        if (try_split) {
+            p->need_perm();  /* Python: perm[:] = rng.permutation(d) */
+            const int64_t *feats = p->perm;
+
+            for (int64_t i = 0; i < cnt; i++) member[idx[i]] = 1;
+            for (int64_t c = 0; c < m; c++) {
+                const int64_t j = feats[c];
+                const int64_t *ord = presort + j * n;
+                const double *xo = xsort + j * n, *yo = ysort + j * n;
+                double *xrow = xs + c * cnt, *yrow = ys + c * cnt;
+                int64_t r = 0;
+                for (int64_t g = 0; g < n; g++) {
+                    if (member[ord[g]]) {
+                        xrow[r] = xo[g];
+                        yrow[r] = yo[g];
+                        r++;
+                    }
+                }
+            }
+            for (int64_t i = 0; i < cnt; i++) member[idx[i]] = 0;
+
+            int64_t n_valid = 0, max_row = 0;
+            for (int64_t c = 0; c < m; c++) {
+                const double *xrow = xs + c * cnt;
+                int64_t rv = 0;
+                for (int64_t q = 0; q + 1 < cnt; q++)
+                    if (xrow[q] < xrow[q + 1]) rv++;
+                n_valid += rv;
+                if (rv > max_row) max_row = rv;
+            }
+
+            if (n_valid > 0) {
+                const double nn = (double)cnt;
+                for (int64_t c = 0; c < m; c++) {
+                    const double *yrow = ys + c * cnt;
+                    double *cu = cum + c * cnt, *cs = cumsq + c * cnt;
+                    double s = yrow[0];
+                    cu[0] = s;
+                    for (int64_t q = 1; q < cnt; q++) {
+                        s = s + yrow[q];
+                        cu[q] = s;
+                    }
+                    double yq = yrow[0] * yrow[0];
+                    double s2 = yq;
+                    cs[0] = s2;
+                    for (int64_t q = 1; q < cnt; q++) {
+                        yq = yrow[q] * yrow[q];
+                        s2 = s2 + yq;
+                        cs[q] = s2;
+                    }
+                    const double total = cu[cnt - 1];
+                    const double total_sq = cs[cnt - 1];
+                    const double *xrow = xs + c * cnt;
+                    double *sc = scores + c * (cnt - 1);
+                    for (int64_t q = 0; q + 1 < cnt; q++) {
+                        if (xrow[q] < xrow[q + 1]) {
+                            const double kk = (double)(q + 1);
+                            const double l =
+                                cs[q] - (cu[q] * cu[q]) / kk;
+                            const double tc = total - cu[q];
+                            const double r_ = (total_sq - cs[q])
+                                - (tc * tc) / (nn - kk);
+                            sc[q] = l + r_;
+                        }
+                        else {
+                            sc[q] = INFINITY;
+                        }
+                    }
+                }
+
+                if (n_valid > nt && max_row > nt) {
+                    /* keys drawn flat in the historical (n-1, m) C order:
+                     * element (q, c) at q*m + c */
+                    p->need_keys((cnt - 1) * m);
+                    const double *keys = p->keys;
+                    for (int64_t c = 0; c < m; c++) {
+                        const double *xrow = xs + c * cnt;
+                        for (int64_t q = 0; q + 1 < cnt; q++)
+                            colbuf[q] = xrow[q] < xrow[q + 1]
+                                ? keys[q * m + c] : INFINITY;
+                        const double kth =
+                            kth_smallest(colbuf, cnt - 1, nt - 1);
+                        double *sc = scores + c * (cnt - 1);
+                        for (int64_t q = 0; q + 1 < cnt; q++) {
+                            const double kv = xrow[q] < xrow[q + 1]
+                                ? keys[q * m + c] : INFINITY;
+                            if (kv > kth) sc[q] = INFINITY;
+                        }
+                    }
+                }
+
+                /* first minimum in position-major order, NaN-first
+                 * (numpy argmin semantics) */
+                double best = scores[0];
+                int64_t bq = 0, bc = 0;
+                for (int64_t q = 0; q + 1 < cnt; q++) {
+                    for (int64_t c = 0; c < m; c++) {
+                        const double v = scores[c * (cnt - 1) + q];
+                        if (v < best || (isnan(v) && !isnan(best))) {
+                            best = v;
+                            bq = q;
+                            bc = c;
+                        }
+                    }
+                }
+                if (isfinite(best)) {
+                    const int64_t f = feats[bc];
+                    const double *xrow = xs + bc * cnt;
+                    const double t = (xrow[bq] + xrow[bq + 1]) / 2.0;
+                    const double *xcol = xb_t + f * n;
+                    int64_t n_left = 0;
+                    for (int64_t i = 0; i < cnt; i++)
+                        if (xcol[idx[i]] <= t) n_left++;
+                    if (n_left != 0 && n_left != cnt) {
+                        split_found = 1;
+                        best_f = f;
+                        best_t = t;
+                    }
+                }
+            }
+        }
+
+        if (!split_found) {
+            for (int64_t i = 0; i < cnt; i++) ybuf[i] = yb[idx[i]];
+            const double mean = pairwise_sum(ybuf, cnt) / (double)cnt;
+            for (int64_t i = 0; i < cnt; i++) {
+                const double dv = ybuf[i] - mean;
+                prodbuf[i] = dv * dv;
+            }
+            p->value[node] = mean;
+            p->variance[node] = pairwise_sum(prodbuf, cnt) / (double)cnt;
+        }
+        else {
+            p->feature[node] = best_f;
+            p->threshold[node] = best_t;
+            const double *xcol = xb_t + best_f * n;
+            int64_t *lw = arena + arena_top;
+            int64_t nl = 0;
+            for (int64_t i = 0; i < cnt; i++)
+                if (xcol[idx[i]] <= best_t) lw[nl++] = idx[i];
+            int64_t *rw = lw + nl;
+            int64_t nr = 0;
+            for (int64_t i = 0; i < cnt; i++)
+                if (!(xcol[idx[i]] <= best_t)) rw[nr++] = idx[i];
+            const int64_t loff = arena_top, roff = arena_top + nl;
+            arena_top += cnt;
+            /* push right first so the left subtree is built first */
+            meta[sp * 5 + 0] = roff; meta[sp * 5 + 1] = nr;
+            meta[sp * 5 + 2] = depth + 1; meta[sp * 5 + 3] = node;
+            meta[sp * 5 + 4] = 1;
+            sp++;
+            meta[sp * 5 + 0] = loff; meta[sp * 5 + 1] = nl;
+            meta[sp * 5 + 2] = depth + 1; meta[sp * 5 + 3] = node;
+            meta[sp * 5 + 4] = 0;
+            sp++;
+        }
+    }
+    return n_nodes;
+}
+"""
+
+
+class _Params(ctypes.Structure):
+    _perm_cb = ctypes.CFUNCTYPE(None)
+    _keys_cb = ctypes.CFUNCTYPE(None, ctypes.c_int64)
+    _fields_ = [
+        ("n", ctypes.c_int64),
+        ("d", ctypes.c_int64),
+        ("m", ctypes.c_int64),
+        ("min_split", ctypes.c_int64),
+        ("max_depth", ctypes.c_int64),
+        ("n_thresholds", ctypes.c_int64),
+        ("bootstrap", ctypes.c_int64),
+        ("cap", ctypes.c_int64),
+        ("x_t", ctypes.c_void_p),
+        ("y", ctypes.c_void_p),
+        ("boot", ctypes.c_void_p),
+        ("perm", ctypes.c_void_p),
+        ("keys", ctypes.c_void_p),
+        ("feature", ctypes.c_void_p),
+        ("threshold", ctypes.c_void_p),
+        ("left", ctypes.c_void_p),
+        ("right", ctypes.c_void_p),
+        ("value", ctypes.c_void_p),
+        ("variance", ctypes.c_void_p),
+        ("ws_d", ctypes.c_void_p),
+        ("ws_i", ctypes.c_void_p),
+        ("member", ctypes.c_void_p),
+        ("need_perm", _perm_cb),
+        ("need_keys", _keys_cb),
+    ]
+
+
+_lib = None
+_lib_failed = False
+_lib_lock = threading.Lock()
+
+
+def _build_library() -> ctypes.CDLL | None:
+    """Compile (once, cached by source hash) and load the kernel."""
+    digest = hashlib.sha1(_C_SOURCE.encode()).hexdigest()[:16]
+    cache_dir = pathlib.Path(__file__).resolve().parent / "_native"
+    so_path = cache_dir / f"forest_kernel_{digest}.so"
+    if not so_path.exists():
+        try:
+            cache_dir.mkdir(exist_ok=True)
+            with tempfile.TemporaryDirectory() as tmp:
+                c_path = pathlib.Path(tmp) / "forest_kernel.c"
+                c_path.write_text(_C_SOURCE)
+                tmp_so = pathlib.Path(tmp) / "forest_kernel.so"
+                for compiler in ("cc", "gcc", "clang"):
+                    result = subprocess.run(
+                        [compiler, "-O2", "-fPIC", "-shared",
+                         "-ffp-contract=off", "-o", str(tmp_so), str(c_path)],
+                        capture_output=True,
+                    )
+                    if result.returncode == 0:
+                        break
+                else:
+                    return None
+                # Atomic publish via a caller-unique partial file so
+                # concurrent builders (threads or processes) never load a
+                # half-written library; losing the rename race is fine —
+                # both sides produced identical bytes.
+                fd, partial_name = tempfile.mkstemp(
+                    dir=cache_dir, suffix=".tmp"
+                )
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(tmp_so.read_bytes())
+                pathlib.Path(partial_name).replace(so_path)
+        except (OSError, subprocess.SubprocessError):
+            return None
+    try:
+        lib = ctypes.CDLL(str(so_path))
+    except OSError:
+        return None
+    lib.build_tree.restype = ctypes.c_int64
+    lib.build_tree.argtypes = [ctypes.POINTER(_Params)]
+    return lib
+
+
+def load_kernel() -> ctypes.CDLL | None:
+    """The compiled kernel, or ``None`` when disabled or unavailable."""
+    global _lib, _lib_failed
+    if os.environ.get("REPRO_FOREST_KERNEL", "1") == "0":
+        return None
+    if _lib is None and not _lib_failed:
+        # Serialize first-use compilation: concurrent fits (thread-pool
+        # runner) must not race the build/publish or mark the kernel
+        # failed because another thread was mid-compile.
+        with _lib_lock:
+            if _lib is None and not _lib_failed:
+                _lib = _build_library()
+                if _lib is None:
+                    _lib_failed = True
+    return _lib
+
+
+def kernel_available() -> bool:
+    return load_kernel() is not None
+
+
+class TreeBuilder:
+    """Reusable native-build state for one forest fit.
+
+    Owns every buffer the kernel touches and the RNG callbacks, so one
+    ``build()`` call per tree costs a single ctypes invocation plus the
+    Python-side RNG draws (bootstrap indices, per-node feature
+    permutations, threshold keys) — exactly the draws, in exactly the
+    order, of the numpy implementation.
+    """
+
+    def __init__(
+        self,
+        lib: ctypes.CDLL,
+        X: np.ndarray,
+        y: np.ndarray,
+        max_features: int,
+        min_samples_split: int,
+        max_depth: int,
+        n_thresholds: int,
+        bootstrap: bool,
+    ):
+        self._lib = lib
+        n, d = X.shape
+        self._n, self._d = n, d
+        m = min(max_features, d)
+        self._x_t = np.ascontiguousarray(X.T)
+        self._y = np.ascontiguousarray(y, dtype=float)
+        self._boot = np.arange(n, dtype=np.int64)
+        self._bootstrap = bootstrap
+        self._perm = np.empty(d, dtype=np.int64)
+        self._keys = np.empty(max(1, (n - 1) * m), dtype=float)
+        cap = 2 * n + 4
+        self._out_feature = np.empty(cap, dtype=np.int64)
+        self._out_threshold = np.empty(cap, dtype=float)
+        self._out_left = np.empty(cap, dtype=np.int64)
+        self._out_right = np.empty(cap, dtype=np.int64)
+        self._out_value = np.empty(cap, dtype=float)
+        self._out_variance = np.empty(cap, dtype=float)
+        self._ws_d = np.empty(3 * d * n + 5 * m * n + 4 * n + 64, dtype=float)
+        self._ws_i = np.empty(
+            d * n + n + n * (max_depth + 3) + 5 * (2 * max_depth + 16),
+            dtype=np.int64,
+        )
+        self._member = np.zeros(n, dtype=np.uint8)
+        self._rng: np.random.Generator | None = None
+
+        def need_perm() -> None:
+            self._perm[:] = self._rng.permutation(d)
+
+        def need_keys(count: int) -> None:
+            # Same stream consumption as rng.random((count // m, m)):
+            # `random` fills any contiguous out buffer sequentially.
+            self._rng.random(out=self._keys[:count])
+
+        # Keep callback objects alive for the lifetime of the builder.
+        self._need_perm = _Params._perm_cb(need_perm)
+        self._need_keys = _Params._keys_cb(need_keys)
+
+        p = _Params()
+        p.n, p.d, p.m = n, d, m
+        p.min_split = min_samples_split
+        p.max_depth = max_depth
+        p.n_thresholds = n_thresholds
+        p.bootstrap = int(bootstrap)
+        p.cap = cap
+        p.x_t = self._x_t.ctypes.data
+        p.y = self._y.ctypes.data
+        p.boot = self._boot.ctypes.data
+        p.perm = self._perm.ctypes.data
+        p.keys = self._keys.ctypes.data
+        p.feature = self._out_feature.ctypes.data
+        p.threshold = self._out_threshold.ctypes.data
+        p.left = self._out_left.ctypes.data
+        p.right = self._out_right.ctypes.data
+        p.value = self._out_value.ctypes.data
+        p.variance = self._out_variance.ctypes.data
+        p.ws_d = self._ws_d.ctypes.data
+        p.ws_i = self._ws_i.ctypes.data
+        p.member = self._member.ctypes.data
+        p.need_perm = self._need_perm
+        p.need_keys = self._need_keys
+        self._params = p
+
+    def build(self, rng: np.random.Generator) -> tuple[np.ndarray, ...]:
+        """Build one tree; returns (feature, threshold, left, right,
+        value, variance) arrays, freshly copied."""
+        if self._bootstrap:
+            self._boot[:] = rng.integers(0, self._n, size=self._n)
+        else:
+            self._boot[:] = np.arange(self._n)
+        self._rng = rng
+        try:
+            count = int(self._lib.build_tree(ctypes.byref(self._params)))
+        finally:
+            self._rng = None
+        if count < 0:
+            raise RuntimeError("native tree build overflowed node capacity")
+        return (
+            self._out_feature[:count].copy(),
+            self._out_threshold[:count].copy(),
+            self._out_left[:count].copy(),
+            self._out_right[:count].copy(),
+            self._out_value[:count].copy(),
+            self._out_variance[:count].copy(),
+        )

@@ -6,6 +6,10 @@ import numpy as np
 from scipy import stats
 
 
+#: Predictive standard deviations at or below this are treated as zero.
+ZERO_STD_THRESHOLD = 1e-12
+
+
 def expected_improvement(
     mean: np.ndarray,
     std: np.ndarray,
@@ -15,15 +19,31 @@ def expected_improvement(
     """Expected improvement over the incumbent ``best`` (maximization).
 
     ``xi`` is the usual exploration jitter.  Points with (numerically) zero
-    predictive standard deviation get zero EI.
+    predictive standard deviation (``std <= ZERO_STD_THRESHOLD``) get zero
+    EI.  The threshold is applied once, up front: degenerate rows skip the
+    CDF/PDF evaluation entirely instead of computing a full pass that the
+    final mask would zero anyway (historically ``z`` was gated on
+    ``std > 0`` but the result on ``std > 1e-12`` — two different cutoffs,
+    one wasted evaluation).
     """
-    mean = np.asarray(mean, dtype=float)
-    std = np.asarray(std, dtype=float)
+    mean, std = np.broadcast_arrays(
+        np.asarray(mean, dtype=float), np.asarray(std, dtype=float)
+    )
     improvement = mean - best - xi
-    with np.errstate(divide="ignore", invalid="ignore"):
-        z = np.where(std > 0, improvement / std, 0.0)
-        ei = improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z)
-    return np.where(std > 1e-12, np.maximum(ei, 0.0), 0.0)
+    positive = std > ZERO_STD_THRESHOLD
+    if positive.all():
+        z = improvement / std
+        return np.maximum(
+            improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z), 0.0
+        )
+    ei = np.zeros(std.shape)
+    if positive.any():
+        imp, s = improvement[positive], std[positive]
+        z = imp / s
+        ei[positive] = np.maximum(
+            imp * stats.norm.cdf(z) + s * stats.norm.pdf(z), 0.0
+        )
+    return ei
 
 
 def upper_confidence_bound(
@@ -31,3 +51,29 @@ def upper_confidence_bound(
 ) -> np.ndarray:
     """GP-UCB acquisition (maximization)."""
     return np.asarray(mean, dtype=float) + beta * np.asarray(std, dtype=float)
+
+
+def top_q_distinct(scores: np.ndarray, rows: np.ndarray, q: int) -> np.ndarray:
+    """Indices of the ``q`` best-scoring *distinct* rows.
+
+    Ranking is stable (ties keep pool order), so the first index equals
+    ``argmax(scores)`` — the batch-of-one winner is bit-identical to the
+    scalar acquisition argmax.  Duplicate candidate rows (e.g. a local
+    neighbor colliding with a random candidate) are skipped so a batch
+    never proposes the same configuration twice; if the pool holds fewer
+    than ``q`` distinct rows, all of them are returned.
+    """
+    order = np.argsort(-np.asarray(scores, dtype=float), kind="stable")
+    if q == 1:
+        return order[:1]
+    picked: list[int] = []
+    seen: set[bytes] = set()
+    for i in order:
+        key = rows[i].tobytes()
+        if key in seen:
+            continue
+        seen.add(key)
+        picked.append(int(i))
+        if len(picked) == q:
+            break
+    return np.asarray(picked, dtype=int)

@@ -46,6 +46,55 @@ class Optimizer(ABC):
             return self.encoding.decode(self._next_init_vector())
         return self._suggest_model()
 
+    def suggest_batch(self, q: int) -> list[Configuration]:
+        """Propose ``q`` configurations from one model fit / candidate pool.
+
+        ``suggest_batch(1)`` is bit-identical to :meth:`suggest` — same RNG
+        stream consumption, same winner (``tests/test_suggest_batch.py``
+        pins this).  For ``q > 1`` the model-guided optimizers fit their
+        surrogate *once*, score one shared candidate pool, and return the
+        top-q EI-ranked distinct candidates, so callers can evaluate the
+        whole batch (e.g. through ``evaluate_batch``) at a fraction of q
+        scalar suggest calls.  Feed every result back through
+        :meth:`observe` before the next suggestion.
+
+        During the init phase the batch is the next ``q`` points of the LHS
+        design.  A batch that overruns the design is topped up with random
+        exploration vectors — the model cannot guide them yet, because
+        none of the batch has been observed (``suggest_batch(1)`` on an
+        exhausted design matches the scalar random fallback exactly).
+        """
+        if q < 1:
+            raise ValueError("q must be >= 1")
+        remaining_init = self.n_init - len(self._y)
+        if remaining_init > 0 or not self._y:
+            if self._init_points is None:
+                self._init_points = list(
+                    self.encoding.lhs_vectors(self.n_init, self.rng)
+                )
+            start = len(self._y)
+            vectors = self._init_points[start:start + q]
+            if len(vectors) < q:
+                # random_vectors(1, rng) consumes the stream identically
+                # to the scalar random_vector fallback, so q=1 stays
+                # bit-identical to suggest() here too.
+                vectors = vectors + list(
+                    self.encoding.random_vectors(q - len(vectors), self.rng)
+                )
+            return self.encoding.decode_batch(np.stack(vectors))
+        return self._suggest_model_batch(q)
+
+    def _suggest_model_batch(self, q: int) -> list[Configuration]:
+        """Model-guided batch; the base fallback takes the single model
+        suggestion first and fills the rest with random exploration (used
+        by optimizers without a native batch path, e.g. DDPG)."""
+        first = self._suggest_model()
+        if q == 1:
+            return [first]
+        return [first] + self.encoding.decode_batch(
+            self.encoding.random_vectors(q - 1, self.rng)
+        )
+
     def suggest_init_batch(self) -> list[Configuration]:
         """All remaining init-phase (LHS) suggestions, decoded in one pass.
 
@@ -122,3 +171,8 @@ class RandomSearchOptimizer(Optimizer):
 
     def _suggest_model(self) -> Configuration:
         return self.encoding.decode(self.encoding.random_vector(self.rng))
+
+    def _suggest_model_batch(self, q: int) -> list[Configuration]:
+        return self.encoding.decode_batch(
+            self.encoding.random_vectors(q, self.rng)
+        )

@@ -124,6 +124,15 @@ class DDPGOptimizer(Optimizer):
         replay transition.  Callers fall back to the scalar loop."""
         return []
 
+    def suggest_batch(self, q: int) -> list[Configuration]:
+        """Same per-step bookkeeping constraint as the init phase: each
+        action must be observed before the next draw, so a "batch" is the
+        single next suggestion regardless of ``q`` (the session loop then
+        simply advances one iteration per round)."""
+        if q < 1:
+            raise ValueError("q must be >= 1")
+        return [self.suggest()]
+
     def _action_from_vector(self, vector: np.ndarray) -> np.ndarray:
         action = vector.copy()
         for i in np.flatnonzero(self.encoding.is_categorical):

@@ -6,15 +6,32 @@ law-of-total-variance uncertainty estimate (variance across tree means plus
 mean within-leaf variance), which is what SMAC feeds into expected
 improvement.
 
-Trees are stored as flat arrays so that batch prediction is a vectorized
-level-by-level descent rather than per-sample Python recursion.
+Trees are stored as flat arrays, and the whole ensemble is additionally
+*packed* into one concatenated node table (:class:`_ForestArrays`) so that
+``predict_mean_var`` is a single simultaneous frontier traversal over all
+``n_trees x N`` (tree, row) pairs instead of a per-tree Python loop.  The
+fit side hoists the per-node ``argsort`` into one stable presort per tree
+whose order arrays are filtered down the recursion, so split search costs a
+membership gather per node instead of an O(n log n) sort.
+
+Both halves are pinned byte-identical to the historical per-tree
+implementation: same RNG call sequence (bootstrap draw, per-node feature
+permutation, threshold-subsample keys), same float operations on the same
+intermediate arrays, same argmin winners.  ``tests/test_forest.py`` and
+``tests/test_determinism_pins.py`` enforce this.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.optimizers import _forest_kernel
+
+#: Random threshold candidates kept per feature during split search.
+DEFAULT_N_THRESHOLDS = 8
 
 
 @dataclass
@@ -25,8 +42,47 @@ class _TreeArrays:
     threshold: np.ndarray  # float, unused for leaves
     left: np.ndarray  # int child indices
     right: np.ndarray
-    value: np.ndarray  # leaf mean (also stored on internals, unused)
-    variance: np.ndarray  # leaf variance
+    value: np.ndarray  # leaf mean (0.0 on internals, never read)
+    variance: np.ndarray  # leaf variance (0.0 on internals, never read)
+
+
+@dataclass
+class _ForestArrays:
+    """All trees' node tables concatenated, with per-tree start offsets.
+
+    Child indices are rebased to the concatenated table, so one frontier
+    descent can advance every (tree, row) pair simultaneously.
+    """
+
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    value: np.ndarray
+    variance: np.ndarray
+    offsets: np.ndarray  # (n_trees,) root index of each tree
+
+    @classmethod
+    def pack(cls, trees: list[_TreeArrays]) -> "_ForestArrays":
+        sizes = np.array([len(t.feature) for t in trees])
+        offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        left = np.concatenate(
+            [np.where(t.left >= 0, t.left + off, -1)
+             for t, off in zip(trees, offsets)]
+        )
+        right = np.concatenate(
+            [np.where(t.right >= 0, t.right + off, -1)
+             for t, off in zip(trees, offsets)]
+        )
+        return cls(
+            feature=np.concatenate([t.feature for t in trees]),
+            threshold=np.concatenate([t.threshold for t in trees]),
+            left=left,
+            right=right,
+            value=np.concatenate([t.value for t in trees]),
+            variance=np.concatenate([t.variance for t in trees]),
+            offsets=offsets,
+        )
 
 
 class RegressionTree:
@@ -37,7 +93,7 @@ class RegressionTree:
         max_features: int | None = None,
         min_samples_split: int = 3,
         max_depth: int = 20,
-        n_thresholds: int = 8,
+        n_thresholds: int = DEFAULT_N_THRESHOLDS,
         rng: np.random.Generator | None = None,
     ):
         self.max_features = max_features
@@ -47,11 +103,51 @@ class RegressionTree:
         self.rng = rng if rng is not None else np.random.default_rng()
         self._arrays: _TreeArrays | None = None
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        presort: np.ndarray | None = None,
+    ) -> "RegressionTree":
+        """Fit on (X, y).
+
+        ``presort`` is the feature-major stable argsort of ``X`` — shape
+        ``(n_features, n_samples)``, row ``j`` = stable argsort of column
+        ``j`` (computed here when absent); the recursion never re-sorts —
+        each node recovers its sorted value rows by filtering presorted
+        per-feature tables through a node membership mask, which preserves
+        the stable tie order exactly (a stable sort filtered to a subset is
+        the stable sort of that subset).  All split-search arrays live in feature-major ``(m, n)``
+        layout so the cumulative sums run along contiguous memory; the
+        random-key matrix is still *drawn* in the historical ``(n-1, m)``
+        shape and the argmin ranks candidates in the historical
+        (position, feature) order, keeping the RNG stream and every
+        tie-break byte-identical to the per-node-argsort implementation.
+        """
         X = np.asarray(X, dtype=float)
         y = np.asarray(y, dtype=float)
-        n_features = X.shape[1]
+        n_total, n_features = X.shape
         mf = self.max_features or max(1, int(np.sqrt(n_features)))
+        x_t = np.ascontiguousarray(X.T)  # feature-major knob matrix
+        if presort is None:
+            presort = np.argsort(x_t, axis=1, kind="stable")
+        # Feature-major presorted tables: row j holds sample positions and
+        # (X, y) values in stable ascending order of feature j.  X and y
+        # share one (2, d, n) table so each node gathers both with a single
+        # advanced-indexing pass.
+        xysort = np.empty((2, n_features, n_total))
+        xysort[0] = np.take_along_axis(x_t, presort, axis=1)
+        xysort[1] = y[presort]
+        in_node = np.zeros(n_total, dtype=bool)
+        rng = self.rng
+        max_depth = self.max_depth
+        min_split = self.min_samples_split
+        n_thresholds = self.n_thresholds
+        # Per-size scratch shared by every node of size n: split positions
+        # k / n-k and reusable SSE buffers (each node consumes its buffers
+        # before any child runs, so reuse across the recursion is safe).
+        scratch: dict[int, tuple] = {}
+        inf = np.inf
 
         feature: list[int] = []
         threshold: list[float] = []
@@ -60,41 +156,135 @@ class RegressionTree:
         value: list[float] = []
         variance: list[float] = []
 
-        def new_node() -> int:
+        # Iterative pre-order build (node ids and RNG consumption exactly
+        # match the historical recursion: a node is processed fully, then
+        # its whole left subtree, then the right).  Stack entries are
+        # (row indices, depth, parent node, is-right-child).
+        stack: list[tuple[np.ndarray, int, int, bool]] = [
+            (np.arange(n_total), 0, -1, False)
+        ]
+        while stack:
+            idx, depth, parent, is_right = stack.pop()
+            node = len(feature)
+            if parent >= 0:
+                if is_right:
+                    right[parent] = node
+                else:
+                    left[parent] = node
             feature.append(-1)
             threshold.append(0.0)
             left.append(-1)
             right.append(-1)
             value.append(0.0)
             variance.append(0.0)
-            return len(feature) - 1
-
-        def build(idx: np.ndarray, depth: int) -> int:
-            node = new_node()
             y_node = y[idx]
-            value[node] = float(y_node.mean())
-            variance[node] = float(y_node.var())
+            n = len(idx)
+            split = None
             if (
-                depth >= self.max_depth
-                or len(idx) < self.min_samples_split
-                or np.ptp(y_node) == 0.0
+                depth < max_depth
+                and n >= min_split
+                and np.maximum.reduce(y_node) - np.minimum.reduce(y_node)
+                != 0.0
             ):
-                return node
+                # --- split search over the presorted tables -------------
+                features = rng.permutation(n_features)[:mf]
+                m = len(features)
+                in_node[idx] = True
+                cols = presort[features]  # m x n_total
+                sel = in_node[cols]
+                in_node[idx] = False
+                xy = xysort[:, features][:, sel].reshape(2, m, n)
+                xs = xy[0]
+                ys = xy[1]
+                valid = xs[:, :-1] < xs[:, 1:]  # split after col p, row c
+                n_valid = np.count_nonzero(valid)
+                if n_valid:
+                    try:
+                        k, n_minus_k, cum, cum_sq, b1, b2 = scratch[n]
+                    except KeyError:
+                        k = np.arange(1, n, dtype=float)[None, :]
+                        n_minus_k = n - k
+                        cum = np.empty((mf, n))
+                        cum_sq = np.empty((mf, n))
+                        b1 = np.empty((mf, n - 1))
+                        b2 = np.empty((mf, n - 1))
+                        scratch[n] = (k, n_minus_k, cum, cum_sq, b1, b2)
+                    if m != mf:  # mf > n_features: every feature selected
+                        cum, cum_sq = np.empty((m, n)), np.empty((m, n))
+                        b1, b2 = np.empty((m, n - 1)), np.empty((m, n - 1))
+                    np.add.accumulate(ys, 1, None, cum)
+                    np.multiply(ys, ys, ys)
+                    np.add.accumulate(ys, 1, None, cum_sq)
+                    total = cum[:, -1:]
+                    total_sq = cum_sq[:, -1:]
+                    cum = cum[:, :-1]
+                    cum_sq = cum_sq[:, :-1]
+                    # scores = where(valid, left_sse + right_sse, inf) with
+                    #   left_sse  = cum_sq - cum**2 / k
+                    #   right_sse = (total_sq - cum_sq)
+                    #               - (total - cum)**2 / (n - k)
+                    # in the exact historical op order (same ufuncs on the
+                    # same values; `a ** 2` lowers to `a * a`), into reused
+                    # buffers via positional-out ufunc calls.
+                    np.multiply(cum, cum, b1)
+                    np.divide(b1, k, b1)
+                    np.subtract(cum_sq, b1, b1)  # b1 = left_sse
+                    np.subtract(total, cum, b2)
+                    np.multiply(b2, b2, b2)
+                    np.divide(b2, n_minus_k, b2)
+                    scores = np.subtract(total_sq, cum_sq)
+                    np.subtract(scores, b2, scores)  # right_sse
+                    np.add(b1, scores, scores)
+                    scores[np.invert(valid)] = inf
 
-            best = self._best_split(X[idx], y_node, mf)
-            if best is None:
-                return node
-            f, t = best
-            mask = X[idx, f] <= t
-            if mask.all() or not mask.any():
-                return node
-            feature[node] = f
-            threshold[node] = t
-            left[node] = build(idx[mask], depth + 1)
-            right[node] = build(idx[~mask], depth + 1)
-            return node
+                    # Randomized threshold selection: keep at most
+                    # n_thresholds valid candidates per feature, chosen
+                    # uniformly via random keys.  The draw keeps its
+                    # historical (n-1, m) shape so the stream maps values
+                    # to (position, feature) pairs identically; the
+                    # n_valid > m * n_thresholds pigeonhole shortcut skips
+                    # the per-feature count when some row must overflow.
+                    if n_valid > m * n_thresholds or (
+                        n_valid > n_thresholds
+                        and n > n_thresholds + 1
+                        and int(
+                            np.maximum.reduce(np.add.reduce(valid, axis=1))
+                        )
+                        > n_thresholds
+                    ):
+                        keys = rng.random((n - 1, m))
+                        keys_t = keys.T
+                        keys_t[np.invert(valid)] = inf
+                        kth = np.partition(keys, n_thresholds - 1, axis=0)[
+                            n_thresholds - 1
+                        ]
+                        scores[keys_t > kth[:, None]] = inf
 
-        build(np.arange(len(y)), 0)
+                    # Rank candidates in the historical (position-major)
+                    # flat order so equal scores break ties identically.
+                    flat = int(scores.T.argmin())
+                    p, c = flat // m, flat % m
+                    if math.isfinite(scores[c, p]):
+                        f = int(features[c])
+                        t = float((xs[c, p] + xs[c, p + 1]) / 2.0)
+                        mask = x_t[f][idx] <= t
+                        n_left = np.count_nonzero(mask)
+                        if n_left != n and n_left != 0:
+                            split = (f, t, mask)
+
+            if split is None:
+                # Raw-ufunc mean/var: bit-identical to .mean()/.var()
+                # (same pairwise summation) without the wrapper cost.
+                mean = np.add.reduce(y_node) / n
+                dev = y_node - mean
+                value[node] = float(mean)
+                variance[node] = float(np.add.reduce(dev * dev) / n)
+            else:
+                f, t, mask = split
+                feature[node] = f
+                threshold[node] = t
+                stack.append((idx[np.invert(mask)], depth + 1, node, True))
+                stack.append((idx[mask], depth + 1, node, False))
         self._arrays = _TreeArrays(
             feature=np.array(feature, dtype=int),
             threshold=np.array(threshold, dtype=float),
@@ -104,49 +294,6 @@ class RegressionTree:
             variance=np.array(variance, dtype=float),
         )
         return self
-
-    def _best_split(
-        self, X: np.ndarray, y: np.ndarray, max_features: int
-    ) -> tuple[int, float] | None:
-        """Pick the (feature, threshold) minimizing total within-child SSE
-        among a random subset of features and random candidate positions.
-
-        All selected features are scored in one vectorized pass: a single
-        ``n x m`` sort, prefix sums down the columns, and a masked argmin
-        over the whole candidate matrix (no per-feature Python loop).
-        """
-        n, n_features = X.shape
-        features = self.rng.permutation(n_features)[:max_features]
-        Xf = X[:, features]  # n x m
-        order = np.argsort(Xf, axis=0, kind="stable")
-        xs = Xf[order, np.arange(Xf.shape[1])[None, :]]
-        ys = y[order]
-        valid = xs[:-1] < xs[1:]  # split after row i, per column
-        if not valid.any():
-            return None
-
-        cum = np.cumsum(ys, axis=0)
-        cum_sq = np.cumsum(ys * ys, axis=0)
-        total, total_sq = cum[-1], cum_sq[-1]
-        k = np.arange(1, n, dtype=float)[:, None]  # samples going left
-        left_sse = cum_sq[:-1] - cum[:-1] ** 2 / k
-        right_sse = (total_sq - cum_sq[:-1]) - (total - cum[:-1]) ** 2 / (n - k)
-        scores = np.where(valid, left_sse + right_sse, np.inf)
-
-        # Randomized threshold selection: keep at most n_thresholds valid
-        # candidates per feature, chosen uniformly via random keys.
-        if int(valid.sum(axis=0).max()) > self.n_thresholds:
-            keys = self.rng.random(scores.shape)
-            keys[~valid] = np.inf
-            kth = np.partition(keys, self.n_thresholds - 1, axis=0)[
-                self.n_thresholds - 1
-            ]
-            scores = np.where(keys <= kth, scores, np.inf)
-
-        p, c = np.unravel_index(int(np.argmin(scores)), scores.shape)
-        if not np.isfinite(scores[p, c]):
-            return None
-        return int(features[c]), float((xs[p, c] + xs[p + 1, c]) / 2.0)
 
     def predict_with_variance(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Leaf mean and leaf variance for each row of ``X``."""
@@ -184,6 +331,7 @@ class RandomForestRegressor:
         self.bootstrap = bootstrap
         self.rng = np.random.default_rng(seed)
         self._trees: list[RegressionTree] = []
+        self._packed: _ForestArrays | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
         X = np.asarray(X, dtype=float)
@@ -193,21 +341,81 @@ class RandomForestRegressor:
         if len(X) == 0:
             raise ValueError("cannot fit on an empty dataset")
         self._trees = []
-        n = len(y)
+        if _forest_kernel.load_kernel() is not None:
+            self._fit_native(X, y)
+        else:
+            self._fit_numpy(X, y)
+        self._packed = _ForestArrays.pack(
+            [tree._arrays for tree in self._trees if tree._arrays is not None]
+        )
+        return self
+
+    def _fit_native(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Per-tree builds in the native kernel; RNG draws stay in Python
+        (same calls, same order), so trees are byte-identical to
+        :meth:`_fit_numpy`."""
+        n_features = X.shape[1]
+        builder = _forest_kernel.TreeBuilder(
+            _forest_kernel.load_kernel(),
+            X,
+            y,
+            max_features=(
+                self.max_features or max(1, int(np.sqrt(n_features)))
+            ),
+            min_samples_split=self.min_samples_split,
+            max_depth=self.max_depth,
+            n_thresholds=DEFAULT_N_THRESHOLDS,
+            bootstrap=self.bootstrap,
+        )
         for _ in range(self.n_trees):
-            if self.bootstrap:
-                idx = self.rng.integers(0, n, size=n)
-            else:
-                idx = np.arange(n)
+            feature, threshold, left, right, value, variance = builder.build(
+                self.rng
+            )
             tree = RegressionTree(
                 max_features=self.max_features,
                 min_samples_split=self.min_samples_split,
                 max_depth=self.max_depth,
                 rng=self.rng,
             )
-            tree.fit(X[idx], y[idx])
+            tree._arrays = _TreeArrays(
+                feature=feature,
+                threshold=threshold,
+                left=left,
+                right=right,
+                value=value,
+                variance=variance,
+            )
             self._trees.append(tree)
-        return self
+
+    def _fit_numpy(self, X: np.ndarray, y: np.ndarray) -> None:
+        n = len(y)
+        # Without bootstrap every tree sees the same matrix, so one presort
+        # serves the whole ensemble.  With bootstrap each tree's resampled
+        # matrix needs its own presort; the index draw itself is already one
+        # batched RNG call per tree and cannot be hoisted further without
+        # reordering the stream (tree building consumes the same generator
+        # between draws).
+        shared_presort = (
+            None
+            if self.bootstrap
+            else np.argsort(
+                np.ascontiguousarray(X.T), axis=1, kind="stable"
+            )
+        )
+        for _ in range(self.n_trees):
+            if self.bootstrap:
+                idx = self.rng.integers(0, n, size=n)
+                Xt, yt, presort = X[idx], y[idx], None
+            else:
+                Xt, yt, presort = X, y, shared_presort
+            tree = RegressionTree(
+                max_features=self.max_features,
+                min_samples_split=self.min_samples_split,
+                max_depth=self.max_depth,
+                rng=self.rng,
+            )
+            tree.fit(Xt, yt, presort=presort)
+            self._trees.append(tree)
 
     @property
     def is_fitted(self) -> bool:
@@ -218,7 +426,44 @@ class RandomForestRegressor:
         return mean
 
     def predict_mean_var(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Ensemble mean and total variance (between + within trees)."""
+        """Ensemble mean and total variance (between + within trees).
+
+        One simultaneous frontier traversal over all ``n_trees x N``
+        (tree, row) pairs on the packed node table; pairs that reach a leaf
+        drop out of the frontier.  Output is byte-identical to
+        :meth:`predict_mean_var_per_tree`.
+        """
+        if self._packed is None:
+            raise RuntimeError("forest is not fitted")
+        p = self._packed
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        n_rows = len(X)
+        n_trees = len(p.offsets)
+        # Tree-major layout: pair t * n_rows + i is (tree t, row i), so the
+        # final gather reshapes directly into the (tree, row) stack.
+        node = np.repeat(p.offsets, n_rows)
+        row = np.tile(np.arange(n_rows), n_trees)
+        active = np.flatnonzero(p.feature[node] >= 0)
+        while active.size:
+            nd = node[active]
+            go_left = X[row[active], p.feature[nd]] <= p.threshold[nd]
+            nd = np.where(go_left, p.left[nd], p.right[nd])
+            node[active] = nd
+            active = active[p.feature[nd] >= 0]
+        mean_stack = p.value[node].reshape(n_trees, n_rows)
+        var_stack = p.variance[node].reshape(n_trees, n_rows)
+        mean = mean_stack.mean(axis=0)
+        total_var = mean_stack.var(axis=0) + var_stack.mean(axis=0)
+        return mean, np.maximum(total_var, 1e-12)
+
+    def predict_mean_var_per_tree(
+        self, X: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Reference per-tree implementation of :meth:`predict_mean_var`.
+
+        Kept as the ground truth the packed traversal is tested against
+        (exact array equality); not used on the hot path.
+        """
         if not self._trees:
             raise RuntimeError("forest is not fitted")
         means = []

@@ -5,6 +5,14 @@ by giving continuous dimensions a Matérn-5/2 kernel and categorical
 dimensions a Hamming kernel.  We combine the two multiplicatively and fit
 the amplitude, the two lengthscales, and the noise level by maximizing the
 log marginal likelihood (multi-start L-BFGS on log-parameters).
+
+``fit`` precomputes the pairwise squared-distance and categorical-mismatch
+tensors once and shares them across every restart and objective
+evaluation, scaling by the candidate lengthscale per evaluation
+(``sq / ls**2``) instead of rebuilding the kernel from raw X.  Relative to
+pre-scaling the inputs (``(x / ls)**2``) this shifts results by at most an
+ulp — the same class of last-ulp caveat the batch-API contract documents
+for ``math.*`` vs ufunc scalars.
 """
 
 from __future__ import annotations
@@ -44,34 +52,75 @@ class GaussianProcess:
 
     # --- kernel --------------------------------------------------------------
 
-    def _kernel(self, A: np.ndarray, B: np.ndarray, theta: np.ndarray) -> np.ndarray:
-        amp2 = math.exp(2.0 * theta[0])
-        ls_num = math.exp(theta[1])
-        ls_cat = math.exp(theta[2])
+    def _distance_parts(
+        self, A: np.ndarray, B: np.ndarray
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Theta-independent kernel precursors between two point sets.
 
+        Returns the per-pair squared numeric distance already normalized by
+        the numeric dimensionality (so lengthscales stay comparable between
+        the 16-d synthetic and 90-d original spaces), and the categorical
+        mismatch fraction.  Both depend only on the data, so ``fit``
+        computes them once and reuses them across every hyperparameter
+        restart and ``_neg_log_marginal`` evaluation — the kernel per theta
+        is then two cheap elementwise transforms instead of an O(n^2 d)
+        rebuild from raw X.
+        """
         num = ~self.is_categorical
-        k = np.ones((len(A), len(B)))
+        sq_num = None
         if num.any():
-            a, b = A[:, num] / ls_num, B[:, num] / ls_num
+            a, b = A[:, num], B[:, num]
             sq = (
                 np.sum(a**2, axis=1)[:, None]
                 + np.sum(b**2, axis=1)[None, :]
                 - 2.0 * a @ b.T
             )
-            # Normalize by dimensionality so lengthscales stay comparable
-            # between the 16-d synthetic and 90-d original spaces.
-            k *= matern52(np.maximum(sq, 0.0) / max(1, num.sum()))
+            sq_num = np.maximum(sq, 0.0) / max(1, num.sum())
+        mismatch = None
         if self.is_categorical.any():
             cat = self.is_categorical
-            mismatch = (A[:, cat][:, None, :] != B[:, cat][None, :, :]).mean(axis=2)
+            mismatch = (A[:, cat][:, None, :] != B[:, cat][None, :, :]).mean(
+                axis=2
+            )
+        return sq_num, mismatch
+
+    def _kernel_from_parts(
+        self,
+        sq_num: np.ndarray | None,
+        mismatch: np.ndarray | None,
+        shape: tuple[int, int],
+        theta: np.ndarray,
+    ) -> np.ndarray:
+        amp2 = math.exp(2.0 * theta[0])
+        ls_num = math.exp(theta[1])
+        ls_cat = math.exp(theta[2])
+        k = np.ones(shape)
+        if sq_num is not None:
+            k *= matern52(sq_num / ls_num**2)
+        if mismatch is not None:
             k *= np.exp(-mismatch / ls_cat)
         return amp2 * k
 
+    def _kernel(self, A: np.ndarray, B: np.ndarray, theta: np.ndarray) -> np.ndarray:
+        sq_num, mismatch = self._distance_parts(A, B)
+        return self._kernel_from_parts(
+            sq_num, mismatch, (len(A), len(B)), theta
+        )
+
     # --- fitting ---------------------------------------------------------------
 
-    def _neg_log_marginal(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
+    def _neg_log_marginal(
+        self,
+        theta: np.ndarray,
+        sq_num: np.ndarray | None,
+        mismatch: np.ndarray | None,
+        n: int,
+        y: np.ndarray,
+    ) -> float:
         noise = math.exp(2.0 * theta[3]) + 1e-8
-        K = self._kernel(X, X, theta) + noise * np.eye(len(X))
+        K = self._kernel_from_parts(
+            sq_num, mismatch, (n, n), theta
+        ) + noise * np.eye(n)
         try:
             chol = linalg.cholesky(K, lower=True)
         except linalg.LinAlgError:
@@ -94,13 +143,19 @@ class GaussianProcess:
         for _ in range(n_restarts):
             starts.append(self._theta + self.rng.normal(0.0, 0.5, size=4))
 
+        # The squared-distance / mismatch tensors depend only on X: build
+        # them once and share them across all restarts and every L-BFGS
+        # objective evaluation.
+        sq_num, mismatch = self._distance_parts(X, X)
+        n = len(X)
+
         best_nll, best_theta = np.inf, self._theta
         bounds = [(-3.0, 3.0), (-3.0, 2.0), (-3.0, 2.0), (-5.0, 1.0)]
         for start in starts:
             result = optimize.minimize(
                 self._neg_log_marginal,
                 np.clip(start, [b[0] for b in bounds], [b[1] for b in bounds]),
-                args=(X, z),
+                args=(sq_num, mismatch, n, z),
                 method="L-BFGS-B",
                 bounds=bounds,
                 options={"maxiter": 50},
@@ -110,7 +165,9 @@ class GaussianProcess:
 
         self._theta = best_theta
         noise = math.exp(2.0 * best_theta[3]) + 1e-8
-        K = self._kernel(X, X, best_theta) + noise * np.eye(len(X))
+        K = self._kernel_from_parts(
+            sq_num, mismatch, (n, n), best_theta
+        ) + noise * np.eye(n)
         self._chol = linalg.cholesky(K, lower=True)
         self._alpha = linalg.cho_solve((self._chol, True), z)
         self._X = X

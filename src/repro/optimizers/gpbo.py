@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.optimizers.acquisition import expected_improvement
+from repro.optimizers.acquisition import expected_improvement, top_q_distinct
 from repro.optimizers.base import Optimizer
 from repro.optimizers.gp import GaussianProcess
 from repro.space.configspace import Configuration, ConfigurationSpace
@@ -35,6 +35,12 @@ class GPBOOptimizer(Optimizer):
         self._model_suggestions = 0
 
     def _suggest_model(self) -> Configuration:
+        return self._suggest_model_batch(1)[0]
+
+    def _suggest_model_batch(self, q: int) -> list[Configuration]:
+        """One GP fit (subject to ``refit_every``), one shared candidate
+        pool, top-q EI-ranked distinct candidates; ``q = 1`` matches the
+        historical scalar path bit-for-bit."""
         X, y = self._data()
         self._model_suggestions += 1
         refit = (
@@ -52,7 +58,9 @@ class GPBOOptimizer(Optimizer):
         candidates = self._candidates(X, y)
         mean, var = self._gp.predict_mean_var(candidates)
         ei = expected_improvement(mean, np.sqrt(var), best=float(y.max()))
-        return self.encoding.decode(candidates[int(np.argmax(ei))])
+        return self.encoding.decode_batch(
+            candidates[top_q_distinct(ei, candidates, q)]
+        )
 
     def _candidates(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
         pools = [self.encoding.random_vectors(self.n_random_candidates, self.rng)]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.optimizers.acquisition import expected_improvement
+from repro.optimizers.acquisition import expected_improvement, top_q_distinct
 from repro.optimizers.base import Optimizer
 from repro.optimizers.forest import RandomForestRegressor
 from repro.space.configspace import Configuration, ConfigurationSpace
@@ -50,12 +50,24 @@ class SMACOptimizer(Optimizer):
         self._model_suggestions = 0
 
     def _suggest_model(self) -> Configuration:
+        return self._suggest_model_batch(1)[0]
+
+    def _suggest_model_batch(self, q: int) -> list[Configuration]:
+        """One forest fit, one shared candidate pool, top-q EI-ranked
+        distinct candidates.  ``q = 1`` is bit-identical to the historical
+        scalar path (the stable EI ranking's first entry is the argmax)."""
         self._model_suggestions += 1
         if (
             self.random_interleave_every
             and self._model_suggestions % self.random_interleave_every == 0
         ):
-            return self.encoding.decode(self.encoding.random_vector(self.rng))
+            if q == 1:
+                return [
+                    self.encoding.decode(self.encoding.random_vector(self.rng))
+                ]
+            return self.encoding.decode_batch(
+                self.encoding.random_vectors(q, self.rng)
+            )
 
         X, y = self._data()
         forest = RandomForestRegressor(
@@ -67,7 +79,9 @@ class SMACOptimizer(Optimizer):
         candidates = self._candidates(X, y)
         mean, var = forest.predict_mean_var(candidates)
         ei = expected_improvement(mean, np.sqrt(var), best=float(y.max()))
-        return self.encoding.decode(candidates[int(np.argmax(ei))])
+        return self.encoding.decode_batch(
+            candidates[top_q_distinct(ei, candidates, q)]
+        )
 
     def _candidates(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Random pool + local-search neighborhoods of the top incumbents.

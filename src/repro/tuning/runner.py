@@ -9,7 +9,7 @@ module turns the curves into Table-style rows.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -67,6 +67,7 @@ class SessionSpec:
     early_stopping: EarlyStoppingPolicy | None = None
     optimizer_kwargs: tuple[tuple[str, object], ...] = ()
     batch_init: bool = True
+    suggest_batch: int = 1
 
     def build(self, seed: int) -> TuningSession:
         space = space_for_version(self.version)
@@ -92,6 +93,7 @@ class SessionSpec:
             objective=self.objective,
             n_iterations=self.n_iterations,
             batch_init=self.batch_init,
+            suggest_batch=self.suggest_batch,
             seed=seed + 10_000,  # evaluation noise stream, distinct from optimizer
             # Policies carry per-session mutable state; every session gets
             # its own copy so seeds neither contaminate each other nor race
@@ -102,6 +104,31 @@ class SessionSpec:
         )
 
 
+@dataclass(frozen=True)
+class LlamaTuneFactory:
+    """Picklable adapter factory with LlamaTune's (ablatable) components.
+
+    A plain module-level class (not a closure) so ``SessionSpec`` instances
+    carrying it can cross process boundaries — the requirement for
+    ``run_spec(..., mode="process")``.
+    """
+
+    projection: str | None = "hesbo"
+    target_dim: int = 16
+    bias: float = 0.2
+    max_values: int | None = 10_000
+
+    def __call__(self, space: ConfigurationSpace, seed: int) -> SearchSpaceAdapter:
+        return LlamaTuneAdapter(
+            space,
+            projection=self.projection,
+            target_dim=self.target_dim,
+            bias=self.bias,
+            max_values=self.max_values,
+            seed=seed,
+        )
+
+
 def llamatune_factory(
     projection: str | None = "hesbo",
     target_dim: int = 16,
@@ -109,18 +136,17 @@ def llamatune_factory(
     max_values: int | None = 10_000,
 ) -> Callable[[ConfigurationSpace, int], SearchSpaceAdapter]:
     """Adapter factory with LlamaTune's (ablatable) components."""
+    return LlamaTuneFactory(
+        projection=projection,
+        target_dim=target_dim,
+        bias=bias,
+        max_values=max_values,
+    )
 
-    def factory(space: ConfigurationSpace, seed: int) -> SearchSpaceAdapter:
-        return LlamaTuneAdapter(
-            space,
-            projection=projection,
-            target_dim=target_dim,
-            bias=bias,
-            max_values=max_values,
-            seed=seed,
-        )
 
-    return factory
+def _run_seed(spec: SessionSpec, seed: int) -> TuningResult:
+    """Module-level worker so process pools can pickle the call."""
+    return spec.build(seed).run()
 
 
 def run_spec(
@@ -128,21 +154,33 @@ def run_spec(
     seeds: Sequence[int] = DEFAULT_SEEDS,
     parallel: bool = False,
     max_workers: int | None = None,
+    mode: str = "thread",
 ) -> list[TuningResult]:
     """Run one arm across seeds.
 
-    With ``parallel=True`` the seeds run concurrently on a thread pool (one
-    session per seed; sessions share no mutable state, so results are
-    identical to the sequential order).  ``max_workers`` defaults to
+    With ``parallel=True`` the seeds run concurrently (one session per
+    seed; sessions share no mutable state, so results are identical to the
+    sequential order).  ``max_workers`` defaults to
     ``min(len(seeds), cpu_count)``.
 
-    Threads help when evaluations block — a real DBMS benchmark run, the
-    paper's 5-minute workloads — or release the GIL in long array ops; the
-    microsecond-scale simulator itself stays GIL-bound, so expect parity
-    there, not speedup (see ROADMAP.md for the process-pool follow-up).
+    ``mode`` picks the pool: ``"thread"`` (default) helps when evaluations
+    block — a real DBMS benchmark run, the paper's 5-minute workloads —
+    but the microsecond-scale simulator is GIL-bound, so simulated seeds
+    run at parity there.  ``"process"`` sidesteps the GIL entirely: specs,
+    adapters (:class:`LlamaTuneFactory`), and results are all picklable,
+    so each seed runs in its own interpreter and true multi-core speedup
+    applies to simulated sweeps as well (worker startup is the overhead to
+    amortize — use it for full-length sessions, not micro-runs).
     """
+    if mode not in ("thread", "process"):
+        raise ValueError(f"unknown mode {mode!r}; use 'thread' or 'process'")
     if parallel and len(seeds) > 1:
         workers = max_workers or min(len(seeds), os.cpu_count() or 1)
+        if mode == "process":
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                return list(
+                    executor.map(_run_seed, [spec] * len(seeds), seeds)
+                )
         with ThreadPoolExecutor(max_workers=workers) as executor:
             return list(executor.map(lambda seed: spec.build(seed).run(), seeds))
     return [spec.build(seed).run() for seed in seeds]

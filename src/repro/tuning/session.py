@@ -74,6 +74,16 @@ class TuningSession:
             ``to_target_batch`` conversion, one ``evaluate_batch`` pass).
             Results are bit-identical to the scalar loop; disable only to
             cross-check that equivalence.
+        suggest_batch: Model-phase batch size q.  With q > 1 each round
+            fits the surrogate once, takes the top-q EI-ranked candidates
+            from one shared pool (``Optimizer.suggest_batch``), evaluates
+            them in a single ``evaluate_batch`` pass, and feeds all q
+            results back before the next fit — q-fold fewer model fits
+            per iteration budget.  This is batch Bayesian optimization:
+            the trajectory intentionally differs from q sequential rounds
+            (observations arrive in batches).  The default q = 1 keeps
+            the paper's sequential loop, byte-identical to earlier
+            releases.
     """
 
     def __init__(
@@ -86,9 +96,12 @@ class TuningSession:
         seed: int = 0,
         early_stopping: EarlyStoppingPolicy | None = None,
         batch_init: bool = True,
+        suggest_batch: int = 1,
     ):
         if objective not in ("throughput", "latency"):
             raise ValueError(f"unknown objective {objective!r}")
+        if suggest_batch < 1:
+            raise ValueError("suggest_batch must be >= 1")
         self.simulator = simulator
         self.optimizer = optimizer
         self.adapter = adapter if adapter is not None else IdentityAdapter(
@@ -103,6 +116,7 @@ class TuningSession:
         self.rng = np.random.default_rng(seed)
         self.early_stopping = early_stopping
         self.batch_init = batch_init
+        self.suggest_batch = suggest_batch
 
     @property
     def maximize(self) -> bool:
@@ -145,8 +159,9 @@ class TuningSession:
                     if stopped_at is not None:
                         break
 
-        if stopped_at is None:
-            for iteration in range(iteration, self.n_iterations):
+        while stopped_at is None and iteration < self.n_iterations:
+            q = min(self.suggest_batch, self.n_iterations - iteration)
+            if q == 1:
                 started = time.perf_counter()
                 opt_config = self.optimizer.suggest()
                 suggest_seconds = time.perf_counter() - started
@@ -162,8 +177,31 @@ class TuningSession:
                     kb, iteration, opt_config, target_config, measurement,
                     suggest_seconds,
                 )
-                if stopped_at is not None:
-                    break
+                iteration += 1
+            else:
+                # Model-phase batch round: one surrogate fit and one
+                # shared candidate pool produce q suggestions, evaluated
+                # in a single simulator matrix pass; outcomes feed back
+                # in order with the same penalty/early-stop bookkeeping
+                # as the scalar loop.
+                started = time.perf_counter()
+                opt_configs = self.optimizer.suggest_batch(q)
+                suggest_elapsed = time.perf_counter() - started
+                target_configs = self.adapter.to_target_batch(opt_configs)
+                measurements = self.simulator.evaluate_batch(
+                    target_configs, rng=self.rng, on_crash="none"
+                )
+                per_suggest = suggest_elapsed / len(opt_configs)
+                for opt_config, target_config, measurement in zip(
+                    opt_configs, target_configs, measurements
+                ):
+                    stopped_at = self._record(
+                        kb, iteration, opt_config, target_config,
+                        measurement, per_suggest,
+                    )
+                    iteration += 1
+                    if stopped_at is not None:
+                        break
 
         return TuningResult(
             knowledge_base=kb,

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.optimizers import _forest_kernel
 from repro.optimizers.forest import RandomForestRegressor, RegressionTree
 
 
@@ -116,3 +117,96 @@ class TestRandomForest:
         pred = forest.predict(rng.random((30, 3)))
         assert np.all(pred >= y.min() - 1e-9)
         assert np.all(pred <= y.max() + 1e-9)
+
+
+class TestPackedForest:
+    """The packed one-pass traversal must equal the per-tree reference
+    exactly — same floats, not approximately."""
+
+    @pytest.mark.parametrize("batch", [1, 2, 7, 64, 1000])
+    def test_packed_equals_per_tree_across_batch_shapes(self, batch):
+        X, y = make_data(n=90, d=8)
+        forest = RandomForestRegressor(n_trees=12, seed=5).fit(X, y)
+        probes = np.random.default_rng(1).random((batch, 8))
+        mean_packed, var_packed = forest.predict_mean_var(probes)
+        mean_ref, var_ref = forest.predict_mean_var_per_tree(probes)
+        np.testing.assert_array_equal(mean_packed, mean_ref)
+        np.testing.assert_array_equal(var_packed, var_ref)
+
+    def test_empty_batch(self):
+        X, y = make_data()
+        forest = RandomForestRegressor(n_trees=4, seed=0).fit(X, y)
+        mean, var = forest.predict_mean_var(np.empty((0, 6)))
+        assert mean.shape == (0,) and var.shape == (0,)
+
+    def test_single_vector_input(self):
+        X, y = make_data()
+        forest = RandomForestRegressor(n_trees=4, seed=0).fit(X, y)
+        a = forest.predict_mean_var(X[0])
+        b = forest.predict_mean_var_per_tree(X[0])
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_singleton_leaves(self):
+        """min_samples_split=2 grows the tree down to one-sample leaves
+        (zero variance); the packed tables must carry them exactly."""
+        rng = np.random.default_rng(3)
+        X = rng.random((16, 2))
+        y = rng.normal(size=16)
+        forest = RandomForestRegressor(
+            n_trees=6, min_samples_split=2, seed=3
+        ).fit(X, y)
+        a = forest.predict_mean_var(X)
+        b = forest.predict_mean_var_per_tree(X)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_stump_forest(self):
+        """Constant targets collapse every tree to a root-only leaf; the
+        packed offsets must still line up."""
+        X = np.random.default_rng(0).random((20, 3))
+        forest = RandomForestRegressor(n_trees=5, seed=0).fit(
+            X, np.full(20, 7.0)
+        )
+        mean, var = forest.predict_mean_var(X[:4])
+        np.testing.assert_allclose(mean, 7.0)
+        np.testing.assert_allclose(var, 1e-12)
+
+
+class TestNativeKernelEquivalence:
+    """The optional C kernel must be byte-identical to the numpy builder:
+    same trees, same predictions, same RNG stream afterwards."""
+
+    @pytest.mark.parametrize("trial_seed", [0, 1, 2, 3])
+    def test_native_matches_numpy(self, monkeypatch, trial_seed):
+        if not _forest_kernel.kernel_available():
+            pytest.skip("native forest kernel unavailable on this host")
+        rng = np.random.default_rng(trial_seed)
+        n = int(rng.integers(5, 150))
+        d = int(rng.integers(1, 40))
+        # rounding forces tied feature/target values — the stable-sort and
+        # tie-break paths are where implementations diverge first
+        X = np.round(rng.random((n, d)), 1)
+        y = np.round(rng.normal(size=n), 1)
+        seed = int(rng.integers(2**31))
+
+        native = RandomForestRegressor(n_trees=6, seed=seed).fit(X, y)
+        monkeypatch.setenv("REPRO_FOREST_KERNEL", "0")
+        fallback = RandomForestRegressor(n_trees=6, seed=seed).fit(X, y)
+
+        assert (
+            native.rng.bit_generator.state
+            == fallback.rng.bit_generator.state
+        )
+        for t_native, t_fallback in zip(native._trees, fallback._trees):
+            a, b = t_native._arrays, t_fallback._arrays
+            for field in ("feature", "threshold", "left", "right", "value",
+                          "variance"):
+                np.testing.assert_array_equal(
+                    getattr(a, field), getattr(b, field), err_msg=field
+                )
+        probes = rng.random((25, d))
+        np.testing.assert_array_equal(
+            native.predict_mean_var(probes)[0],
+            fallback.predict_mean_var(probes)[0],
+        )

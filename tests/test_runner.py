@@ -1,11 +1,15 @@
 """Tests for the multi-seed experiment runner (SessionSpec and helpers)."""
 
+import pickle
+
 import numpy as np
 import pytest
 
 from repro.dbms.versions import V96, V136
 from repro.space.postgres import postgres_v96_space, postgres_v136_space
+from repro.tuning.early_stopping import EarlyStoppingPolicy
 from repro.tuning.runner import (
+    LlamaTuneFactory,
     SessionSpec,
     compare_specs,
     llamatune_factory,
@@ -86,3 +90,45 @@ class TestRunners:
         summary, b, t = compare_specs(base, treat, seeds=(1, 2))
         assert summary.n_seeds == 2
         assert len(b) == len(t) == 2
+
+    def test_unknown_mode_rejected(self):
+        spec = SessionSpec(workload="ycsb-a", optimizer="random", n_iterations=4)
+        with pytest.raises(ValueError):
+            run_spec(spec, seeds=(1, 2), parallel=True, mode="fiber")
+
+
+class TestProcessPool:
+    """The ``--workers``-style smoke path: specs, adapter factories, and
+    results must cross process boundaries, and process-pool outputs must be
+    identical to sequential runs."""
+
+    def test_spec_roundtrips_through_pickle(self):
+        spec = SessionSpec(
+            workload="ycsb-a",
+            adapter=llamatune_factory(target_dim=8),
+            version=V136,
+            early_stopping=EarlyStoppingPolicy(0.01, 5),
+            optimizer_kwargs=(("n_trees", 5),),
+            suggest_batch=2,
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.version.name == "13.6"
+        assert isinstance(clone.adapter, LlamaTuneFactory)
+        assert clone.adapter.target_dim == 8
+
+    def test_process_pool_matches_sequential(self):
+        spec = SessionSpec(
+            workload="ycsb-a",
+            optimizer="random",
+            adapter=llamatune_factory(),
+            n_iterations=6,
+        )
+        sequential = run_spec(spec, seeds=(1, 2))
+        pooled = run_spec(
+            spec, seeds=(1, 2), parallel=True, mode="process", max_workers=2
+        )
+        assert len(pooled) == 2
+        for a, b in zip(sequential, pooled):
+            np.testing.assert_array_equal(a.values, b.values)
+            assert a.best_value == b.best_value
+            assert a.crash_count == b.crash_count

@@ -1,0 +1,172 @@
+"""Tests for the model-phase batch suggest API (``Optimizer.suggest_batch``).
+
+The core contract: ``suggest_batch(1)`` is *bit-identical* to ``suggest()``
+— same decoded configuration, same RNG stream position afterwards — for
+every optimizer, in both the init and model phases.  For q > 1 the batch
+comes from one surrogate fit and one shared candidate pool, EI-ranked and
+distinct.
+"""
+
+import numpy as np
+import pytest
+
+from repro.optimizers import (
+    GPBOOptimizer,
+    OPTIMIZERS,
+    RandomSearchOptimizer,
+    SMACOptimizer,
+    make_optimizer,
+)
+from repro.optimizers.acquisition import top_q_distinct
+from repro.space.configspace import ConfigurationSpace
+from repro.space.knob import CategoricalKnob, FloatKnob
+from repro.tuning.runner import SessionSpec
+
+
+@pytest.fixture
+def space():
+    return ConfigurationSpace(
+        [
+            FloatKnob("x", default=0.0, lower=0.0, upper=1.0),
+            FloatKnob("y", default=0.0, lower=0.0, upper=1.0),
+            CategoricalKnob("mode", default="a", choices=("a", "b")),
+        ]
+    )
+
+
+def objective(config) -> float:
+    bonus = 0.3 if config["mode"] == "b" else 0.0
+    return 1.0 - (config["x"] - 0.7) ** 2 - (config["y"] - 0.3) ** 2 + bonus
+
+
+def drive(optimizer, n):
+    for _ in range(n):
+        config = optimizer.suggest()
+        optimizer.observe(config, objective(config))
+
+
+class TestBatchOfOneBitIdentity:
+    """suggest_batch(1) == suggest(), including the RNG stream position."""
+
+    @pytest.mark.parametrize("name", sorted(OPTIMIZERS))
+    @pytest.mark.parametrize("warmup", [0, 3, 8, 11])
+    def test_matches_scalar_suggest(self, space, name, warmup):
+        a = make_optimizer(name, space, seed=42, n_init=5)
+        b = make_optimizer(name, space, seed=42, n_init=5)
+        drive(a, warmup)
+        drive(b, warmup)
+        for _ in range(3):  # crosses init->model and interleave boundaries
+            ca = a.suggest()
+            (cb,) = b.suggest_batch(1)
+            assert {k: ca[k] for k in ca.keys()} == {
+                k: cb[k] for k in cb.keys()
+            }
+            assert (
+                a.rng.bit_generator.state == b.rng.bit_generator.state
+            ), "RNG stream positions diverged"
+            a.observe(ca, objective(ca))
+            b.observe(cb, objective(cb))
+
+    def test_q_zero_rejected(self, space):
+        with pytest.raises(ValueError):
+            SMACOptimizer(space, seed=0).suggest_batch(0)
+
+
+class TestBatchContents:
+    @pytest.mark.parametrize("cls", [SMACOptimizer, GPBOOptimizer])
+    def test_model_batch_distinct(self, space, cls):
+        optimizer = cls(space, seed=1, n_init=5)
+        drive(optimizer, 6)
+        batch = optimizer.suggest_batch(6)
+        assert len(batch) == 6
+        seen = {tuple(sorted(dict(c).items())) for c in batch}
+        assert len(seen) == 6, "batch proposed duplicate configurations"
+
+    def test_init_phase_batch_is_lhs_prefix(self, space):
+        a = RandomSearchOptimizer(space, seed=3, n_init=6)
+        b = RandomSearchOptimizer(space, seed=3, n_init=6)
+        batch = a.suggest_batch(4)
+        singles = []
+        for _ in range(4):
+            config = b.suggest()
+            b.observe(config, 0.0)
+            singles.append(config)
+        for x, y in zip(batch, singles):
+            assert {k: x[k] for k in x.keys()} == {k: y[k] for k in y.keys()}
+
+    def test_init_overflow_tops_up_with_random(self, space):
+        optimizer = RandomSearchOptimizer(space, seed=3, n_init=2)
+        batch = optimizer.suggest_batch(5)
+        assert len(batch) == 5
+
+    def test_smac_interleave_round_returns_random_batch(self, space):
+        optimizer = SMACOptimizer(
+            space, seed=0, n_init=2, random_interleave_every=1
+        )
+        drive(optimizer, 2)  # exhaust init; next model round interleaves
+        batch = optimizer.suggest_batch(3)
+        assert len(batch) == 3
+
+
+class TestTopQDistinct:
+    def test_first_pick_is_argmax(self):
+        scores = np.array([0.1, 0.9, 0.9, 0.3])
+        rows = np.arange(8.0).reshape(4, 2)
+        picked = top_q_distinct(scores, rows, 1)
+        assert picked.tolist() == [int(np.argmax(scores))]
+
+    def test_skips_duplicate_rows(self):
+        scores = np.array([0.9, 0.8, 0.7])
+        rows = np.array([[1.0, 2.0], [1.0, 2.0], [3.0, 4.0]])
+        picked = top_q_distinct(scores, rows, 2)
+        assert picked.tolist() == [0, 2]
+
+    def test_fewer_distinct_than_q(self):
+        scores = np.array([0.9, 0.8])
+        rows = np.array([[1.0, 2.0], [1.0, 2.0]])
+        assert top_q_distinct(scores, rows, 5).tolist() == [0]
+
+
+class TestSessionWiring:
+    def test_session_batch_runs_full_budget(self):
+        spec = SessionSpec(
+            workload="ycsb-a",
+            optimizer="smac",
+            n_iterations=18,
+            n_init=5,
+            suggest_batch=4,
+        )
+        result = spec.build(seed=1).run()
+        assert len(result.values) == 18
+
+    def test_session_batch_deterministic(self):
+        spec = SessionSpec(
+            workload="ycsb-a",
+            optimizer="smac",
+            n_iterations=14,
+            n_init=5,
+            suggest_batch=3,
+        )
+        a = spec.build(seed=2).run()
+        b = spec.build(seed=2).run()
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_session_q1_matches_scalar_loop(self):
+        base = SessionSpec(
+            workload="ycsb-a", optimizer="smac", n_iterations=14, n_init=5
+        )
+        batched = SessionSpec(
+            workload="ycsb-a",
+            optimizer="smac",
+            n_iterations=14,
+            n_init=5,
+            suggest_batch=1,
+        )
+        a = base.build(seed=3).run()
+        b = batched.build(seed=3).run()
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_invalid_batch_size_rejected(self):
+        spec = SessionSpec(workload="ycsb-a", suggest_batch=0, n_iterations=4)
+        with pytest.raises(ValueError):
+            spec.build(seed=1)

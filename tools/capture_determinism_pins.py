@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Capture the surrogate/SMAC determinism pins for the packed-forest refactor.
+
+Runs the *current* implementation and records, as JSON:
+
+* the exact SMAC suggestion (decoded knob values) after a fixed 50-observation
+  warm-up on the full v9.6 space, plus the optimizer RNG state afterwards;
+* a 12-step SMAC suggest/observe trajectory on a small mixed space (values
+  and RNG state at the end);
+* forest leaf tables and predict_mean_var outputs on fixed data.
+
+The committed ``tests/data/determinism_pins.json`` was produced by the
+pre-refactor (PR 2) implementation; ``tests/test_determinism_pins.py``
+asserts the refactored code reproduces it byte-for-byte.  Re-run this script
+only when an intentional, documented trajectory change is accepted.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.dbms.engine import PostgresSimulator
+from repro.optimizers.forest import RandomForestRegressor
+from repro.optimizers.smac import SMACOptimizer
+from repro.space.configspace import ConfigurationSpace
+from repro.space.knob import CategoricalKnob, FloatKnob
+from repro.space.postgres import postgres_v96_space
+from repro.space.sampling import uniform_configurations
+from repro.workloads import get_workload
+
+OUT = pathlib.Path(__file__).resolve().parent.parent / "tests" / "data"
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    state = rng.bit_generator.state
+    return {
+        "bit_generator": state["bit_generator"],
+        "state": int(state["state"]["state"]),
+        "inc": int(state["state"]["inc"]),
+        "has_uint32": int(state["has_uint32"]),
+        "uinteger": int(state["uinteger"]),
+    }
+
+
+def small_space() -> ConfigurationSpace:
+    return ConfigurationSpace(
+        [
+            FloatKnob("x", default=0.0, lower=0.0, upper=1.0),
+            FloatKnob("y", default=0.0, lower=0.0, upper=1.0),
+            CategoricalKnob("mode", default="a", choices=("a", "b")),
+        ]
+    )
+
+
+def capture_smac_postgres() -> dict:
+    space = postgres_v96_space()
+    rng = np.random.default_rng(0)
+    optimizer = SMACOptimizer(space, seed=0, n_init=10)
+    simulator = PostgresSimulator(get_workload("ycsb-a"), noise_std=0.0)
+    for config in uniform_configurations(space, 50, rng):
+        try:
+            value = simulator.evaluate(config).throughput
+        except Exception:
+            value = 1000.0
+        optimizer.observe(config, value)
+    suggestions = []
+    for _ in range(3):
+        config = optimizer.suggest()
+        suggestions.append({k: config[k] for k in config.keys()})
+        optimizer.observe(config, 1234.5)
+    return {"suggestions": suggestions, "rng_state": rng_state(optimizer.rng)}
+
+
+def capture_smac_small() -> dict:
+    optimizer = SMACOptimizer(small_space(), seed=5, n_init=5,
+                              random_interleave_every=4)
+    values = []
+    for _ in range(12):
+        config = optimizer.suggest()
+        value = (
+            1.0
+            - (config["x"] - 0.7) ** 2
+            - (config["y"] - 0.3) ** 2
+            + (0.3 if config["mode"] == "b" else 0.0)
+        )
+        optimizer.observe(config, value)
+        values.append(value)
+    return {
+        "values": values,
+        "best_value": optimizer.best_value,
+        "rng_state": rng_state(optimizer.rng),
+    }
+
+
+def capture_forest() -> dict:
+    rng = np.random.default_rng(42)
+    X = rng.random((80, 12))
+    y = 3.0 * X[:, 0] - 2.0 * X[:, 1] ** 2 + 0.1 * rng.normal(size=80)
+    forest = RandomForestRegressor(n_trees=10, seed=7).fit(X, y)
+    probes = rng.random((25, 12))
+    mean, var = forest.predict_mean_var(probes)
+    return {
+        "mean": mean.tolist(),
+        "var": var.tolist(),
+        "rng_state": rng_state(forest.rng),
+    }
+
+
+def main() -> None:
+    pins = {
+        "smac_postgres": capture_smac_postgres(),
+        "smac_small": capture_smac_small(),
+        "forest": capture_forest(),
+    }
+    OUT.mkdir(parents=True, exist_ok=True)
+    path = OUT / "determinism_pins.json"
+    path.write_text(json.dumps(pins, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,20 @@ compares each test's mean time against the committed baseline
 ``threshold x baseline`` fails the check; new tests (absent from the
 baseline) are reported but never fail.
 
+The baseline file carries per-benchmark thresholds next to the recorded
+means::
+
+    {
+      "means": {"test_smac_suggest_after_50_observations": 0.0123, ...},
+      "thresholds": {"test_smac_suggest_after_50_observations": 2.0, ...}
+    }
+
+A benchmark's threshold falls back to the global ``--threshold`` (default
+1.5x) when it has no entry — tighten noisy-but-critical benches or loosen
+inherently jittery ones individually instead of moving the global bar.
+The legacy flat ``{name: mean}`` layout is still read; ``--update``
+rewrites it in the structured form, preserving any thresholds map.
+
 Usage::
 
     python tools/check_bench_regression.py            # check against baseline
@@ -56,12 +70,22 @@ def run_benchmarks(min_rounds: int) -> dict[str, float]:
     }
 
 
+def load_baseline(path: pathlib.Path) -> tuple[dict[str, float], dict[str, float]]:
+    """Read (means, thresholds) from either baseline layout."""
+    payload = json.loads(path.read_text())
+    if "means" in payload and isinstance(payload["means"], dict):
+        return dict(payload["means"]), dict(payload.get("thresholds", {}))
+    return dict(payload), {}  # legacy flat {name: mean}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
                         help="re-record the baseline instead of checking")
     parser.add_argument("--threshold", type=float, default=1.5,
-                        help="fail when mean time exceeds threshold x baseline")
+                        help="fail when mean time exceeds threshold x "
+                             "baseline (per-benchmark thresholds in the "
+                             "baseline file override this)")
     parser.add_argument("--min-rounds", type=int, default=5)
     parser.add_argument("--baseline", type=pathlib.Path, default=BASELINE_PATH,
                         help="baseline JSON to read/write (CI records one on "
@@ -71,15 +95,25 @@ def main(argv: list[str] | None = None) -> int:
     means = run_benchmarks(args.min_rounds)
 
     if args.update:
+        thresholds: dict[str, float] = {}
+        if args.baseline.exists():
+            __, thresholds = load_baseline(args.baseline)
         args.baseline.write_text(
-            json.dumps(dict(sorted(means.items())), indent=2) + "\n"
+            json.dumps(
+                {
+                    "means": dict(sorted(means.items())),
+                    "thresholds": dict(sorted(thresholds.items())),
+                },
+                indent=2,
+            )
+            + "\n"
         )
         print(f"baseline written to {args.baseline} ({len(means)} benchmarks)")
         return 0
 
     if not args.baseline.exists():
         sys.exit(f"no baseline at {args.baseline}; run with --update first")
-    baseline = json.loads(args.baseline.read_text())
+    baseline, thresholds = load_baseline(args.baseline)
 
     failures = []
     width = max(len(name) for name in means)
@@ -88,13 +122,15 @@ def main(argv: list[str] | None = None) -> int:
         if base is None:
             print(f"{name:{width}s}  {mean * 1e6:10.1f} us  (new, no baseline)")
             continue
+        threshold = thresholds.get(name, args.threshold)
         ratio = mean / base
-        status = "ok" if ratio <= args.threshold else "REGRESSION"
+        status = "ok" if ratio <= threshold else "REGRESSION"
         print(
             f"{name:{width}s}  {mean * 1e6:10.1f} us  "
-            f"baseline {base * 1e6:10.1f} us  x{ratio:5.2f}  {status}"
+            f"baseline {base * 1e6:10.1f} us  x{ratio:5.2f}  "
+            f"(limit x{threshold:.2f})  {status}"
         )
-        if ratio > args.threshold:
+        if ratio > threshold:
             failures.append((name, ratio))
 
     missing = sorted(set(baseline) - set(means))
@@ -104,8 +140,8 @@ def main(argv: list[str] | None = None) -> int:
     if failures or missing:
         if failures:
             print(
-                f"\n{len(failures)} benchmark(s) regressed beyond "
-                f"{args.threshold}x the baseline"
+                f"\n{len(failures)} benchmark(s) regressed beyond their "
+                "threshold x baseline"
             )
         if missing:
             # A silently vanished benchmark is lost regression coverage;
