@@ -10,6 +10,7 @@ import pytest
 
 from repro.core.pipeline import LlamaTuneAdapter, llamatune_adapter
 from repro.dbms.engine import PostgresSimulator
+from repro.optimizers import _forest_kernel
 from repro.optimizers.forest import RandomForestRegressor
 from repro.optimizers.gp import GaussianProcess
 from repro.optimizers.smac import SMACOptimizer
@@ -76,6 +77,46 @@ def test_forest_predict_64_candidates(benchmark):
     forest = RandomForestRegressor(n_trees=20, seed=0).fit(X, y)
     candidates = rng.random((64, 90))
     benchmark(forest.predict_mean_var, candidates)
+
+
+def test_forest_predict_native_1000_candidates(benchmark):
+    """The C leaf walk specifically (skips when no compiler): the default
+    predict path's hot core, measured without the possibility of silently
+    benchmarking the numpy fallback."""
+    if not _forest_kernel.kernel_available():
+        pytest.skip("native forest kernel unavailable on this host")
+    rng = np.random.default_rng(0)
+    X = rng.random((100, 90))
+    y = rng.normal(size=100)
+    forest = RandomForestRegressor(n_trees=20, seed=0).fit(X, y)
+    candidates = rng.random((1000, 90))
+    forest.predict_mean_var(candidates)  # build the packed node table
+    benchmark(forest.predict_mean_var, candidates)
+
+
+def test_gp_refit_incremental(benchmark):
+    """Absorbing 4 new rows into a 100-point GP via the incremental
+    Cholesky extension — the between-boundary model phase of GP-BO with
+    ``refit_every > 1`` (vs the ~200ms full fit)."""
+    rng = np.random.default_rng(0)
+    X = rng.random((104, 16))
+    y = rng.normal(size=104)
+    is_cat = np.zeros(16, dtype=bool)
+    gp = GaussianProcess(is_cat, seed=0).fit(X[:100], y[:100])
+    state = (
+        gp._chol, gp._alpha, gp._X, gp._y_raw, tuple(gp._windows),
+        gp._y_mean, gp._y_std,
+    )
+
+    def reset():
+        (gp._chol, gp._alpha, gp._X, gp._y_raw, windows,
+         gp._y_mean, gp._y_std) = state
+        gp._windows = list(windows)
+        return (), {}
+
+    benchmark.pedantic(
+        lambda: gp.update(X, y), setup=reset, rounds=30, warmup_rounds=2
+    )
 
 
 def test_gp_fit_100x16(benchmark):

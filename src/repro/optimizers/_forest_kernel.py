@@ -1,4 +1,4 @@
-"""Optional native (C) tree-build kernel for the random-forest surrogate.
+"""Optional native (C) tree-build and predict kernel for the forest surrogate.
 
 The pure-numpy tree builder in :mod:`repro.optimizers.forest` is exact but
 dispatch-bound: one CART node costs ~30 small numpy calls, and the RNG
@@ -9,6 +9,15 @@ whole per-tree recursion in C and *calls back into Python for every RNG
 draw*, so the PCG64 stream is consumed by the very same
 ``Generator.permutation`` / ``Generator.random`` / ``Generator.integers``
 calls, in the same order, as the numpy implementation.
+
+The same shared library also carries ``predict_leaves``: the leaf lookup
+behind ``RandomForestRegressor.predict_mean_var``, walking every
+``(tree, row)`` pair of the packed node table down to its leaf in one C
+pass.  The walk performs no float arithmetic — only ``x <= threshold``
+comparisons, which are bit-exact decisions — and returns *leaf indices*;
+the mean/variance reductions stay in numpy, shared verbatim with the
+fallback path, so native predict is byte-identical to the numpy frontier
+traversal by construction.
 
 Bit-exactness contract (enforced by ``tests/test_forest.py``):
 
@@ -50,9 +59,6 @@ typedef void (*keys_cb_t)(int64_t);
 
 typedef struct {
     int64_t n, d, m, min_split, max_depth, n_thresholds, bootstrap, cap;
-    const double *x_t;      /* d x n original matrix, feature-major */
-    const double *y;        /* n */
-    const int64_t *boot;    /* n bootstrap indices into original rows */
     const int64_t *perm;    /* d, filled by need_perm */
     const double *keys;     /* >= (n-1)*m, filled by need_keys */
     int64_t *feature;       /* outputs, capacity cap */
@@ -67,6 +73,12 @@ typedef struct {
     perm_cb_t need_perm;
     keys_cb_t need_keys;
 } params_t;
+
+/* The per-tree tables (bootstrapped feature-major X, its per-feature
+ * stable presort, and the presorted X/y value tables) arrive pre-filled in
+ * the workspace: numpy's whole-matrix argsort/take_along_axis builds them
+ * faster than scalar C loops, and numpy's stable argsort IS the reference
+ * the old in-kernel mergesort replicated, so the move is byte-identical. */
 
 /* numpy's pairwise summation (umath loops), exactly: sequential below 8,
  * 8-accumulator unrolled blocks up to 128, then recursive halving with the
@@ -97,35 +109,6 @@ static double pairwise_sum(const double *a, int64_t n)
     }
 }
 
-/* "a sorts strictly before b" under numpy stable-sort rules (NaN last). */
-static int sort_before(double a, double b)
-{
-    if (isnan(b)) return !isnan(a);
-    return a < b;
-}
-
-/* Stable mergesort of idx[0..n) by vals[idx[i]]; tmp has n slots. */
-static void stable_argsort(const double *vals, int64_t *idx, int64_t *tmp,
-                           int64_t n)
-{
-    for (int64_t w = 1; w < n; w *= 2) {
-        for (int64_t lo = 0; lo < n; lo += 2 * w) {
-            int64_t mid = lo + w < n ? lo + w : n;
-            int64_t hi = lo + 2 * w < n ? lo + 2 * w : n;
-            int64_t i = lo, j = mid, k = lo;
-            while (i < mid && j < hi) {
-                if (sort_before(vals[idx[j]], vals[idx[i]]))
-                    tmp[k++] = idx[j++];
-                else
-                    tmp[k++] = idx[i++];
-            }
-            while (i < mid) tmp[k++] = idx[i++];
-            while (j < hi) tmp[k++] = idx[j++];
-            memcpy(idx + lo, tmp + lo, (size_t)(hi - lo) * sizeof(int64_t));
-        }
-    }
-}
-
 /* k-th smallest (0-based) by insertion sort; columns are <= n-1 long. */
 static double kth_smallest(double *a, int64_t n, int64_t k)
 {
@@ -144,7 +127,7 @@ int64_t build_tree(params_t *p)
     const int64_t min_split = p->min_split, max_depth = p->max_depth;
     const int64_t nt = p->n_thresholds;
 
-    /* --- workspace layout ------------------------------------------- */
+    /* --- workspace layout (tables pre-filled by the caller) --------- */
     double *xb_t = p->ws_d;             /* d*n bootstrapped X, f-major */
     double *xsort = xb_t + d * n;       /* d*n X values, sorted/feature */
     double *ysort = xsort + d * n;      /* d*n y values, sorted/feature */
@@ -159,29 +142,10 @@ int64_t build_tree(params_t *p)
     double *prodbuf = ybuf + n;         /* n */
 
     int64_t *presort = p->ws_i;         /* d*n */
-    int64_t *mtmp = presort + d * n;    /* n mergesort scratch */
-    int64_t *arena = mtmp + n;          /* n*(max_depth+3) member lists */
+    int64_t *arena = presort + d * n;   /* n*(max_depth+3) member lists */
     int64_t *meta = arena + n * (max_depth + 3);  /* stack: 5 per entry */
     uint8_t *member = p->member;
 
-    /* --- per-tree tables -------------------------------------------- */
-    for (int64_t i = 0; i < n; i++) yb[i] = p->y[p->boot[i]];
-    for (int64_t j = 0; j < d; j++) {
-        const double *src = p->x_t + j * n;
-        double *dst = xb_t + j * n;
-        for (int64_t i = 0; i < n; i++) dst[i] = src[p->boot[i]];
-    }
-    for (int64_t j = 0; j < d; j++) {
-        int64_t *ord = presort + j * n;
-        for (int64_t i = 0; i < n; i++) ord[i] = i;
-        stable_argsort(xb_t + j * n, ord, mtmp, n);
-        const double *xv = xb_t + j * n;
-        double *xo = xsort + j * n, *yo = ysort + j * n;
-        for (int64_t i = 0; i < n; i++) {
-            xo[i] = xv[ord[i]];
-            yo[i] = yb[ord[i]];
-        }
-    }
     memset(member, 0, (size_t)n);
 
     /* --- pre-order DFS ----------------------------------------------- */
@@ -389,6 +353,70 @@ int64_t build_tree(params_t *p)
     }
     return n_nodes;
 }
+
+/* Leaf lookup over the packed forest table: for every (tree, row) pair,
+ * descend from the tree's root to its leaf and record the leaf's node
+ * index (into the concatenated table) at out[t * n_rows + i] — the same
+ * tree-major layout as the numpy frontier traversal.  Pure comparisons,
+ * no float arithmetic: `idx = !(x <= t)` sends NaN feature values right,
+ * exactly like the numpy path's `where(x <= t, left, right)`.
+ *
+ * The node table arrives pre-packed as 32-byte structs (one cache line
+ * holds two nodes) so each step touches one node line plus one x value.
+ * Each descent is a dependent load chain, so a single walk is
+ * latency-bound; rows form the outer loop (the row vector stays in L1)
+ * while every tree's independent chain advances in lockstep, finished
+ * lanes swap-removed so the flight group stays dense. */
+typedef struct {
+    int64_t feature;   /* -1 for leaves */
+    double threshold;
+    int64_t child[2];  /* [left, right] */
+} pnode_t;
+
+void predict_leaves(const pnode_t *nodes, const int64_t *offsets,
+                    int64_t n_trees, const double *x, int64_t n_rows,
+                    int64_t d, int64_t *out)
+{
+    enum { CHUNK = 64 };
+    int64_t cur[CHUNK];
+    int64_t lane_out[CHUNK];
+    for (int64_t t0 = 0; t0 < n_trees; t0 += CHUNK) {
+        const int64_t nt = n_trees - t0 < CHUNK ? n_trees - t0 : CHUNK;
+        for (int64_t i = 0; i < n_rows; i++) {
+            const double *xi = x + i * d;
+            int64_t n_active = 0;
+            for (int64_t l = 0; l < nt; l++) {
+                const int64_t root = offsets[t0 + l];
+                if (nodes[root].feature >= 0) {
+                    cur[n_active] = root;
+                    lane_out[n_active] = (t0 + l) * n_rows + i;
+                    n_active++;
+                }
+                else {
+                    out[(t0 + l) * n_rows + i] = root;
+                }
+            }
+            while (n_active > 0) {
+                int64_t j = 0;
+                while (j < n_active) {
+                    const pnode_t *pn = nodes + cur[j];
+                    const int64_t nx =
+                        pn->child[!(xi[pn->feature] <= pn->threshold)];
+                    if (nodes[nx].feature >= 0) {
+                        cur[j] = nx;
+                        j++;
+                    }
+                    else {
+                        out[lane_out[j]] = nx;
+                        n_active--;
+                        cur[j] = cur[n_active];
+                        lane_out[j] = lane_out[n_active];
+                    }
+                }
+            }
+        }
+    }
+}
 """
 
 
@@ -404,9 +432,6 @@ class _Params(ctypes.Structure):
         ("n_thresholds", ctypes.c_int64),
         ("bootstrap", ctypes.c_int64),
         ("cap", ctypes.c_int64),
-        ("x_t", ctypes.c_void_p),
-        ("y", ctypes.c_void_p),
-        ("boot", ctypes.c_void_p),
         ("perm", ctypes.c_void_p),
         ("keys", ctypes.c_void_p),
         ("feature", ctypes.c_void_p),
@@ -468,6 +493,16 @@ def _build_library() -> ctypes.CDLL | None:
         return None
     lib.build_tree.restype = ctypes.c_int64
     lib.build_tree.argtypes = [ctypes.POINTER(_Params)]
+    lib.predict_leaves.restype = None
+    lib.predict_leaves.argtypes = [
+        ctypes.c_void_p,  # nodes (packed 32-byte structs)
+        ctypes.c_void_p,  # offsets
+        ctypes.c_int64,   # n_trees
+        ctypes.c_void_p,  # x
+        ctypes.c_int64,   # n_rows
+        ctypes.c_int64,   # d
+        ctypes.c_void_p,  # out
+    ]
     return lib
 
 
@@ -490,6 +525,56 @@ def load_kernel() -> ctypes.CDLL | None:
 
 def kernel_available() -> bool:
     return load_kernel() is not None
+
+
+def pack_nodes(
+    feature: np.ndarray,
+    threshold: np.ndarray,
+    left: np.ndarray,
+    right: np.ndarray,
+) -> np.ndarray:
+    """Interleave the node columns into the kernel's 32-byte ``pnode_t``
+    layout: ``(feature, threshold-bits, left, right)`` per row of an
+    ``(n_nodes, 4)`` int64 matrix (the threshold doubles are bit-cast, not
+    converted)."""
+    nodes = np.empty((len(feature), 4), dtype=np.int64)
+    nodes[:, 0] = feature
+    nodes[:, 1] = np.ascontiguousarray(threshold, dtype=float).view(np.int64)
+    nodes[:, 2] = left
+    nodes[:, 3] = right
+    return nodes
+
+
+def predict_leaves(
+    lib: ctypes.CDLL,
+    nodes: np.ndarray,
+    offsets: np.ndarray,
+    X: np.ndarray,
+) -> np.ndarray:
+    """Leaf index for every ``(tree, row)`` pair of the packed forest.
+
+    ``nodes`` is the :func:`pack_nodes` table.  Returns a flat int64 array
+    of length ``n_trees * n_rows`` in tree-major order — the exact layout
+    (and values) of the numpy frontier traversal's final ``node`` array, so
+    callers can share the downstream value/variance gather and reductions
+    between both paths.
+    """
+    nodes = np.ascontiguousarray(nodes, dtype=np.int64)
+    offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+    X = np.ascontiguousarray(X, dtype=float)
+    n_rows, d = X.shape
+    n_trees = len(offsets)
+    out = np.empty(n_trees * n_rows, dtype=np.int64)
+    lib.predict_leaves(
+        nodes.ctypes.data,
+        offsets.ctypes.data,
+        n_trees,
+        X.ctypes.data,
+        n_rows,
+        d,
+        out.ctypes.data,
+    )
+    return out
 
 
 class TreeBuilder:
@@ -519,7 +604,6 @@ class TreeBuilder:
         m = min(max_features, d)
         self._x_t = np.ascontiguousarray(X.T)
         self._y = np.ascontiguousarray(y, dtype=float)
-        self._boot = np.arange(n, dtype=np.int64)
         self._bootstrap = bootstrap
         self._perm = np.empty(d, dtype=np.int64)
         self._keys = np.empty(max(1, (n - 1) * m), dtype=float)
@@ -532,14 +616,31 @@ class TreeBuilder:
         self._out_variance = np.empty(cap, dtype=float)
         self._ws_d = np.empty(3 * d * n + 5 * m * n + 4 * n + 64, dtype=float)
         self._ws_i = np.empty(
-            d * n + n + n * (max_depth + 3) + 5 * (2 * max_depth + 16),
+            d * n + n * (max_depth + 3) + 5 * (2 * max_depth + 16),
             dtype=np.int64,
         )
         self._member = np.zeros(n, dtype=np.uint8)
+        # Writable views over the kernel's workspace regions: the per-tree
+        # tables (bootstrapped feature-major X, presort, sorted X/y values,
+        # bootstrapped y) are filled from numpy before each build — see the
+        # layout comment in the C source.
+        self._xb_t = self._ws_d[: d * n].reshape(d, n)
+        self._xsort = self._ws_d[d * n:2 * d * n].reshape(d, n)
+        self._ysort = self._ws_d[2 * d * n:3 * d * n].reshape(d, n)
+        self._yb = self._ws_d[3 * d * n:3 * d * n + n]
+        self._presort = self._ws_i[: d * n].reshape(d, n)
+        self._xb_flat = self._ws_d[: d * n]
+        self._row_offsets = (np.arange(d, dtype=np.int64) * n)[:, None]
+        self._arange_d = np.arange(d)
         self._rng: np.random.Generator | None = None
 
         def need_perm() -> None:
-            self._perm[:] = self._rng.permutation(d)
+            # Generator.permutation(d) is exactly arange(d) + shuffle
+            # (numpy source); shuffling a preset buffer consumes the same
+            # stream without the per-call allocation.
+            perm = self._perm
+            perm[:] = self._arange_d
+            self._rng.shuffle(perm)
 
         def need_keys(count: int) -> None:
             # Same stream consumption as rng.random((count // m, m)):
@@ -557,9 +658,6 @@ class TreeBuilder:
         p.n_thresholds = n_thresholds
         p.bootstrap = int(bootstrap)
         p.cap = cap
-        p.x_t = self._x_t.ctypes.data
-        p.y = self._y.ctypes.data
-        p.boot = self._boot.ctypes.data
         p.perm = self._perm.ctypes.data
         p.keys = self._keys.ctypes.data
         p.feature = self._out_feature.ctypes.data
@@ -577,11 +675,28 @@ class TreeBuilder:
 
     def build(self, rng: np.random.Generator) -> tuple[np.ndarray, ...]:
         """Build one tree; returns (feature, threshold, left, right,
-        value, variance) arrays, freshly copied."""
+        value, variance) arrays, freshly copied.
+
+        The per-tree tables are built here with whole-matrix numpy passes
+        (``argsort(kind="stable")`` is the exact reference the kernel's old
+        scalar mergesort replicated, so the outputs are unchanged) and
+        written straight into the kernel workspace; only the node recursion
+        itself runs in C."""
         if self._bootstrap:
-            self._boot[:] = rng.integers(0, self._n, size=self._n)
+            boot = rng.integers(0, self._n, size=self._n)
+            np.take(self._x_t, boot, axis=1, out=self._xb_t)
+            np.take(self._y, boot, out=self._yb)
         else:
-            self._boot[:] = np.arange(self._n)
+            self._xb_t[:] = self._x_t
+            self._yb[:] = self._y
+        presort = np.argsort(self._xb_t, axis=1, kind="stable")
+        self._presort[:] = presort
+        np.take(self._yb, presort, out=self._ysort)
+        # Gather the sorted X values through flat indices (presort is a
+        # fresh array, safe to clobber) — np.take accepts ``out`` where
+        # take_along_axis does not.
+        np.add(presort, self._row_offsets, out=presort)
+        np.take(self._xb_flat, presort, out=self._xsort)
         self._rng = rng
         try:
             count = int(self._lib.build_tree(ctypes.byref(self._params)))

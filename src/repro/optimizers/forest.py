@@ -8,11 +8,15 @@ improvement.
 
 Trees are stored as flat arrays, and the whole ensemble is additionally
 *packed* into one concatenated node table (:class:`_ForestArrays`) so that
-``predict_mean_var`` is a single simultaneous frontier traversal over all
-``n_trees x N`` (tree, row) pairs instead of a per-tree Python loop.  The
-fit side hoists the per-node ``argsort`` into one stable presort per tree
-whose order arrays are filtered down the recursion, so split search costs a
-membership gather per node instead of an O(n log n) sort.
+``predict_mean_var`` resolves all ``n_trees x N`` (tree, row) leaf lookups
+in one pass instead of a per-tree Python loop: through the native kernel's
+``predict_leaves`` walk when available, else a numpy simultaneous frontier
+traversal — both return the same leaf indices (the walk is pure
+comparisons), and the mean/variance reductions are shared numpy code, so
+the paths are byte-identical.  The fit side hoists the per-node ``argsort``
+into one stable presort per tree whose order arrays are filtered down the
+recursion, so split search costs a membership gather per node instead of
+an O(n log n) sort.
 
 Both halves are pinned byte-identical to the historical per-tree
 implementation: same RNG call sequence (bootstrap draw, per-node feature
@@ -61,6 +65,17 @@ class _ForestArrays:
     value: np.ndarray
     variance: np.ndarray
     offsets: np.ndarray  # (n_trees,) root index of each tree
+    _nodes4: np.ndarray | None = None  # native-kernel node layout (lazy)
+
+    @property
+    def nodes4(self) -> np.ndarray:
+        """Interleaved ``(feature, threshold, left, right)`` node table in
+        the native kernel's 32-byte-per-node layout (built on first use)."""
+        if self._nodes4 is None:
+            self._nodes4 = _forest_kernel.pack_nodes(
+                self.feature, self.threshold, self.left, self.right
+            )
+        return self._nodes4
 
     @classmethod
     def pack(cls, trees: list[_TreeArrays]) -> "_ForestArrays":
@@ -428,9 +443,13 @@ class RandomForestRegressor:
     def predict_mean_var(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Ensemble mean and total variance (between + within trees).
 
-        One simultaneous frontier traversal over all ``n_trees x N``
-        (tree, row) pairs on the packed node table; pairs that reach a leaf
-        drop out of the frontier.  Output is byte-identical to
+        The leaf lookup over all ``n_trees x N`` (tree, row) pairs runs in
+        the native kernel when available (a pure comparison walk — no float
+        arithmetic, so its leaf indices are exact) and otherwise falls back
+        to the numpy simultaneous frontier traversal, with the same silent
+        fallback / ``REPRO_FOREST_KERNEL=0`` semantics as the build kernel.
+        Both paths feed the *same* numpy value/variance gather and
+        reductions, so output is byte-identical across kernels and to
         :meth:`predict_mean_var_per_tree`.
         """
         if self._packed is None:
@@ -439,8 +458,27 @@ class RandomForestRegressor:
         X = np.atleast_2d(np.asarray(X, dtype=float))
         n_rows = len(X)
         n_trees = len(p.offsets)
-        # Tree-major layout: pair t * n_rows + i is (tree t, row i), so the
-        # final gather reshapes directly into the (tree, row) stack.
+        lib = _forest_kernel.load_kernel()
+        if lib is not None and n_rows:
+            node = _forest_kernel.predict_leaves(lib, p.nodes4, p.offsets, X)
+        else:
+            node = self._leaf_nodes_numpy(X)
+        mean_stack = p.value[node].reshape(n_trees, n_rows)
+        var_stack = p.variance[node].reshape(n_trees, n_rows)
+        mean = mean_stack.mean(axis=0)
+        total_var = mean_stack.var(axis=0) + var_stack.mean(axis=0)
+        return mean, np.maximum(total_var, 1e-12)
+
+    def _leaf_nodes_numpy(self, X: np.ndarray) -> np.ndarray:
+        """Numpy reference leaf lookup: one simultaneous frontier traversal
+        over all ``n_trees x N`` (tree, row) pairs on the packed node table;
+        pairs that reach a leaf drop out of the frontier.  Returns the flat
+        tree-major leaf-index array (pair ``t * n_rows + i`` is (tree t,
+        row i)), identical to the native ``predict_leaves`` output."""
+        p = self._packed
+        assert p is not None
+        n_rows = len(X)
+        n_trees = len(p.offsets)
         node = np.repeat(p.offsets, n_rows)
         row = np.tile(np.arange(n_rows), n_trees)
         active = np.flatnonzero(p.feature[node] >= 0)
@@ -450,11 +488,7 @@ class RandomForestRegressor:
             nd = np.where(go_left, p.left[nd], p.right[nd])
             node[active] = nd
             active = active[p.feature[nd] >= 0]
-        mean_stack = p.value[node].reshape(n_trees, n_rows)
-        var_stack = p.variance[node].reshape(n_trees, n_rows)
-        mean = mean_stack.mean(axis=0)
-        total_var = mean_stack.var(axis=0) + var_stack.mean(axis=0)
-        return mean, np.maximum(total_var, 1e-12)
+        return node
 
     def predict_mean_var_per_tree(
         self, X: np.ndarray

@@ -84,6 +84,39 @@ class TestForestPins:
         assert_rng_state(forest.rng, pin["rng_state"])
 
 
+class TestNativePredictPins:
+    """Native predict against the pre-refactor pins, decoupled from the
+    build path: a native-built forest queried through the C leaf walk AND
+    through the numpy frontier traversal (and the per-tree reference) must
+    all reproduce the pinned predictions byte-for-byte."""
+
+    def test_native_predict_matches_pins(self, pins):
+        if not _forest_kernel.kernel_available():
+            pytest.skip("native forest kernel unavailable on this host")
+        pin = pins["forest"]
+        rng = np.random.default_rng(42)
+        X = rng.random((80, 12))
+        y = 3.0 * X[:, 0] - 2.0 * X[:, 1] ** 2 + 0.1 * rng.normal(size=80)
+        forest = RandomForestRegressor(n_trees=10, seed=7).fit(X, y)
+        probes = rng.random((25, 12))
+
+        lib = _forest_kernel.load_kernel()
+        p = forest._packed
+        native_leaves = _forest_kernel.predict_leaves(
+            lib, p.nodes4, p.offsets, probes
+        )
+        np.testing.assert_array_equal(
+            native_leaves, forest._leaf_nodes_numpy(probes)
+        )
+
+        mean, var = forest.predict_mean_var(probes)  # routed natively
+        np.testing.assert_array_equal(mean, np.array(pin["mean"]))
+        np.testing.assert_array_equal(var, np.array(pin["var"]))
+        ref_mean, ref_var = forest.predict_mean_var_per_tree(probes)
+        np.testing.assert_array_equal(mean, ref_mean)
+        np.testing.assert_array_equal(var, ref_var)
+
+
 @BOTH_PATHS
 class TestSmacSmallSpacePins:
     def test_trajectory_and_stream(self, pins, kernel, forest_path):

@@ -173,6 +173,88 @@ class TestPackedForest:
         np.testing.assert_allclose(var, 1e-12)
 
 
+class TestNativePredict:
+    """The native leaf walk must return the exact leaf indices of the numpy
+    frontier traversal — predictions are then byte-identical by construction
+    (both paths share the same numpy reductions)."""
+
+    def _require_kernel(self):
+        if not _forest_kernel.kernel_available():
+            pytest.skip("native forest kernel unavailable on this host")
+        return _forest_kernel.load_kernel()
+
+    @pytest.mark.parametrize("batch", [1, 7, 63, 64, 65, 500])
+    def test_leaf_indices_match_numpy(self, batch):
+        lib = self._require_kernel()
+        X, y = make_data(n=90, d=8)
+        forest = RandomForestRegressor(n_trees=12, seed=5).fit(X, y)
+        probes = np.random.default_rng(1).random((batch, 8))
+        p = forest._packed
+        native = _forest_kernel.predict_leaves(lib, p.nodes4, p.offsets, probes)
+        np.testing.assert_array_equal(native, forest._leaf_nodes_numpy(probes))
+
+    def test_many_trees_chunked(self):
+        """More trees than the kernel's lane chunk (64) exercises the
+        chunked outer loop."""
+        lib = self._require_kernel()
+        X, y = make_data(n=40, d=5)
+        forest = RandomForestRegressor(n_trees=70, seed=2).fit(X, y)
+        probes = np.random.default_rng(3).random((33, 5))
+        p = forest._packed
+        native = _forest_kernel.predict_leaves(lib, p.nodes4, p.offsets, probes)
+        np.testing.assert_array_equal(native, forest._leaf_nodes_numpy(probes))
+
+    def test_nan_probes_go_right_like_numpy(self):
+        """A NaN feature value fails ``<=`` and must take the right child
+        on both paths."""
+        lib = self._require_kernel()
+        X, y = make_data(n=80, d=4)
+        forest = RandomForestRegressor(n_trees=8, seed=7).fit(X, y)
+        probes = np.random.default_rng(4).random((40, 4))
+        probes[::3, 1] = np.nan
+        probes[1::5] = np.nan
+        p = forest._packed
+        native = _forest_kernel.predict_leaves(lib, p.nodes4, p.offsets, probes)
+        np.testing.assert_array_equal(native, forest._leaf_nodes_numpy(probes))
+
+    def test_stump_forest_roots_are_leaves(self):
+        """Root-only trees never enter the walk loop; the lane setup must
+        still emit the root index for every pair."""
+        lib = self._require_kernel()
+        X = np.random.default_rng(0).random((20, 3))
+        forest = RandomForestRegressor(n_trees=5, seed=0).fit(
+            X, np.full(20, 7.0)
+        )
+        p = forest._packed
+        native = _forest_kernel.predict_leaves(lib, p.nodes4, p.offsets, X)
+        np.testing.assert_array_equal(native, forest._leaf_nodes_numpy(X))
+
+    def test_predict_identical_across_kernel_setting(self, monkeypatch):
+        """predict_mean_var under REPRO_FOREST_KERNEL=0 equals the native
+        output byte-for-byte on the same fitted forest."""
+        self._require_kernel()
+        X, y = make_data(n=100, d=6)
+        forest = RandomForestRegressor(n_trees=10, seed=9).fit(X, y)
+        probes = np.random.default_rng(8).random((200, 6))
+        mean_native, var_native = forest.predict_mean_var(probes)
+        monkeypatch.setenv("REPRO_FOREST_KERNEL", "0")
+        mean_numpy, var_numpy = forest.predict_mean_var(probes)
+        np.testing.assert_array_equal(mean_native, mean_numpy)
+        np.testing.assert_array_equal(var_native, var_numpy)
+
+    def test_pack_nodes_layout(self):
+        """The interleaved node table bit-casts thresholds, so unpacking
+        them recovers the original doubles exactly."""
+        X, y = make_data(n=60, d=4)
+        forest = RandomForestRegressor(n_trees=3, seed=1).fit(X, y)
+        p = forest._packed
+        nodes = p.nodes4
+        np.testing.assert_array_equal(nodes[:, 0], p.feature)
+        np.testing.assert_array_equal(nodes[:, 1].view(float), p.threshold)
+        np.testing.assert_array_equal(nodes[:, 2], p.left)
+        np.testing.assert_array_equal(nodes[:, 3], p.right)
+
+
 class TestNativeKernelEquivalence:
     """The optional C kernel must be byte-identical to the numpy builder:
     same trees, same predictions, same RNG stream afterwards."""

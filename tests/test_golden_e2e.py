@@ -1,0 +1,59 @@
+"""Golden end-to-end smoke test: a tiny pinned ``table5_smac``-style run.
+
+``tests/data/golden_e2e.json`` (captured by
+``tools/capture_determinism_pins.py golden``) pins the complete
+per-iteration value trajectory, final best value, and final best DBMS
+configuration of both arms (vanilla SMAC and LlamaTune-over-SMAC) of a
+16-iteration single-seed session through the *experiment layer* — spec
+construction, adapter factory, session loop, simulator, knowledge base.
+
+The unit layers each pin their own contract; this test fails fast when a
+regression only emerges from their composition (e.g. an adapter change
+that shifts which configurations the simulator sees).  Comparisons are
+exact: JSON round-trips binary64 losslessly, and the engine is pinned
+deterministic — on both forest-kernel paths — so any diff is a behavior
+change, not noise.  If the change was *intentional* (e.g. recalibrated
+component models), re-capture via the tool and explain in the commit.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.tuning.runner import SessionSpec, llamatune_factory, run_spec
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_e2e.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def run_arm(spec_params: dict, adapter):
+    spec = SessionSpec(
+        workload=spec_params["workload"],
+        optimizer=spec_params["optimizer"],
+        adapter=adapter,
+        n_iterations=spec_params["n_iterations"],
+    )
+    return run_spec(spec, seeds=[spec_params["seed"]])[0]
+
+
+@pytest.mark.parametrize("arm", ["baseline", "llamatune"])
+def test_golden_trajectory_and_best_config(golden, arm):
+    adapter = None if arm == "baseline" else llamatune_factory()
+    result = run_arm(golden["spec"], adapter)
+    pin = golden["arms"][arm]
+
+    np.testing.assert_array_equal(
+        result.values, np.array(pin["values"]), err_msg=f"{arm} trajectory"
+    )
+    assert result.best_value == pin["best_value"]
+    assert result.crash_count == pin["crash_count"]
+
+    best = result.knowledge_base.best_observation()
+    config = best.target_config.to_dict()
+    assert config == pin["best_config"], f"{arm} best config diverged"

@@ -1,22 +1,37 @@
 #!/usr/bin/env python
-"""Capture the surrogate/SMAC determinism pins for the packed-forest refactor.
+"""Capture determinism pins and golden end-to-end digests (see --help).
 
 Runs the *current* implementation and records, as JSON:
 
-* the exact SMAC suggestion (decoded knob values) after a fixed 50-observation
-  warm-up on the full v9.6 space, plus the optimizer RNG state afterwards;
-* a 12-step SMAC suggest/observe trajectory on a small mixed space (values
-  and RNG state at the end);
-* forest leaf tables and predict_mean_var outputs on fixed data.
+* ``pins`` -> ``tests/data/determinism_pins.json``: the exact SMAC
+  suggestions (decoded knob values) after a fixed 50-observation warm-up on
+  the full v9.6 space plus the optimizer RNG state afterwards; a 12-step
+  SMAC suggest/observe trajectory on a small mixed space; forest
+  ``predict_mean_var`` outputs on fixed data.
+* ``golden`` -> ``tests/data/golden_e2e.json``: a tiny ``table5_smac``-style
+  experiment-layer run (both arms, one seed, few iterations) with the full
+  per-iteration value trajectory and final best configuration of each arm.
 
-The committed ``tests/data/determinism_pins.json`` was produced by the
-pre-refactor (PR 2) implementation; ``tests/test_determinism_pins.py``
-asserts the refactored code reproduces it byte-for-byte.  Re-run this script
-only when an intentional, documented trajectory change is accepted.
+When to re-capture — and when never to:
+
+* The pins were captured from the *pre-refactor* (PR 2) engine and define
+  the surrogate's RNG-stream and float-op contract.  They must NEVER be
+  re-captured to make a red test green: a diff there means the engine's
+  RNG consumption order or float op sequence moved, which is a correctness
+  regression.  Re-capture (``pins``) only when an intentional, reviewed
+  trajectory change is accepted, and say so in the commit message.
+* The golden digests additionally hang on the simulator, adapter, and
+  session layers, so *accepted* modeling changes (e.g. recalibrated
+  component models) legitimately move them.  Re-capture (``golden``) after
+  such a change — never to paper over an unexplained diff.
+
+Nothing is overwritten unless its target name is passed explicitly;
+running with no arguments prints what would be captured and exits.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 
@@ -109,16 +124,89 @@ def capture_forest() -> dict:
     }
 
 
-def main() -> None:
-    pins = {
-        "smac_postgres": capture_smac_postgres(),
-        "smac_small": capture_smac_small(),
-        "forest": capture_forest(),
+GOLDEN_SPEC = {
+    "workload": "ycsb-a",
+    "optimizer": "smac",
+    "n_iterations": 16,
+    "seed": 1,
+}
+
+
+def run_golden_arm(adapter) -> dict:
+    """One arm of the golden run; mirrors what the test replays."""
+    from repro.tuning.runner import SessionSpec, run_spec
+
+    spec = SessionSpec(
+        workload=GOLDEN_SPEC["workload"],
+        optimizer=GOLDEN_SPEC["optimizer"],
+        adapter=adapter,
+        n_iterations=GOLDEN_SPEC["n_iterations"],
+    )
+    result = run_spec(spec, seeds=[GOLDEN_SPEC["seed"]])[0]
+    best = result.knowledge_base.best_observation()
+    return {
+        "values": [float(v) for v in result.values],
+        "best_value": float(result.best_value),
+        "best_config": best.target_config.to_dict(),
+        "crash_count": int(result.crash_count),
     }
+
+
+def capture_golden() -> dict:
+    from repro.tuning.runner import llamatune_factory
+
+    return {
+        "spec": dict(GOLDEN_SPEC),
+        "arms": {
+            "baseline": run_golden_arm(None),
+            "llamatune": run_golden_arm(llamatune_factory()),
+        },
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog="\n".join(__doc__.splitlines()[2:]),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        metavar="{pins,golden}",
+        help="which capture(s) to (re-)record; omit to just list them "
+             "(nothing is overwritten without an explicit target)",
+    )
+    args = parser.parse_args()
+    # Validated by hand: nargs="*" + choices rejects the empty list on
+    # Python 3.11 (fixed only in 3.12), which would kill the documented
+    # no-argument listing path.
+    unknown = sorted(set(args.targets) - {"pins", "golden"})
+    if unknown:
+        parser.error(
+            f"invalid target(s) {unknown}; choose from 'pins', 'golden'"
+        )
+    if not args.targets:
+        parser.print_usage()
+        print(
+            "no targets given; pass 'pins' and/or 'golden' to re-capture "
+            "(read --help for when that is legitimate)"
+        )
+        return
     OUT.mkdir(parents=True, exist_ok=True)
-    path = OUT / "determinism_pins.json"
-    path.write_text(json.dumps(pins, indent=2) + "\n")
-    print(f"wrote {path}")
+    if "pins" in args.targets:
+        pins = {
+            "smac_postgres": capture_smac_postgres(),
+            "smac_small": capture_smac_small(),
+            "forest": capture_forest(),
+        }
+        path = OUT / "determinism_pins.json"
+        path.write_text(json.dumps(pins, indent=2) + "\n")
+        print(f"wrote {path}")
+    if "golden" in args.targets:
+        path = OUT / "golden_e2e.json"
+        path.write_text(json.dumps(capture_golden(), indent=2) + "\n")
+        print(f"wrote {path}")
 
 
 if __name__ == "__main__":
