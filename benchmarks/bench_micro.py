@@ -16,6 +16,7 @@ from repro.optimizers.gp import GaussianProcess
 from repro.optimizers.smac import SMACOptimizer
 from repro.space.postgres import postgres_v96_space
 from repro.space.sampling import uniform_configurations
+from repro.tuning.runner import SessionSpec, llamatune_factory, run_spec
 from repro.workloads import get_workload
 
 
@@ -125,6 +126,37 @@ def test_gp_fit_100x16(benchmark):
     y = rng.normal(size=100)
     is_cat = np.zeros(16, dtype=bool)
     benchmark(lambda: GaussianProcess(is_cat, seed=0).fit(X, y))
+
+
+def test_gp_fit_vectorized_restarts(benchmark, monkeypatch):
+    """The boundary-fit fast path specifically: multi-restart L-BFGS with
+    the factor-reusing finite-difference stencil (byte-identical to the
+    plain path, which ``REPRO_GP_VECTOR_RESTARTS=0`` replays), measured
+    with the flag pinned on so this bench keeps meaning even if the
+    default flips."""
+    monkeypatch.setenv("REPRO_GP_VECTOR_RESTARTS", "1")
+    rng = np.random.default_rng(0)
+    X = rng.random((100, 16))
+    y = rng.normal(size=100)
+    is_cat = np.zeros(16, dtype=bool)
+    benchmark(lambda: GaussianProcess(is_cat, seed=0).fit(X, y))
+
+
+def test_wave_runner_8seeds(benchmark):
+    """The wave scheduler's headline case: an 8-seed SMAC+LlamaTune sweep
+    in lockstep waves — per-iteration fixed costs (candidate scoring,
+    EI, simulator pass) paid once per wave instead of once per seed, with
+    per-seed trajectories byte-identical to sequential ``run_spec``
+    (``tests/test_wave.py`` pins that)."""
+    spec = SessionSpec(
+        workload="ycsb-a", optimizer="smac", adapter=llamatune_factory(),
+        n_iterations=24, n_init=8,
+    )
+    run_spec(spec, [1], mode="wave")  # warm calibration + kernel
+    seeds = list(range(1, 9))
+    benchmark.pedantic(
+        lambda: run_spec(spec, seeds, mode="wave"), rounds=5, warmup_rounds=1
+    )
 
 
 def test_gp_fit_100x16_mixed(benchmark):

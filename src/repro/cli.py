@@ -13,6 +13,7 @@ Examples::
     python -m repro --workload tpcc --objective latency --rate 2000
     python -m repro --workload ycsb-b --conf-out best.conf --kb-out kb.json
     python -m repro --workload tpcc --seeds 1,2,3,4,5 --parallel
+    python -m repro --workload ycsb-a --seeds 1,2,3,4,5,6,7,8 --wave
 """
 
 from __future__ import annotations
@@ -62,6 +63,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --parallel, use a process pool instead "
                              "of threads (sidesteps the GIL for simulated "
                              "seeds)")
+    parser.add_argument("--wave", action="store_true",
+                        help="with --seeds, run the seeds in lockstep waves: "
+                             "one stacked surrogate-scoring pass and one "
+                             "cross-session simulator pass per round, with "
+                             "per-seed trajectories byte-identical to the "
+                             "sequential runner (the fast path for "
+                             "multi-seed sweeps on one core)")
+    parser.add_argument("--wave-shared-pool", action="store_true",
+                        help="with --wave, share one per-wave candidate "
+                             "pool (drawn from a dedicated pool RNG) across "
+                             "seeds; trajectories then differ from "
+                             "sequential runs but stay reproducible per "
+                             "(spec, seed, pool seed)")
     parser.add_argument("--suggest-batch", type=int, default=1, metavar="Q",
                         help="model-phase batch size: fit the surrogate "
                              "once per round and evaluate the top-Q "
@@ -111,6 +125,16 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.wave and (args.parallel or args.process_pool):
+        print(
+            "error: --wave is its own execution strategy; drop "
+            "--parallel/--process-pool",
+            file=sys.stderr,
+        )
+        return 2
+    if args.wave_shared_pool and not args.wave:
+        print("error: --wave-shared-pool requires --wave", file=sys.stderr)
+        return 2
 
     early_stopping = None
     if args.early_stop:
@@ -147,14 +171,22 @@ def main(argv: list[str] | None = None) -> int:
         f"Tuning {args.workload} with {label} {args.optimizer} "
         f"({args.iterations} iterations, PostgreSQL v{args.dbms_version}, "
         f"{len(seeds)} seed{'s' if len(seeds) > 1 else ''}"
-        f"{', parallel' if args.parallel and len(seeds) > 1 else ''})"
+        f"{', parallel' if args.parallel and len(seeds) > 1 else ''}"
+        f"{', wave' if args.wave else ''})"
     )
+    if args.wave:
+        mode = "wave"
+    elif args.process_pool:
+        mode = "process"
+    else:
+        mode = "thread"
     results = run_spec(
         spec,
         seeds,
         parallel=args.parallel,
         max_workers=args.workers,
-        mode="process" if args.process_pool else "thread",
+        mode=mode,
+        wave_shared_pool=args.wave_shared_pool,
     )
     maximize = args.objective == "throughput"
     pick = max if maximize else min

@@ -284,11 +284,43 @@ class PostgresSimulator:
             return results
         return self._evaluate_native(configs, rng, on_crash)
 
+    def evaluate_batch_stacked(
+        self,
+        configs: Sequence[Configuration | Mapping[str, KnobValue]],
+        rng_blocks: Sequence[tuple[np.random.Generator | None, int]],
+        on_crash: str = "none",
+    ) -> list[Measurement | None]:
+        """One matrix pass over several sessions' rows, each block drawing
+        its noise from its *own* stream.
+
+        ``rng_blocks`` is a sequence of ``(rng, n_rows)`` pairs covering
+        ``configs`` in order: the rows of block ``k`` draw their noise
+        pairs from ``rng_blocks[k][0]`` exactly as a separate
+        ``evaluate_batch(block_rows, rng=rng_k)`` call would (row order,
+        crashed rows draw nothing), so per-session results and stream
+        positions are bit-identical to evaluating each block on its own —
+        the wave scheduler's cross-session contract.  Component scores are
+        row-independent (batch == N scalar calls, the PR 2 pin), so
+        stacking sessions changes no values.
+
+        Only ``on_crash="none"`` is supported: a raise policy is
+        ambiguous across sessions (whose exception wins?), and the wave
+        scheduler records crashes per session anyway.
+        """
+        if on_crash != "none":
+            raise ValueError("evaluate_batch_stacked requires on_crash='none'")
+        if sum(count for __, count in rng_blocks) != len(configs):
+            raise ValueError("rng_blocks do not cover configs")
+        return self._evaluate_native(
+            configs, None, on_crash, rng_blocks=rng_blocks
+        )
+
     def _evaluate_native(
         self,
         configs: Sequence[Configuration | Mapping[str, KnobValue]],
         rng: np.random.Generator | None,
         on_crash: str,
+        rng_blocks: Sequence[tuple[np.random.Generator | None, int]] | None = None,
     ) -> list[Measurement | None]:
         """The whole-matrix pass behind both public evaluation entry points."""
         calibration = self._calibrate()
@@ -311,7 +343,30 @@ class PostgresSimulator:
         throughput = calibration * self._raw_throughput_batch(scores, n)
 
         p95_noise: np.ndarray | None = None
-        if rng is not None and self.noise_std > 0:
+        if rng_blocks is not None and self.noise_std > 0:
+            # Stacked sessions: each block's alive rows draw their pairs
+            # from that block's own stream, in row order — stitching the
+            # exact draws the per-session batch calls would make.
+            alive = ~crashed
+            draws = np.empty((int(alive.sum()), 2))
+            filled = 0
+            start = 0
+            for block_rng, count in rng_blocks:
+                block_alive = int(alive[start:start + count].sum())
+                if block_alive and block_rng is not None:
+                    draws[filled:filled + block_alive] = (
+                        block_rng.standard_normal((block_alive, 2))
+                    )
+                elif block_alive:
+                    draws[filled:filled + block_alive] = 0.0
+                filled += block_alive
+                start += count
+            throughput_noise = np.ones(n)
+            throughput_noise[alive] = np.exp(draws[:, 0] * self.noise_std)
+            p95_noise = np.ones(n)
+            p95_noise[alive] = np.exp(draws[:, 1] * (self.noise_std * 2.0))
+            throughput = throughput * throughput_noise
+        elif rng is not None and self.noise_std > 0:
             # One draw pass, interleaved per row (throughput then latency,
             # matching the scalar call order); crashed rows draw nothing.
             alive = ~crashed

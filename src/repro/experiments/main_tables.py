@@ -32,6 +32,7 @@ def compare_on_workload(
     objective: str = "throughput",
     version: PostgresVersion = V96,
     target_rate: float | None = None,
+    optimizer_kwargs: tuple[tuple[str, object], ...] = (),
 ) -> tuple[ComparisonSummary, list[TuningResult], list[TuningResult]]:
     """Vanilla optimizer vs. LlamaTune(optimizer) on one workload."""
     common = dict(
@@ -41,6 +42,7 @@ def compare_on_workload(
         version=version,
         n_iterations=scale.n_iterations,
         target_rate=target_rate,
+        optimizer_kwargs=optimizer_kwargs,
     )
     baseline = SessionSpec(adapter=None, **common)
     treatment = SessionSpec(adapter=llamatune_factory(), **common)
@@ -56,6 +58,7 @@ def main_table(
     objective: str = "throughput",
     version: PostgresVersion = V96,
     target_rates: dict[str, float] | None = None,
+    optimizer_kwargs: tuple[tuple[str, object], ...] = (),
 ) -> tuple[ExperimentReport, dict[str, tuple[list[TuningResult], list[TuningResult]]]]:
     """Build one headline table; also return the raw per-workload results
     so callers can render companion figures (e.g. Fig. 9/10 from Table 5)."""
@@ -70,6 +73,7 @@ def main_table(
             objective=objective,
             version=version,
             target_rate=(target_rates or {}).get(workload),
+            optimizer_kwargs=optimizer_kwargs,
         )
         report.add(summary.format_row())
         raw[workload] = (baseline_results, treatment_results)

@@ -1,36 +1,51 @@
-"""Optional native (C) tree-build and predict kernel for the forest surrogate.
+"""Optional native (C) forest-build and predict kernel for the surrogate.
 
 The pure-numpy tree builder in :mod:`repro.optimizers.forest` is exact but
-dispatch-bound: one CART node costs ~30 small numpy calls, and the RNG
-stream pins the build to strictly sequential node order, so vectorizing
-across nodes is impossible.  This module compiles (with the system C
-compiler, on first use, cached next to the package) a kernel that runs the
-whole per-tree recursion in C and *calls back into Python for every RNG
-draw*, so the PCG64 stream is consumed by the very same
-``Generator.permutation`` / ``Generator.random`` / ``Generator.integers``
-calls, in the same order, as the numpy implementation.
+dispatch-bound: one CART node costs ~30 small numpy calls, and at the
+in-session observation counts (tens of rows) even the per-tree numpy table
+prep and the per-node RNG callbacks of the earlier kernel dominated the
+build.  This module compiles (with the system C compiler, on first use,
+cached next to the package) a kernel that builds the *whole forest* in a
+single C call, consuming the session's own PCG64 stream directly through
+numpy's public ``bitgen_t`` C interface — no Python callbacks at all.
 
-The same shared library also carries ``predict_leaves``: the leaf lookup
-behind ``RandomForestRegressor.predict_mean_var``, walking every
-``(tree, row)`` pair of the packed node table down to its leaf in one C
-pass.  The walk performs no float arithmetic — only ``x <= threshold``
-comparisons, which are bit-exact decisions — and returns *leaf indices*;
-the mean/variance reductions stay in numpy, shared verbatim with the
-fallback path, so native predict is byte-identical to the numpy frontier
-traversal by construction.
+Bit-exactness contract (enforced by ``tests/test_forest.py`` and
+``tests/test_determinism_pins.py``):
 
-Bit-exactness contract (enforced by ``tests/test_forest.py``):
-
-* bootstrap/permutation/threshold-key draws happen in Python, in build
-  order — the kernel only *reads* the filled buffers;
+* RNG draws replicate numpy's ``Generator`` algorithms on the *same*
+  underlying bit generator state, in build order:
+  ``integers(0, n, size=n)`` is Lemire's bounded rejection on
+  ``next_uint32`` (numpy's ``buffered_bounded_lemire_uint32``, including
+  the no-draw shortcut for a single-value range),
+  ``shuffle``/``permutation`` is Fisher–Yates with numpy's
+  ``random_interval`` masked rejection (32-bit path below 2**32), and
+  ``random()`` keys are ``(next_uint64 >> 11) * 2**-53`` in fill order.
+  The Generator's stream position after a native fit is therefore
+  byte-identical to the numpy builder's.
+* the per-tree stable presort is *derived* from one per-fit
+  ``np.argsort(kind="stable")`` of the raw feature columns: a bootstrap
+  column's stable order is the original column's stable order with each
+  row expanded to its bootstrap positions in ascending order (equal-value
+  runs — categorical columns — and the NaN tail merge their position
+  lists by one ordered membership scan), which is exactly the unique
+  stable permutation numpy would produce;
 * float arithmetic replicates numpy ufunc loops operation-for-operation:
   sequential ``add.accumulate``, numpy's pairwise summation for
   ``add.reduce`` (mean/variance), IEEE ``+ - * /`` per element with FMA
-  contraction disabled (``-ffp-contract=off``);
-* stable sorts replicate ``np.argsort(kind="stable")`` (stability makes
-  the permutation unique; NaNs sort last) and the candidate argmin uses
-  numpy's first-minimum / NaN-first semantics in the historical
+  contraction disabled (``-ffp-contract=off``), and the candidate argmin
+  uses numpy's first-minimum / NaN-first semantics in the historical
   position-major order.
+
+The same shared library carries ``predict_leaves`` — the leaf lookup
+behind ``RandomForestRegressor.predict_mean_var``, walking every
+``(tree, row)`` pair of the packed node table down to its leaf in one C
+pass — and ``predict_leaves_grouped``, the wave scheduler's stacked
+variant: one call resolves the leaf lookups of *several* forests, each
+scoring its own candidate-row slab of one concatenated super-table.  The
+walks perform no float arithmetic — only ``x <= threshold`` comparisons —
+and return leaf indices; the mean/variance reductions stay in numpy,
+shared verbatim with the fallback path, so native predict is
+byte-identical to the numpy frontier traversal by construction.
 
 If no compiler is available (or ``REPRO_FOREST_KERNEL=0``), everything
 silently falls back to the numpy implementation — results are identical,
@@ -54,31 +69,68 @@ _C_SOURCE = r"""
 #include <math.h>
 #include <string.h>
 
-typedef void (*perm_cb_t)(void);
-typedef void (*keys_cb_t)(int64_t);
+/* numpy's public bit-generator interface (numpy/random/bitgen.h): the
+ * Python side passes the address of the Generator's bitgen_t, so every
+ * draw below advances the very same PCG64 state the numpy builder would. */
+typedef struct bitgen {
+    void *state;
+    uint64_t (*next_uint64)(void *st);
+    uint32_t (*next_uint32)(void *st);
+    double (*next_double)(void *st);
+    uint64_t (*next_raw)(void *st);
+} bitgen_t;
 
-typedef struct {
-    int64_t n, d, m, min_split, max_depth, n_thresholds, bootstrap, cap;
-    const int64_t *perm;    /* d, filled by need_perm */
-    const double *keys;     /* >= (n-1)*m, filled by need_keys */
-    int64_t *feature;       /* outputs, capacity cap */
-    double *threshold;
-    int64_t *left;
-    int64_t *right;
-    double *value;
-    double *variance;
-    double *ws_d;
-    int64_t *ws_i;
-    uint8_t *member;        /* n */
-    perm_cb_t need_perm;
-    keys_cb_t need_keys;
-} params_t;
+/* Generator.integers(0, n): numpy's buffered_bounded_lemire_uint32 —
+ * the 32-bit Lemire rejection path taken whenever the range fits in
+ * uint32.  rng_excl is the exclusive range (= n); numpy draws nothing
+ * for a single-value range. */
+static uint32_t rng_lemire32(bitgen_t *bg, uint32_t rng_excl)
+{
+    uint64_t m = (uint64_t)bg->next_uint32(bg->state) * rng_excl;
+    uint32_t leftover = (uint32_t)m;
+    if (leftover < rng_excl) {
+        const uint32_t threshold = (uint32_t)(-(int64_t)rng_excl) % rng_excl;
+        while (leftover < threshold) {
+            m = (uint64_t)bg->next_uint32(bg->state) * rng_excl;
+            leftover = (uint32_t)m;
+        }
+    }
+    return (uint32_t)(m >> 32);
+}
 
-/* The per-tree tables (bootstrapped feature-major X, its per-feature
- * stable presort, and the presorted X/y value tables) arrive pre-filled in
- * the workspace: numpy's whole-matrix argsort/take_along_axis builds them
- * faster than scalar C loops, and numpy's stable argsort IS the reference
- * the old in-kernel mergesort replicated, so the move is byte-identical. */
+/* Generator.shuffle's per-swap draw: numpy's random_interval masked
+ * rejection (32-bit generator when max fits in uint32). */
+static uint64_t rng_interval(bitgen_t *bg, uint64_t max)
+{
+    uint64_t mask = max, value;
+    if (max == 0) return 0;
+    mask |= mask >> 1; mask |= mask >> 2; mask |= mask >> 4;
+    mask |= mask >> 8; mask |= mask >> 16; mask |= mask >> 32;
+    if (max <= 0xffffffffULL) {
+        while ((value = (bg->next_uint32(bg->state) & mask)) > max) ;
+    } else {
+        while ((value = (bg->next_uint64(bg->state) & mask)) > max) ;
+    }
+    return value;
+}
+
+/* Generator.permutation(d) == arange(d) + Generator.shuffle: Fisher-Yates
+ * from the top, one random_interval draw per swap. */
+static void rng_permutation(bitgen_t *bg, int64_t *out, int64_t d)
+{
+    for (int64_t i = 0; i < d; i++) out[i] = i;
+    for (int64_t i = d - 1; i > 0; i--) {
+        const uint64_t j = rng_interval(bg, (uint64_t)i);
+        const int64_t tmp = out[i]; out[i] = out[j]; out[j] = tmp;
+    }
+}
+
+/* Generator.random(out=buf): sequential next_double fill
+ * ((next_uint64 >> 11) * 2**-53 inside the bit generator). */
+static void rng_double_fill(bitgen_t *bg, double *out, int64_t count)
+{
+    for (int64_t i = 0; i < count; i++) out[i] = bg->next_double(bg->state);
+}
 
 /* numpy's pairwise summation (umath loops), exactly: sequential below 8,
  * 8-accumulator unrolled blocks up to 128, then recursive halving with the
@@ -121,13 +173,50 @@ static double kth_smallest(double *a, int64_t n, int64_t k)
     return a[k < n ? k : n - 1];
 }
 
-int64_t build_tree(params_t *p)
+typedef struct {
+    int64_t n, d, m, min_split, max_depth, n_thresholds, bootstrap;
+    int64_t n_trees, cap_total;
+    bitgen_t *bitgen;
+    const double *x_t;       /* d*n original X, feature-major */
+    const double *y;         /* n original targets */
+    const int64_t *presort0; /* d*n stable presort of x_t (numpy, per fit) */
+    int64_t *nodes4;         /* cap_total*4 packed (feature, thr-bits, l, r) */
+    double *value;           /* cap_total */
+    double *variance;        /* cap_total */
+    int64_t *offsets;        /* n_trees: global root index per tree */
+    int64_t *counts;         /* n_trees: node count per tree */
+    int64_t *tree_depths;    /* n_trees: deepest node level per tree */
+    double *ws_d;
+    int64_t *ws_i;
+    uint8_t *member;         /* n */
+    uint8_t *runflag;        /* n */
+} fparams_t;
+
+static void store_node(int64_t *nodes4, double *value, double *variance,
+                       int64_t g)
+{
+    int64_t *row = nodes4 + g * 4;
+    row[0] = -1;
+    row[1] = 0;  /* bits of threshold 0.0 */
+    row[2] = -1;
+    row[3] = -1;
+    value[g] = 0.0;
+    variance[g] = 0.0;
+}
+
+/* Build one tree into the packed global table starting at node ``base``.
+ * Child indices are stored *global* (rebased), matching the packed
+ * _ForestArrays layout directly.  Returns the node count, or -1 on
+ * capacity overflow. */
+static int64_t build_tree_packed(fparams_t *p, int64_t base,
+                                 int64_t *depth_out)
 {
     const int64_t n = p->n, d = p->d, m = p->m;
     const int64_t min_split = p->min_split, max_depth = p->max_depth;
     const int64_t nt = p->n_thresholds;
+    bitgen_t *bg = p->bitgen;
 
-    /* --- workspace layout (tables pre-filled by the caller) --------- */
+    /* --- workspace layout ------------------------------------------- */
     double *xb_t = p->ws_d;             /* d*n bootstrapped X, f-major */
     double *xsort = xb_t + d * n;       /* d*n X values, sorted/feature */
     double *ysort = xsort + d * n;      /* d*n y values, sorted/feature */
@@ -140,15 +229,107 @@ int64_t build_tree(params_t *p)
     double *colbuf = scores + m * n;    /* n */
     double *ybuf = colbuf + n;          /* n */
     double *prodbuf = ybuf + n;         /* n */
+    double *keys = prodbuf + n;         /* (n-1)*m threshold keys */
 
-    int64_t *presort = p->ws_i;         /* d*n */
-    int64_t *arena = presort + d * n;   /* n*(max_depth+3) member lists */
+    int64_t *presort = p->ws_i;         /* d*n per-tree stable presort */
+    int64_t *boot = presort + d * n;    /* n bootstrap row indices */
+    int64_t *bucket = boot + n;         /* n positions grouped by row */
+    int64_t *start = bucket + n;        /* n+1 bucket starts */
+    int64_t *perm = start + n + 1;      /* d feature permutation */
+    int64_t *arena = perm + d;          /* n*(max_depth+3) member lists */
     int64_t *meta = arena + n * (max_depth + 3);  /* stack: 5 per entry */
     uint8_t *member = p->member;
+    uint8_t *runflag = p->runflag;
 
     memset(member, 0, (size_t)n);
+    memset(runflag, 0, (size_t)n);
 
-    /* --- pre-order DFS ----------------------------------------------- */
+    /* --- per-tree tables --------------------------------------------- */
+    if (p->bootstrap) {
+        /* rng.integers(0, n, size=n): n Lemire draws in fill order
+         * (numpy draws nothing when the range holds a single value). */
+        if (n == 1) {
+            boot[0] = 0;
+        } else {
+            for (int64_t g = 0; g < n; g++)
+                boot[g] = (int64_t)rng_lemire32(bg, (uint32_t)n);
+        }
+        for (int64_t j = 0; j < d; j++) {
+            const double *src = p->x_t + j * n;
+            double *dst = xb_t + j * n;
+            for (int64_t g = 0; g < n; g++) dst[g] = src[boot[g]];
+        }
+        for (int64_t g = 0; g < n; g++) yb[g] = p->y[boot[g]];
+
+        /* Bucket the bootstrap positions by original row, positions kept
+         * ascending — the building block of the stable-presort expansion. */
+        memset(start, 0, (size_t)(n + 1) * sizeof(int64_t));
+        for (int64_t g = 0; g < n; g++) start[boot[g] + 1]++;
+        for (int64_t r = 0; r < n; r++) start[r + 1] += start[r];
+        /* place positions: walk g ascending with a running cursor per
+         * row.  The cursor borrows the arena head, free until the DFS
+         * initializes it below. */
+        {
+            int64_t *cursor = arena;  /* n entries, free at this point */
+            for (int64_t r = 0; r < n; r++) cursor[r] = start[r];
+            for (int64_t g = 0; g < n; g++) bucket[cursor[boot[g]]++] = g;
+        }
+
+        /* Expand the per-fit stable presort to this bootstrap: walk the
+         * original rows in stable order; a unique-valued row contributes
+         * its positions (already ascending); an equal-value run — ties,
+         * e.g. categorical columns — and the NaN tail contribute their
+         * positions merged in ascending order via one flagged scan, which
+         * is exactly how numpy's stable sort orders tied elements. */
+        for (int64_t j = 0; j < d; j++) {
+            const int64_t *ord = p->presort0 + j * n;
+            const double *col = p->x_t + j * n;
+            int64_t *out = presort + j * n;
+            int64_t w = 0;
+            int64_t i = 0;
+            while (i < n) {
+                const int64_t r0 = ord[i];
+                const double v0 = col[r0];
+                int64_t i1 = i + 1;
+                if (isnan(v0)) {
+                    i1 = n;  /* NaNs sort last: the tail is one run */
+                } else {
+                    while (i1 < n && col[ord[i1]] == v0) i1++;
+                }
+                if (i1 == i + 1) {
+                    for (int64_t q = start[r0]; q < start[r0 + 1]; q++)
+                        out[w++] = bucket[q];
+                } else {
+                    int64_t run_total = 0;
+                    for (int64_t q = i; q < i1; q++) {
+                        runflag[ord[q]] = 1;
+                        run_total += start[ord[q] + 1] - start[ord[q]];
+                    }
+                    if (run_total) {
+                        for (int64_t g = 0; g < n; g++)
+                            if (runflag[boot[g]]) out[w++] = g;
+                    }
+                    for (int64_t q = i; q < i1; q++) runflag[ord[q]] = 0;
+                }
+                i = i1;
+            }
+        }
+    } else {
+        memcpy(xb_t, p->x_t, (size_t)(d * n) * sizeof(double));
+        memcpy(yb, p->y, (size_t)n * sizeof(double));
+        memcpy(presort, p->presort0, (size_t)(d * n) * sizeof(int64_t));
+    }
+    for (int64_t j = 0; j < d; j++) {
+        const int64_t *ord = presort + j * n;
+        const double *xcol = xb_t + j * n;
+        double *xdst = xsort + j * n, *ydst = ysort + j * n;
+        for (int64_t i = 0; i < n; i++) {
+            xdst[i] = xcol[ord[i]];
+            ydst[i] = yb[ord[i]];
+        }
+    }
+
+    /* --- pre-order DFS (identical to the historical recursion) ------- */
     int64_t n_nodes = 0;
     int64_t arena_top = n;
     for (int64_t i = 0; i < n; i++) arena[i] = i;
@@ -163,18 +344,13 @@ int64_t build_tree(params_t *p)
         const int64_t is_right = meta[sp * 5 + 4];
         const int64_t *idx = arena + off;
 
-        if (n_nodes >= p->cap) return -1;
+        if (base + n_nodes >= p->cap_total) return -1;
         const int64_t node = n_nodes++;
-        if (parent >= 0) {
-            if (is_right) p->right[parent] = node;
-            else p->left[parent] = node;
-        }
-        p->feature[node] = -1;
-        p->threshold[node] = 0.0;
-        p->left[node] = -1;
-        p->right[node] = -1;
-        p->value[node] = 0.0;
-        p->variance[node] = 0.0;
+        const int64_t gnode = base + node;
+        if (depth > *depth_out) *depth_out = depth;
+        if (parent >= 0)
+            p->nodes4[(base + parent) * 4 + (is_right ? 3 : 2)] = gnode;
+        store_node(p->nodes4, p->value, p->variance, gnode);
 
         int split_found = 0;
         int64_t best_f = -1;
@@ -195,8 +371,8 @@ int64_t build_tree(params_t *p)
         }
 
         if (try_split) {
-            p->need_perm();  /* Python: perm[:] = rng.permutation(d) */
-            const int64_t *feats = p->perm;
+            rng_permutation(bg, perm, d);  /* rng.permutation(d) */
+            const int64_t *feats = perm;
 
             for (int64_t i = 0; i < cnt; i++) member[idx[i]] = 1;
             for (int64_t c = 0; c < m; c++) {
@@ -267,8 +443,7 @@ int64_t build_tree(params_t *p)
                 if (n_valid > nt && max_row > nt) {
                     /* keys drawn flat in the historical (n-1, m) C order:
                      * element (q, c) at q*m + c */
-                    p->need_keys((cnt - 1) * m);
-                    const double *keys = p->keys;
+                    rng_double_fill(bg, keys, (cnt - 1) * m);
                     for (int64_t c = 0; c < m; c++) {
                         const double *xrow = xs + c * cnt;
                         for (int64_t q = 0; q + 1 < cnt; q++)
@@ -323,12 +498,14 @@ int64_t build_tree(params_t *p)
                 const double dv = ybuf[i] - mean;
                 prodbuf[i] = dv * dv;
             }
-            p->value[node] = mean;
-            p->variance[node] = pairwise_sum(prodbuf, cnt) / (double)cnt;
+            p->value[gnode] = mean;
+            p->variance[gnode] = pairwise_sum(prodbuf, cnt) / (double)cnt;
         }
         else {
-            p->feature[node] = best_f;
-            p->threshold[node] = best_t;
+            int64_t *row = p->nodes4 + gnode * 4;
+            double thr = best_t;
+            row[0] = best_f;
+            memcpy(&row[1], &thr, sizeof(double));
             const double *xcol = xb_t + best_f * n;
             int64_t *lw = arena + arena_top;
             int64_t nl = 0;
@@ -352,6 +529,24 @@ int64_t build_tree(params_t *p)
         }
     }
     return n_nodes;
+}
+
+/* Build the whole forest: n_trees packed trees emitted back to back into
+ * the global node table, RNG consumed tree by tree in the numpy builder's
+ * order (bootstrap draw, then per-node permutation/threshold keys).
+ * Returns the total node count, or -1 on capacity overflow. */
+int64_t build_forest(fparams_t *p)
+{
+    int64_t total = 0;
+    for (int64_t t = 0; t < p->n_trees; t++) {
+        p->offsets[t] = total;
+        p->tree_depths[t] = 0;
+        const int64_t cnt = build_tree_packed(p, total, &p->tree_depths[t]);
+        if (cnt < 0) return -1;
+        p->counts[t] = cnt;
+        total += cnt;
+    }
+    return total;
 }
 
 /* Leaf lookup over the packed forest table: for every (tree, row) pair,
@@ -417,12 +612,108 @@ void predict_leaves(const pnode_t *nodes, const int64_t *offsets,
         }
     }
 }
+
+/* Branchless leaf walk: lanes advance in fixed lockstep levels with no
+ * leaf-exit branches and no lane bookkeeping.  Leaves freeze in place
+ * via conditional moves (the feature index is clamped to 0 for the dead
+ * comparison, and a pair already at a leaf keeps its node), so pairs
+ * that arrive early just spin; the decisions are the same pure
+ * comparisons, hence the final indices are identical to the early-exit
+ * lane walk.  Lanes are ordered by *per-tree* depth (descending, stable)
+ * so level k only steps the lanes whose tree still has nodes there —
+ * total steps are the sum of tree depths, not n_trees x max depth.
+ * Wins for the shallow trees of in-session observation counts; the lane
+ * walk stays the better choice for deep forests (callers dispatch on the
+ * forest's recorded build depth). */
+void predict_leaves_depth(const pnode_t *nodes, const int64_t *offsets,
+                          const int64_t *tree_depths, int64_t n_trees,
+                          const double *x, int64_t n_rows, int64_t d,
+                          int64_t *out)
+{
+    enum { CHUNK = 64 };
+    int64_t ord[CHUNK], cur[CHUNK], level_count[CHUNK];
+    for (int64_t t0 = 0; t0 < n_trees; t0 += CHUNK) {
+        const int64_t nt = n_trees - t0 < CHUNK ? n_trees - t0 : CHUNK;
+        /* stable insertion sort of the chunk's lanes, deepest first */
+        for (int64_t l = 0; l < nt; l++) ord[l] = t0 + l;
+        for (int64_t l = 1; l < nt; l++) {
+            const int64_t t = ord[l];
+            const int64_t dep = tree_depths[t];
+            int64_t j = l - 1;
+            while (j >= 0 && tree_depths[ord[j]] < dep) {
+                ord[j + 1] = ord[j];
+                j--;
+            }
+            ord[j + 1] = t;
+        }
+        const int64_t dmax = nt ? tree_depths[ord[0]] : 0;
+        if (dmax >= CHUNK) {
+            /* dispatchers only send shallow forests here; keep the deep
+             * case correct anyway via the early-exit walk */
+            predict_leaves(nodes, offsets + t0, nt, x, n_rows, d,
+                           out + t0 * n_rows);
+            continue;
+        }
+        for (int64_t k = 0; k < dmax; k++) {
+            int64_t c = 0;
+            while (c < nt && tree_depths[ord[c]] > k) c++;
+            level_count[k] = c;
+        }
+        for (int64_t i = 0; i < n_rows; i++) {
+            const double *xi = x + i * d;
+            for (int64_t l = 0; l < nt; l++) cur[l] = offsets[ord[l]];
+            for (int64_t k = 0; k < dmax; k++) {
+                const int64_t c = level_count[k];
+                for (int64_t l = 0; l < c; l++) {
+                    const pnode_t *pn = nodes + cur[l];
+                    const int64_t f = pn->feature;
+                    const int64_t nx =
+                        pn->child[!(xi[f >= 0 ? f : 0] <= pn->threshold)];
+                    cur[l] = f >= 0 ? nx : cur[l];
+                }
+            }
+            for (int64_t l = 0; l < nt; l++)
+                out[ord[l] * n_rows + i] = cur[l];
+        }
+    }
+}
+
+/* Stacked leaf lookup for the wave scheduler: group g owns tree_counts[g]
+ * trees of the concatenated super-table (offsets already rebased into it)
+ * and scores its own row_counts[g]-row slab of x.  One call walks every
+ * group, writing each group's tree-major leaf block back to back — the
+ * exact concatenation of per-group predict_leaves outputs.  Shallow
+ * groups (max tree depth within ``depth_limit``) walk branchlessly by
+ * per-tree depth; deeper ones use the early-exit lane walk. */
+void predict_leaves_grouped(const pnode_t *nodes, const int64_t *offsets,
+                            const int64_t *tree_counts,
+                            const int64_t *row_counts,
+                            const int64_t *tree_depths,
+                            const int64_t *depths, int64_t depth_limit,
+                            int64_t n_groups, int64_t d, const double *x,
+                            int64_t *out)
+{
+    const int64_t *off = offsets;
+    const int64_t *dep = tree_depths;
+    const double *xg = x;
+    int64_t *og = out;
+    for (int64_t g = 0; g < n_groups; g++) {
+        if (depths[g] <= depth_limit)
+            predict_leaves_depth(nodes, off, dep, tree_counts[g], xg,
+                                 row_counts[g], d, og);
+        else
+            predict_leaves(nodes, off, tree_counts[g], xg, row_counts[g],
+                           d, og);
+        off += tree_counts[g];
+        dep += tree_counts[g];
+        xg += row_counts[g] * d;
+        og += tree_counts[g] * row_counts[g];
+    }
+}
 """
 
 
-class _Params(ctypes.Structure):
-    _perm_cb = ctypes.CFUNCTYPE(None)
-    _keys_cb = ctypes.CFUNCTYPE(None, ctypes.c_int64)
+class _FParams(ctypes.Structure):
     _fields_ = [
         ("n", ctypes.c_int64),
         ("d", ctypes.c_int64),
@@ -431,20 +722,22 @@ class _Params(ctypes.Structure):
         ("max_depth", ctypes.c_int64),
         ("n_thresholds", ctypes.c_int64),
         ("bootstrap", ctypes.c_int64),
-        ("cap", ctypes.c_int64),
-        ("perm", ctypes.c_void_p),
-        ("keys", ctypes.c_void_p),
-        ("feature", ctypes.c_void_p),
-        ("threshold", ctypes.c_void_p),
-        ("left", ctypes.c_void_p),
-        ("right", ctypes.c_void_p),
+        ("n_trees", ctypes.c_int64),
+        ("cap_total", ctypes.c_int64),
+        ("bitgen", ctypes.c_void_p),
+        ("x_t", ctypes.c_void_p),
+        ("y", ctypes.c_void_p),
+        ("presort0", ctypes.c_void_p),
+        ("nodes4", ctypes.c_void_p),
         ("value", ctypes.c_void_p),
         ("variance", ctypes.c_void_p),
+        ("offsets", ctypes.c_void_p),
+        ("counts", ctypes.c_void_p),
+        ("tree_depths", ctypes.c_void_p),
         ("ws_d", ctypes.c_void_p),
         ("ws_i", ctypes.c_void_p),
         ("member", ctypes.c_void_p),
-        ("need_perm", _perm_cb),
-        ("need_keys", _keys_cb),
+        ("runflag", ctypes.c_void_p),
     ]
 
 
@@ -491,8 +784,8 @@ def _build_library() -> ctypes.CDLL | None:
         lib = ctypes.CDLL(str(so_path))
     except OSError:
         return None
-    lib.build_tree.restype = ctypes.c_int64
-    lib.build_tree.argtypes = [ctypes.POINTER(_Params)]
+    lib.build_forest.restype = ctypes.c_int64
+    lib.build_forest.argtypes = [ctypes.POINTER(_FParams)]
     lib.predict_leaves.restype = None
     lib.predict_leaves.argtypes = [
         ctypes.c_void_p,  # nodes (packed 32-byte structs)
@@ -503,7 +796,39 @@ def _build_library() -> ctypes.CDLL | None:
         ctypes.c_int64,   # d
         ctypes.c_void_p,  # out
     ]
+    lib.predict_leaves_depth.restype = None
+    lib.predict_leaves_depth.argtypes = [
+        ctypes.c_void_p,  # nodes
+        ctypes.c_void_p,  # offsets
+        ctypes.c_void_p,  # tree_depths
+        ctypes.c_int64,   # n_trees
+        ctypes.c_void_p,  # x
+        ctypes.c_int64,   # n_rows
+        ctypes.c_int64,   # d
+        ctypes.c_void_p,  # out
+    ]
+    lib.predict_leaves_grouped.restype = None
+    lib.predict_leaves_grouped.argtypes = [
+        ctypes.c_void_p,  # nodes
+        ctypes.c_void_p,  # offsets (all groups, rebased)
+        ctypes.c_void_p,  # tree_counts
+        ctypes.c_void_p,  # row_counts
+        ctypes.c_void_p,  # tree_depths (all groups, concatenated)
+        ctypes.c_void_p,  # depths (per-group max, for dispatch)
+        ctypes.c_int64,   # depth_limit
+        ctypes.c_int64,   # n_groups
+        ctypes.c_int64,   # d
+        ctypes.c_void_p,  # x (stacked row slabs)
+        ctypes.c_void_p,  # out
+    ]
     return lib
+
+
+#: Forests whose deepest node is at or below this walk branchlessly for a
+#: fixed step count (leaves freeze via conditional moves); deeper forests
+#: keep the early-exit lane walk, whose cost tracks the *average* leaf
+#: depth instead of the maximum.
+DEPTH_WALK_LIMIT = 16
 
 
 def load_kernel() -> ctypes.CDLL | None:
@@ -545,11 +870,147 @@ def pack_nodes(
     return nodes
 
 
+def bitgen_address(rng: np.random.Generator) -> int:
+    """Address of the Generator's ``bitgen_t`` struct (numpy's public
+    C interface); the kernel draws through its function pointers, so the
+    Python-side Generator sees the advanced stream afterwards."""
+    return rng.bit_generator.ctypes.bit_generator.value
+
+
+class _BuildWorkspace:
+    """Reusable native-build buffers, grown on demand.
+
+    Sweeps fit one forest per iteration on a matrix that gains one row
+    each round; reusing (and geometrically growing) the scratch and
+    output buffers turns ~10 allocations per fit into attribute reads.
+    Cached per-thread (`threading.local`) so the thread-pool runner's
+    concurrent fits never share scratch.
+    """
+
+    def __init__(self) -> None:
+        self.cap_total = -1
+        self.n = -1
+        self.d = -1
+        self.ws_d_size = -1
+        self.ws_i_size = -1
+
+    def ensure(self, n: int, d: int, m: int, n_trees: int,
+               max_depth: int) -> None:
+        if n_trees * (2 * n + 4) > self.cap_total:
+            self.cap_total = max(n_trees * (2 * n + 4), 2 * self.cap_total)
+            self.nodes4 = np.empty((self.cap_total, 4), dtype=np.int64)
+            self.value = np.empty(self.cap_total, dtype=float)
+            self.variance = np.empty(self.cap_total, dtype=float)
+        if 3 * d * n + 6 * m * n + 4 * n + 64 > self.ws_d_size:
+            self.ws_d_size = max(
+                3 * d * n + 6 * m * n + 4 * n + 64, 2 * self.ws_d_size
+            )
+            self.ws_d = np.empty(self.ws_d_size, dtype=float)
+        ws_i_size = (
+            d * n + 3 * n + 1 + d + n * (max_depth + 3)
+            + 5 * (2 * max_depth + 16)
+        )
+        if ws_i_size > self.ws_i_size:
+            self.ws_i_size = max(ws_i_size, 2 * self.ws_i_size)
+            self.ws_i = np.empty(self.ws_i_size, dtype=np.int64)
+        if n > self.n:
+            self.n = max(n, 2 * self.n)
+            self.member = np.empty(self.n, dtype=np.uint8)
+            self.runflag = np.empty(self.n, dtype=np.uint8)
+
+
+_workspaces = threading.local()
+
+
+def _workspace() -> _BuildWorkspace:
+    ws = getattr(_workspaces, "ws", None)
+    if ws is None:
+        ws = _workspaces.ws = _BuildWorkspace()
+    return ws
+
+
+def build_forest(
+    lib: ctypes.CDLL,
+    X: np.ndarray,
+    y: np.ndarray,
+    rng: np.random.Generator,
+    n_trees: int,
+    max_features: int,
+    min_samples_split: int,
+    max_depth: int,
+    n_thresholds: int,
+    bootstrap: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Build ``n_trees`` packed trees in one native call.
+
+    Returns ``(nodes4, value, variance, offsets, counts, tree_depths)`` —
+    the concatenated node table in the 32-byte ``pnode_t`` layout with
+    child indices already rebased to the table, per-node leaf statistics,
+    each tree's root offset / node count, and each tree's deepest node
+    level (the branchless predict walk's per-lane step counts).  The RNG
+    draws consume ``rng``'s underlying bit-generator stream exactly as
+    the numpy builder's ``Generator`` calls would (same algorithms, same
+    order), so trees and the final stream position are byte-identical to
+    the fallback path.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.ascontiguousarray(y, dtype=float)
+    n, d = X.shape
+    m = min(max_features, d)
+    x_t = np.ascontiguousarray(X.T)
+    # The one numpy stable presort per fit: the kernel derives every
+    # bootstrap resample's stable order from it without re-sorting.
+    presort0 = np.argsort(x_t, axis=1, kind="stable")
+
+    ws = _workspace()
+    ws.ensure(n, d, m, n_trees, max_depth)
+    cap_total = ws.cap_total
+    offsets = np.empty(n_trees, dtype=np.int64)
+    counts = np.empty(n_trees, dtype=np.int64)
+    tree_depths = np.empty(n_trees, dtype=np.int64)
+
+    p = _FParams()
+    p.n, p.d, p.m = n, d, m
+    p.min_split = min_samples_split
+    p.max_depth = max_depth
+    p.n_thresholds = n_thresholds
+    p.bootstrap = int(bootstrap)
+    p.n_trees = n_trees
+    p.cap_total = cap_total
+    p.bitgen = bitgen_address(rng)
+    p.x_t = x_t.ctypes.data
+    p.y = y.ctypes.data
+    p.presort0 = presort0.ctypes.data
+    p.nodes4 = ws.nodes4.ctypes.data
+    p.value = ws.value.ctypes.data
+    p.variance = ws.variance.ctypes.data
+    p.offsets = offsets.ctypes.data
+    p.counts = counts.ctypes.data
+    p.tree_depths = tree_depths.ctypes.data
+    p.ws_d = ws.ws_d.ctypes.data
+    p.ws_i = ws.ws_i.ctypes.data
+    p.member = ws.member.ctypes.data
+    p.runflag = ws.runflag.ctypes.data
+
+    total = int(lib.build_forest(ctypes.byref(p)))
+    if total < 0:
+        raise RuntimeError("native forest build overflowed node capacity")
+    return (
+        ws.nodes4[:total].copy(),
+        ws.value[:total].copy(),
+        ws.variance[:total].copy(),
+        offsets,
+        counts,
+        tree_depths,
+    )
+
+
 def predict_leaves(
     lib: ctypes.CDLL,
     nodes: np.ndarray,
     offsets: np.ndarray,
     X: np.ndarray,
+    tree_depths: np.ndarray | None = None,
 ) -> np.ndarray:
     """Leaf index for every ``(tree, row)`` pair of the packed forest.
 
@@ -557,7 +1018,10 @@ def predict_leaves(
     of length ``n_trees * n_rows`` in tree-major order — the exact layout
     (and values) of the numpy frontier traversal's final ``node`` array, so
     callers can share the downstream value/variance gather and reductions
-    between both paths.
+    between both paths.  When ``tree_depths`` (each tree's deepest level)
+    is known and the forest is shallow, the fixed-step branchless walk
+    runs instead of the early-exit lane walk — identical leaf indices,
+    fewer data-dependent branches.
     """
     nodes = np.ascontiguousarray(nodes, dtype=np.int64)
     offsets = np.ascontiguousarray(offsets, dtype=np.int64)
@@ -565,6 +1029,23 @@ def predict_leaves(
     n_rows, d = X.shape
     n_trees = len(offsets)
     out = np.empty(n_trees * n_rows, dtype=np.int64)
+    if (
+        tree_depths is not None
+        and len(tree_depths)
+        and int(tree_depths.max()) <= DEPTH_WALK_LIMIT
+    ):
+        tree_depths = np.ascontiguousarray(tree_depths, dtype=np.int64)
+        lib.predict_leaves_depth(
+            nodes.ctypes.data,
+            offsets.ctypes.data,
+            tree_depths.ctypes.data,
+            n_trees,
+            X.ctypes.data,
+            n_rows,
+            d,
+            out.ctypes.data,
+        )
+        return out
     lib.predict_leaves(
         nodes.ctypes.data,
         offsets.ctypes.data,
@@ -577,138 +1058,42 @@ def predict_leaves(
     return out
 
 
-class TreeBuilder:
-    """Reusable native-build state for one forest fit.
-
-    Owns every buffer the kernel touches and the RNG callbacks, so one
-    ``build()`` call per tree costs a single ctypes invocation plus the
-    Python-side RNG draws (bootstrap indices, per-node feature
-    permutations, threshold keys) — exactly the draws, in exactly the
-    order, of the numpy implementation.
+def predict_leaves_grouped(
+    lib: ctypes.CDLL,
+    nodes: np.ndarray,
+    offsets: np.ndarray,
+    tree_counts: np.ndarray,
+    row_counts: np.ndarray,
+    tree_depths: np.ndarray,
+    depths: np.ndarray,
+    X: np.ndarray,
+) -> np.ndarray:
+    """Stacked leaf lookup: group ``g`` owns ``tree_counts[g]`` trees of
+    the concatenated super-table and scores rows
+    ``[sum(row_counts[:g]), sum(row_counts[:g+1]))`` of ``X``.  Returns the
+    concatenation of each group's tree-major leaf block — byte-identical
+    to calling :func:`predict_leaves` per group on the same super-table.
     """
-
-    def __init__(
-        self,
-        lib: ctypes.CDLL,
-        X: np.ndarray,
-        y: np.ndarray,
-        max_features: int,
-        min_samples_split: int,
-        max_depth: int,
-        n_thresholds: int,
-        bootstrap: bool,
-    ):
-        self._lib = lib
-        n, d = X.shape
-        self._n, self._d = n, d
-        m = min(max_features, d)
-        self._x_t = np.ascontiguousarray(X.T)
-        self._y = np.ascontiguousarray(y, dtype=float)
-        self._bootstrap = bootstrap
-        self._perm = np.empty(d, dtype=np.int64)
-        self._keys = np.empty(max(1, (n - 1) * m), dtype=float)
-        cap = 2 * n + 4
-        self._out_feature = np.empty(cap, dtype=np.int64)
-        self._out_threshold = np.empty(cap, dtype=float)
-        self._out_left = np.empty(cap, dtype=np.int64)
-        self._out_right = np.empty(cap, dtype=np.int64)
-        self._out_value = np.empty(cap, dtype=float)
-        self._out_variance = np.empty(cap, dtype=float)
-        self._ws_d = np.empty(3 * d * n + 5 * m * n + 4 * n + 64, dtype=float)
-        self._ws_i = np.empty(
-            d * n + n * (max_depth + 3) + 5 * (2 * max_depth + 16),
-            dtype=np.int64,
-        )
-        self._member = np.zeros(n, dtype=np.uint8)
-        # Writable views over the kernel's workspace regions: the per-tree
-        # tables (bootstrapped feature-major X, presort, sorted X/y values,
-        # bootstrapped y) are filled from numpy before each build — see the
-        # layout comment in the C source.
-        self._xb_t = self._ws_d[: d * n].reshape(d, n)
-        self._xsort = self._ws_d[d * n:2 * d * n].reshape(d, n)
-        self._ysort = self._ws_d[2 * d * n:3 * d * n].reshape(d, n)
-        self._yb = self._ws_d[3 * d * n:3 * d * n + n]
-        self._presort = self._ws_i[: d * n].reshape(d, n)
-        self._xb_flat = self._ws_d[: d * n]
-        self._row_offsets = (np.arange(d, dtype=np.int64) * n)[:, None]
-        self._arange_d = np.arange(d)
-        self._rng: np.random.Generator | None = None
-
-        def need_perm() -> None:
-            # Generator.permutation(d) is exactly arange(d) + shuffle
-            # (numpy source); shuffling a preset buffer consumes the same
-            # stream without the per-call allocation.
-            perm = self._perm
-            perm[:] = self._arange_d
-            self._rng.shuffle(perm)
-
-        def need_keys(count: int) -> None:
-            # Same stream consumption as rng.random((count // m, m)):
-            # `random` fills any contiguous out buffer sequentially.
-            self._rng.random(out=self._keys[:count])
-
-        # Keep callback objects alive for the lifetime of the builder.
-        self._need_perm = _Params._perm_cb(need_perm)
-        self._need_keys = _Params._keys_cb(need_keys)
-
-        p = _Params()
-        p.n, p.d, p.m = n, d, m
-        p.min_split = min_samples_split
-        p.max_depth = max_depth
-        p.n_thresholds = n_thresholds
-        p.bootstrap = int(bootstrap)
-        p.cap = cap
-        p.perm = self._perm.ctypes.data
-        p.keys = self._keys.ctypes.data
-        p.feature = self._out_feature.ctypes.data
-        p.threshold = self._out_threshold.ctypes.data
-        p.left = self._out_left.ctypes.data
-        p.right = self._out_right.ctypes.data
-        p.value = self._out_value.ctypes.data
-        p.variance = self._out_variance.ctypes.data
-        p.ws_d = self._ws_d.ctypes.data
-        p.ws_i = self._ws_i.ctypes.data
-        p.member = self._member.ctypes.data
-        p.need_perm = self._need_perm
-        p.need_keys = self._need_keys
-        self._params = p
-
-    def build(self, rng: np.random.Generator) -> tuple[np.ndarray, ...]:
-        """Build one tree; returns (feature, threshold, left, right,
-        value, variance) arrays, freshly copied.
-
-        The per-tree tables are built here with whole-matrix numpy passes
-        (``argsort(kind="stable")`` is the exact reference the kernel's old
-        scalar mergesort replicated, so the outputs are unchanged) and
-        written straight into the kernel workspace; only the node recursion
-        itself runs in C."""
-        if self._bootstrap:
-            boot = rng.integers(0, self._n, size=self._n)
-            np.take(self._x_t, boot, axis=1, out=self._xb_t)
-            np.take(self._y, boot, out=self._yb)
-        else:
-            self._xb_t[:] = self._x_t
-            self._yb[:] = self._y
-        presort = np.argsort(self._xb_t, axis=1, kind="stable")
-        self._presort[:] = presort
-        np.take(self._yb, presort, out=self._ysort)
-        # Gather the sorted X values through flat indices (presort is a
-        # fresh array, safe to clobber) — np.take accepts ``out`` where
-        # take_along_axis does not.
-        np.add(presort, self._row_offsets, out=presort)
-        np.take(self._xb_flat, presort, out=self._xsort)
-        self._rng = rng
-        try:
-            count = int(self._lib.build_tree(ctypes.byref(self._params)))
-        finally:
-            self._rng = None
-        if count < 0:
-            raise RuntimeError("native tree build overflowed node capacity")
-        return (
-            self._out_feature[:count].copy(),
-            self._out_threshold[:count].copy(),
-            self._out_left[:count].copy(),
-            self._out_right[:count].copy(),
-            self._out_value[:count].copy(),
-            self._out_variance[:count].copy(),
-        )
+    nodes = np.ascontiguousarray(nodes, dtype=np.int64)
+    offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+    tree_counts = np.ascontiguousarray(tree_counts, dtype=np.int64)
+    row_counts = np.ascontiguousarray(row_counts, dtype=np.int64)
+    tree_depths = np.ascontiguousarray(tree_depths, dtype=np.int64)
+    depths = np.ascontiguousarray(depths, dtype=np.int64)
+    X = np.ascontiguousarray(X, dtype=float)
+    d = X.shape[1]
+    out = np.empty(int((tree_counts * row_counts).sum()), dtype=np.int64)
+    lib.predict_leaves_grouped(
+        nodes.ctypes.data,
+        offsets.ctypes.data,
+        tree_counts.ctypes.data,
+        row_counts.ctypes.data,
+        tree_depths.ctypes.data,
+        depths.ctypes.data,
+        DEPTH_WALK_LIMIT,
+        len(tree_counts),
+        d,
+        X.ctypes.data,
+        out.ctypes.data,
+    )
+    return out

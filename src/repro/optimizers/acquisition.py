@@ -34,10 +34,16 @@ def _norm_pdf(z: np.ndarray) -> np.ndarray:
 def expected_improvement(
     mean: np.ndarray,
     std: np.ndarray,
-    best: float,
+    best: float | np.ndarray,
     xi: float = 0.01,
 ) -> np.ndarray:
     """Expected improvement over the incumbent ``best`` (maximization).
+
+    ``best`` is the incumbent value — a scalar for one session, or a
+    broadcastable per-row array when several sessions' candidate blocks
+    are scored in one stacked pass (the wave scheduler's cross-session
+    model phase): every op is elementwise, so each block's values are
+    byte-identical to a per-session call with its scalar incumbent.
 
     ``xi`` is the usual exploration jitter.  Points with (numerically) zero
     predictive standard deviation (``std <= ZERO_STD_THRESHOLD``) get zero
@@ -84,9 +90,12 @@ def top_q_distinct(scores: np.ndarray, rows: np.ndarray, q: int) -> np.ndarray:
     never proposes the same configuration twice; if the pool holds fewer
     than ``q`` distinct rows, all of them are returned.
     """
-    order = np.argsort(-np.asarray(scores, dtype=float), kind="stable")
+    scores = np.asarray(scores, dtype=float)
     if q == 1:
-        return order[:1]
+        # The stable descending sort's first entry is the first maximum —
+        # exactly np.argmax — so the batch-of-one winner skips the sort.
+        return np.array([np.argmax(scores)])
+    order = np.argsort(-scores, kind="stable")
     picked: list[int] = []
     seen: set[bytes] = set()
     for i in order:

@@ -10,12 +10,40 @@ internal DBMS metrics used as RL state).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
 from typing import Mapping
 
 import numpy as np
 
+from repro.optimizers.acquisition import expected_improvement, top_q_distinct
 from repro.optimizers.encoding import SpaceEncoding
 from repro.space.configspace import Configuration, ConfigurationSpace
+
+
+@dataclass
+class PreparedSuggest:
+    """One suggestion round split at the surrogate-scoring seam.
+
+    :meth:`Optimizer.suggest_prepare` returns either a *resolved* round
+    (``configs`` set: init-phase design points, random interleaves, pure
+    random search, or optimizers without a split model phase) or a
+    *scorable* one (``model`` + ``candidates`` set): the caller evaluates
+    ``model.predict_mean_var`` over ``candidates`` — possibly stacked with
+    other sessions' rounds into one call — and hands the result to
+    :meth:`Optimizer.suggest_finish`.  Splitting here is what lets the
+    wave scheduler run one cross-session model phase while every
+    optimizer keeps its sequential RNG stream untouched.
+    """
+
+    q: int = 1
+    configs: list[Configuration] | None = None
+    model: object | None = None  # surrogate exposing predict_mean_var
+    candidates: np.ndarray | None = field(default=None, repr=False)
+    best: float = 0.0
+
+    @property
+    def resolved(self) -> bool:
+        return self.configs is not None
 
 
 class Optimizer(ABC):
@@ -64,6 +92,36 @@ class Optimizer(ABC):
         none of the batch has been observed (``suggest_batch(1)`` on an
         exhausted design matches the scalar random fallback exactly).
         """
+        prepared = self.suggest_prepare(q)
+        if prepared.configs is not None:
+            return prepared.configs
+        mean, var = prepared.model.predict_mean_var(prepared.candidates)
+        return self.suggest_finish(prepared, mean, var)
+
+    def suggest_prepare(
+        self, q: int = 1, shared_pool: np.ndarray | None = None
+    ) -> PreparedSuggest:
+        """Phase one of :meth:`suggest_batch`: everything up to (and
+        including) the surrogate fit and candidate generation, without
+        scoring.
+
+        Resolved rounds (init-phase design points, random interleaves,
+        optimizers without a split model phase) come back with ``configs``
+        already decoded; scorable rounds carry the fitted surrogate and
+        the encoded candidate matrix for the caller to score — the wave
+        scheduler stacks many sessions' candidate matrices into one
+        ``predict_mean_var`` pass and finishes each with
+        :meth:`suggest_finish`.  ``prepare`` + ``predict`` + ``finish`` is
+        exactly :meth:`suggest_batch` (same RNG draws, same float ops, in
+        the same order), so trajectories are byte-identical whichever way
+        the round is driven.
+
+        ``shared_pool`` (the wave scheduler's cross-session protocol)
+        replaces the optimizer's own random candidate pool with
+        externally generated rows; per-seed local-search additions are
+        still drawn from the optimizer's stream.  Leave it ``None`` for
+        the sequential-equivalent behavior.
+        """
         if q < 1:
             raise ValueError("q must be >= 1")
         remaining_init = self.n_init - len(self._y)
@@ -81,18 +139,50 @@ class Optimizer(ABC):
                 vectors = vectors + list(
                     self.encoding.random_vectors(q - len(vectors), self.rng)
                 )
-            return self.encoding.decode_batch(np.stack(vectors))
-        return self._suggest_model_batch(q)
+            return PreparedSuggest(
+                q=q, configs=self.encoding.decode_batch(np.stack(vectors))
+            )
+        return self._prepare_model_batch(q, shared_pool)
 
-    def _suggest_model_batch(self, q: int) -> list[Configuration]:
-        """Model-guided batch; the base fallback takes the single model
-        suggestion first and fills the rest with random exploration (used
-        by optimizers without a native batch path, e.g. DDPG)."""
+    def _prepare_model_batch(
+        self, q: int, shared_pool: np.ndarray | None = None
+    ) -> PreparedSuggest:
+        """Model-guided round, unsplit fallback: optimizers without a
+        separable surrogate phase (e.g. DDPG's per-step action
+        bookkeeping) resolve the whole batch here — the base
+        implementation takes the single model suggestion first and fills
+        the rest with random exploration."""
         first = self._suggest_model()
         if q == 1:
-            return [first]
-        return [first] + self.encoding.decode_batch(
-            self.encoding.random_vectors(q - 1, self.rng)
+            return PreparedSuggest(q=q, configs=[first])
+        return PreparedSuggest(
+            q=q,
+            configs=[first] + self.encoding.decode_batch(
+                self.encoding.random_vectors(q - 1, self.rng)
+            ),
+        )
+
+    def suggest_finish(
+        self,
+        prepared: PreparedSuggest,
+        mean: np.ndarray,
+        var: np.ndarray,
+    ) -> list[Configuration]:
+        """Phase two: EI-rank the scored candidates and decode the top-q
+        distinct winners (shared by the forest and GP optimizers)."""
+        ei = expected_improvement(mean, np.sqrt(var), best=prepared.best)
+        return self.suggest_select(prepared, ei)
+
+    def suggest_select(
+        self, prepared: PreparedSuggest, ei: np.ndarray
+    ) -> list[Configuration]:
+        """Selection tail of :meth:`suggest_finish` for callers that
+        computed EI themselves (the wave scheduler scores one stacked EI
+        pass and hands each session its slice)."""
+        return self.encoding.decode_batch(
+            prepared.candidates[
+                top_q_distinct(ei, prepared.candidates, prepared.q)
+            ]
         )
 
     def suggest_init_batch(self) -> list[Configuration]:
@@ -172,7 +262,12 @@ class RandomSearchOptimizer(Optimizer):
     def _suggest_model(self) -> Configuration:
         return self.encoding.decode(self.encoding.random_vector(self.rng))
 
-    def _suggest_model_batch(self, q: int) -> list[Configuration]:
-        return self.encoding.decode_batch(
-            self.encoding.random_vectors(q, self.rng)
+    def _prepare_model_batch(
+        self, q: int, shared_pool: np.ndarray | None = None
+    ) -> PreparedSuggest:
+        return PreparedSuggest(
+            q=q,
+            configs=self.encoding.decode_batch(
+                self.encoding.random_vectors(q, self.rng)
+            ),
         )

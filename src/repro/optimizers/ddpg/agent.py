@@ -133,6 +133,15 @@ class DDPGOptimizer(Optimizer):
             raise ValueError("q must be >= 1")
         return [self.suggest()]
 
+    def suggest_prepare(self, q: int = 1, shared_pool=None):
+        """DDPG has no separable surrogate phase (actions pair with
+        observes step by step), so the wave scheduler degrades to
+        per-session stepping: the round comes back resolved through the
+        very :meth:`suggest_batch` call the sequential loop makes."""
+        from repro.optimizers.base import PreparedSuggest
+
+        return PreparedSuggest(q=q, configs=self.suggest_batch(q))
+
     def _action_from_vector(self, vector: np.ndarray) -> np.ndarray:
         action = vector.copy()
         for i in np.flatnonzero(self.encoding.is_categorical):

@@ -34,6 +34,7 @@ class SpaceEncoding:
             ],
             dtype=int,
         )
+        self._has_categorical = bool(self.is_categorical.any())
 
     @property
     def dim(self) -> int:
@@ -106,6 +107,13 @@ class SpaceEncoding:
         out = np.repeat(vector[None, :], n, axis=0)
         rows = np.arange(n)
         dims = rng.integers(0, self.dim, size=n)
+        if not self._has_categorical:
+            # All-numeric space (e.g. the LlamaTune synthetic projection):
+            # every perturbed dimension takes the Gaussian step — same
+            # draws (one integers fill, one normal fill), masks skipped.
+            steps = rng.normal(0.0, step, size=n)
+            out[rows, dims] = (vector[dims] + steps).clip(0.0, 1.0)
+            return out
         cat = self.is_categorical[dims]
         num_rows, num_dims = rows[~cat], dims[~cat]
         if len(num_rows):

@@ -65,6 +65,8 @@ class _ForestArrays:
     value: np.ndarray
     variance: np.ndarray
     offsets: np.ndarray  # (n_trees,) root index of each tree
+    tree_depths: np.ndarray | None = None  # (n_trees,) deepest level per tree
+    depth: int = 0  # deepest node level over the whole forest
     _nodes4: np.ndarray | None = None  # native-kernel node layout (lazy)
 
     @property
@@ -78,6 +80,30 @@ class _ForestArrays:
         return self._nodes4
 
     @classmethod
+    def from_packed(
+        cls,
+        nodes4: np.ndarray,
+        value: np.ndarray,
+        variance: np.ndarray,
+        offsets: np.ndarray,
+        tree_depths: np.ndarray,
+    ) -> "_ForestArrays":
+        """Wrap the native builder's output: the node table arrives already
+        packed and rebased, so the column fields are views into it."""
+        return cls(
+            feature=nodes4[:, 0],
+            threshold=nodes4[:, 1].view(np.float64),
+            left=nodes4[:, 2],
+            right=nodes4[:, 3],
+            value=value,
+            variance=variance,
+            offsets=offsets,
+            tree_depths=tree_depths,
+            depth=int(tree_depths.max()) if len(tree_depths) else 0,
+            _nodes4=nodes4,
+        )
+
+    @classmethod
     def pack(cls, trees: list[_TreeArrays]) -> "_ForestArrays":
         sizes = np.array([len(t.feature) for t in trees])
         offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
@@ -89,14 +115,32 @@ class _ForestArrays:
             [np.where(t.right >= 0, t.right + off, -1)
              for t, off in zip(trees, offsets)]
         )
+        feature = np.concatenate([t.feature for t in trees])
+        # Per-node levels by level-order descent from the roots (the
+        # native builder records the per-tree maxima during the build).
+        node_depth = np.zeros(len(feature), dtype=np.int64)
+        frontier = np.asarray(offsets, dtype=np.int64)
+        depth = 0
+        while True:
+            internal = frontier[feature[frontier] >= 0]
+            if not internal.size:
+                break
+            frontier = np.concatenate([left[internal], right[internal]])
+            depth += 1
+            node_depth[frontier] = depth
+        tree_depths = np.maximum.reduceat(
+            node_depth, np.asarray(offsets, dtype=np.int64)
+        ) if len(trees) else np.empty(0, dtype=np.int64)
         return cls(
-            feature=np.concatenate([t.feature for t in trees]),
+            feature=feature,
             threshold=np.concatenate([t.threshold for t in trees]),
             left=left,
             right=right,
             value=np.concatenate([t.value for t in trees]),
             variance=np.concatenate([t.variance for t in trees]),
             offsets=offsets,
+            tree_depths=tree_depths,
+            depth=depth,
         )
 
 
@@ -345,8 +389,39 @@ class RandomForestRegressor:
         self.max_depth = max_depth
         self.bootstrap = bootstrap
         self.rng = np.random.default_rng(seed)
-        self._trees: list[RegressionTree] = []
+        self._tree_storage: list[RegressionTree] | None = None
         self._packed: _ForestArrays | None = None
+
+    @property
+    def _trees(self) -> list[RegressionTree]:
+        """Per-tree views (the reference representation for tests and
+        :meth:`predict_mean_var_per_tree`).  The native builder emits the
+        packed table directly, so the per-tree arrays are reconstructed
+        lazily by slicing it and un-rebasing the child indices."""
+        if self._tree_storage is None and self._packed is not None:
+            p = self._packed
+            bounds = np.append(p.offsets, len(p.feature))
+            trees = []
+            for off, end in zip(bounds[:-1], bounds[1:]):
+                tree = RegressionTree(
+                    max_features=self.max_features,
+                    min_samples_split=self.min_samples_split,
+                    max_depth=self.max_depth,
+                    rng=self.rng,
+                )
+                left = p.left[off:end]
+                right = p.right[off:end]
+                tree._arrays = _TreeArrays(
+                    feature=p.feature[off:end].copy(),
+                    threshold=p.threshold[off:end].copy(),
+                    left=np.where(left >= 0, left - off, -1),
+                    right=np.where(right >= 0, right - off, -1),
+                    value=p.value[off:end].copy(),
+                    variance=p.variance[off:end].copy(),
+                )
+                trees.append(tree)
+            self._tree_storage = trees
+        return self._tree_storage or []
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
         X = np.asarray(X, dtype=float)
@@ -355,25 +430,34 @@ class RandomForestRegressor:
             raise ValueError("X and y length mismatch")
         if len(X) == 0:
             raise ValueError("cannot fit on an empty dataset")
-        self._trees = []
-        if _forest_kernel.load_kernel() is not None:
-            self._fit_native(X, y)
+        self._tree_storage = None
+        lib = _forest_kernel.load_kernel()
+        if lib is not None:
+            self._fit_native(lib, X, y)
         else:
             self._fit_numpy(X, y)
-        self._packed = _ForestArrays.pack(
-            [tree._arrays for tree in self._trees if tree._arrays is not None]
-        )
+            self._packed = _ForestArrays.pack(
+                [
+                    tree._arrays
+                    for tree in self._trees
+                    if tree._arrays is not None
+                ]
+            )
         return self
 
-    def _fit_native(self, X: np.ndarray, y: np.ndarray) -> None:
-        """Per-tree builds in the native kernel; RNG draws stay in Python
-        (same calls, same order), so trees are byte-identical to
+    def _fit_native(self, lib, X: np.ndarray, y: np.ndarray) -> None:
+        """Whole-forest build in one native call: the kernel consumes
+        ``self.rng``'s bit-generator stream directly (same draws, same
+        order as the numpy builder) and emits the packed node table, so
+        trees and the post-fit stream position are byte-identical to
         :meth:`_fit_numpy`."""
         n_features = X.shape[1]
-        builder = _forest_kernel.TreeBuilder(
-            _forest_kernel.load_kernel(),
+        nodes4, value, variance, offsets, __, tree_depths = _forest_kernel.build_forest(
+            lib,
             X,
             y,
+            self.rng,
+            n_trees=self.n_trees,
             max_features=(
                 self.max_features or max(1, int(np.sqrt(n_features)))
             ),
@@ -382,27 +466,12 @@ class RandomForestRegressor:
             n_thresholds=DEFAULT_N_THRESHOLDS,
             bootstrap=self.bootstrap,
         )
-        for _ in range(self.n_trees):
-            feature, threshold, left, right, value, variance = builder.build(
-                self.rng
-            )
-            tree = RegressionTree(
-                max_features=self.max_features,
-                min_samples_split=self.min_samples_split,
-                max_depth=self.max_depth,
-                rng=self.rng,
-            )
-            tree._arrays = _TreeArrays(
-                feature=feature,
-                threshold=threshold,
-                left=left,
-                right=right,
-                value=value,
-                variance=variance,
-            )
-            self._trees.append(tree)
+        self._packed = _ForestArrays.from_packed(
+            nodes4, value, variance, offsets, tree_depths
+        )
 
     def _fit_numpy(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._tree_storage = trees = []
         n = len(y)
         # Without bootstrap every tree sees the same matrix, so one presort
         # serves the whole ensemble.  With bootstrap each tree's resampled
@@ -430,11 +499,11 @@ class RandomForestRegressor:
                 rng=self.rng,
             )
             tree.fit(Xt, yt, presort=presort)
-            self._trees.append(tree)
+            trees.append(tree)
 
     @property
     def is_fitted(self) -> bool:
-        return bool(self._trees)
+        return self._packed is not None
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         mean, __ = self.predict_mean_var(X)
@@ -460,7 +529,9 @@ class RandomForestRegressor:
         n_trees = len(p.offsets)
         lib = _forest_kernel.load_kernel()
         if lib is not None and n_rows:
-            node = _forest_kernel.predict_leaves(lib, p.nodes4, p.offsets, X)
+            node = _forest_kernel.predict_leaves(
+                lib, p.nodes4, p.offsets, X, tree_depths=p.tree_depths
+            )
         else:
             node = self._leaf_nodes_numpy(X)
         mean_stack = p.value[node].reshape(n_trees, n_rows)
@@ -511,3 +582,117 @@ class RandomForestRegressor:
         mean = mean_stack.mean(axis=0)
         total_var = mean_stack.var(axis=0) + var_stack.mean(axis=0)
         return mean, np.maximum(total_var, 1e-12)
+
+
+def predict_mean_var_stacked(
+    forests: list["RandomForestRegressor"],
+    X: np.ndarray,
+    row_counts: np.ndarray,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """One stacked model-phase scoring pass across several forests.
+
+    Forest ``k`` scores only its own candidate slab — rows
+    ``[sum(row_counts[:k]), sum(row_counts[:k+1]))`` of ``X`` — against its
+    own trees: the forests' packed node tables are concatenated into one
+    super-table (child indices and per-tree roots rebased by each forest's
+    node base, so every session occupies its own node-offset slab) and a
+    single grouped leaf walk resolves every (forest, tree, row) lookup in
+    one native call (or one numpy frontier traversal on the fallback
+    path).  The per-forest value/variance gathers and reductions are the
+    very numpy ops :meth:`RandomForestRegressor.predict_mean_var` runs, on
+    the same values, so each returned ``(mean, var)`` pair is
+    byte-identical to ``forests[k].predict_mean_var(X_k)`` — the wave
+    scheduler's cross-session contract.
+    """
+    if len(forests) != len(row_counts):
+        raise ValueError("forests and row_counts length mismatch")
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    row_counts = np.asarray(row_counts, dtype=np.int64)
+    if int(row_counts.sum()) != len(X):
+        raise ValueError("row_counts do not cover X")
+    packs = []
+    for forest in forests:
+        if forest._packed is None:
+            raise RuntimeError("forest is not fitted")
+        packs.append(forest._packed)
+
+    sizes = np.array([len(p.feature) for p in packs], dtype=np.int64)
+    bases = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+    tree_counts = np.array([len(p.offsets) for p in packs], dtype=np.int64)
+    depths = np.array([p.depth for p in packs], dtype=np.int64)
+    tree_depths = np.concatenate([p.tree_depths for p in packs])
+    nodes4 = np.concatenate([p.nodes4 for p in packs])
+    # Rebase child indices into the super-table, leaves (-1) preserved.
+    pos = 0
+    for p, base in zip(packs, bases):
+        if base:
+            block = nodes4[pos:pos + len(p.feature), 2:4]
+            np.add(block, base, out=block, where=block >= 0)
+        pos += len(p.feature)
+    offsets = np.concatenate(
+        [p.offsets + base for p, base in zip(packs, bases)]
+    )
+    value = np.concatenate([p.value for p in packs])
+    variance = np.concatenate([p.variance for p in packs])
+
+    lib = _forest_kernel.load_kernel()
+    if lib is not None and len(X):
+        leaves = _forest_kernel.predict_leaves_grouped(
+            lib, nodes4, offsets, tree_counts, row_counts, tree_depths,
+            depths, X
+        )
+    else:
+        leaves = _stacked_leaves_numpy(
+            nodes4[:, 0], nodes4[:, 1].view(np.float64), nodes4[:, 2],
+            nodes4[:, 3], offsets, tree_counts, row_counts, X
+        )
+
+    results: list[tuple[np.ndarray, np.ndarray]] = []
+    out_pos = 0
+    for n_trees, n_rows in zip(tree_counts, row_counts):
+        block = leaves[out_pos:out_pos + n_trees * n_rows]
+        out_pos += int(n_trees * n_rows)
+        mean_stack = value[block].reshape(n_trees, n_rows)
+        var_stack = variance[block].reshape(n_trees, n_rows)
+        mean = mean_stack.mean(axis=0)
+        total_var = mean_stack.var(axis=0) + var_stack.mean(axis=0)
+        results.append((mean, np.maximum(total_var, 1e-12)))
+    return results
+
+
+def _stacked_leaves_numpy(
+    feature: np.ndarray,
+    threshold: np.ndarray,
+    left: np.ndarray,
+    right: np.ndarray,
+    offsets: np.ndarray,
+    tree_counts: np.ndarray,
+    row_counts: np.ndarray,
+    X: np.ndarray,
+) -> np.ndarray:
+    """Fallback grouped leaf lookup: one simultaneous frontier traversal
+    over every (forest, tree, row) pair of the super-table, laid out
+    exactly like the native ``predict_leaves_grouped`` output (groups back
+    to back, tree-major within each group)."""
+    node_parts = []
+    row_parts = []
+    row_start = 0
+    tree_pos = 0
+    for n_trees, n_rows in zip(tree_counts, row_counts):
+        roots = offsets[tree_pos:tree_pos + n_trees]
+        node_parts.append(np.repeat(roots, n_rows))
+        row_parts.append(
+            np.tile(np.arange(row_start, row_start + n_rows), n_trees)
+        )
+        tree_pos += int(n_trees)
+        row_start += int(n_rows)
+    node = np.concatenate(node_parts) if node_parts else np.empty(0, np.int64)
+    row = np.concatenate(row_parts) if row_parts else np.empty(0, np.int64)
+    active = np.flatnonzero(feature[node] >= 0)
+    while active.size:
+        nd = node[active]
+        go_left = X[row[active], feature[nd]] <= threshold[nd]
+        nd = np.where(go_left, left[nd], right[nd])
+        node[active] = nd
+        active = active[feature[nd] >= 0]
+    return node

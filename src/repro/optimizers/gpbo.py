@@ -9,8 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.optimizers.acquisition import expected_improvement, top_q_distinct
-from repro.optimizers.base import Optimizer
+from repro.optimizers.base import Optimizer, PreparedSuggest
 from repro.optimizers.gp import GaussianProcess
 from repro.space.configspace import Configuration, ConfigurationSpace
 
@@ -35,11 +34,13 @@ class GPBOOptimizer(Optimizer):
         self._model_suggestions = 0
 
     def _suggest_model(self) -> Configuration:
-        return self._suggest_model_batch(1)[0]
+        return self.suggest_batch(1)[0]
 
-    def _suggest_model_batch(self, q: int) -> list[Configuration]:
+    def _prepare_model_batch(
+        self, q: int, shared_pool: np.ndarray | None = None
+    ) -> PreparedSuggest:
         """One GP fit (subject to ``refit_every``), one shared candidate
-        pool, top-q EI-ranked distinct candidates; ``q = 1`` matches the
+        pool — scoring deferred to the caller; ``q = 1`` matches the
         historical scalar path bit-for-bit.
 
         A full fit — hyperparameter optimization included — runs only at
@@ -58,24 +59,45 @@ class GPBOOptimizer(Optimizer):
             or (self._model_suggestions - 1) % self.refit_every == 0
         )
         if refit:
-            self._gp = GaussianProcess(
+            gp = GaussianProcess(
                 self.encoding.is_categorical,
                 seed=int(self.rng.integers(2**31)),
             )
+            if self._gp is not None and self.refit_every > 1:
+                # Warm-start the boundary's hyperparameter search from the
+                # previous window's optimum: the first L-BFGS start (and
+                # the center of the restart perturbations) sits near the
+                # solution, so boundary fits converge in a fraction of the
+                # cold iterations.  Only the refit_every > 1 flow — the
+                # default refit_every = 1 keeps its historical cold-start
+                # trajectory (same RNG draws either way; the restart
+                # perturbations are draws *around* theta, consumed
+                # identically).
+                gp._theta = np.copy(self._gp._theta)
+            self._gp = gp
             self._gp.fit(X, y)
         else:
             self._gp.update(X, y)
         assert self._gp is not None
 
-        candidates = self._candidates(X, y)
-        mean, var = self._gp.predict_mean_var(candidates)
-        ei = expected_improvement(mean, np.sqrt(var), best=float(y.max()))
-        return self.encoding.decode_batch(
-            candidates[top_q_distinct(ei, candidates, q)]
+        return PreparedSuggest(
+            q=q,
+            model=self._gp,
+            candidates=self._candidates(X, y, pool=shared_pool),
+            best=float(y.max()),
         )
 
-    def _candidates(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
-        pools = [self.encoding.random_vectors(self.n_random_candidates, self.rng)]
+    def _candidates(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        pool: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if pool is None:
+            pool = self.encoding.random_vectors(self.n_random_candidates, self.rng)
+        elif callable(pool):
+            pool = pool()
+        pools = [pool]
         top = np.argsort(y)[-5:]
         for i in top:
             pools.append(

@@ -12,8 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.optimizers.acquisition import expected_improvement, top_q_distinct
-from repro.optimizers.base import Optimizer
+from repro.optimizers.base import Optimizer, PreparedSuggest
 from repro.optimizers.forest import RandomForestRegressor
 from repro.space.configspace import Configuration, ConfigurationSpace
 
@@ -50,24 +49,28 @@ class SMACOptimizer(Optimizer):
         self._model_suggestions = 0
 
     def _suggest_model(self) -> Configuration:
-        return self._suggest_model_batch(1)[0]
+        return self.suggest_batch(1)[0]
 
-    def _suggest_model_batch(self, q: int) -> list[Configuration]:
-        """One forest fit, one shared candidate pool, top-q EI-ranked
-        distinct candidates.  ``q = 1`` is bit-identical to the historical
-        scalar path (the stable EI ranking's first entry is the argmax)."""
+    def _prepare_model_batch(
+        self, q: int, shared_pool: np.ndarray | None = None
+    ) -> PreparedSuggest:
+        """One forest fit, one shared candidate pool — scoring deferred to
+        the caller (``suggest_batch`` completes the round immediately; the
+        wave scheduler stacks it with other sessions').  ``q = 1`` is
+        bit-identical to the historical scalar path (the stable EI
+        ranking's first entry is the argmax)."""
         self._model_suggestions += 1
         if (
             self.random_interleave_every
             and self._model_suggestions % self.random_interleave_every == 0
         ):
             if q == 1:
-                return [
+                return PreparedSuggest(q=q, configs=[
                     self.encoding.decode(self.encoding.random_vector(self.rng))
-                ]
-            return self.encoding.decode_batch(
+                ])
+            return PreparedSuggest(q=q, configs=self.encoding.decode_batch(
                 self.encoding.random_vectors(q, self.rng)
-            )
+            ))
 
         X, y = self._data()
         forest = RandomForestRegressor(
@@ -76,22 +79,36 @@ class SMACOptimizer(Optimizer):
         )
         forest.fit(X, y)
 
-        candidates = self._candidates(X, y)
-        mean, var = forest.predict_mean_var(candidates)
-        ei = expected_improvement(mean, np.sqrt(var), best=float(y.max()))
-        return self.encoding.decode_batch(
-            candidates[top_q_distinct(ei, candidates, q)]
+        return PreparedSuggest(
+            q=q,
+            model=forest,
+            candidates=self._candidates(X, y, pool=shared_pool),
+            best=float(y.max()),
         )
 
-    def _candidates(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    def _candidates(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        pool: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Random pool + local-search neighborhoods of the top incumbents.
 
         Everything stays in encoded matrix form end to end: the random pool,
         the vectorized neighbor perturbations, and the EI scoring all operate
         on one ``N x D`` candidate matrix; only the single argmax winner is
-        decoded back to a configuration.
+        decoded back to a configuration.  ``pool`` substitutes an external
+        (wave-shared) random pool for the optimizer's own draw — a rows
+        matrix, or a zero-argument callable invoked only when the round
+        actually reaches the pool draw (so a shared pool stream advances
+        on exactly the waves that consume it); the local-search rows
+        always come from the optimizer's stream.
         """
-        pools = [self.encoding.random_vectors(self.n_random_candidates, self.rng)]
+        if pool is None:
+            pool = self.encoding.random_vectors(self.n_random_candidates, self.rng)
+        elif callable(pool):
+            pool = pool()
+        pools = [pool]
         top = np.argsort(y)[-5:]
         for i in top:
             pools.append(

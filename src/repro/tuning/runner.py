@@ -28,6 +28,7 @@ from repro.space.postgres import postgres_space_for_version
 from repro.tuning.early_stopping import EarlyStoppingPolicy
 from repro.tuning.metrics import ComparisonSummary, summarize_comparison
 from repro.tuning.session import TuningResult, TuningSession
+from repro.tuning.wave import run_wave
 from repro.workloads.base import Workload
 from repro.workloads.catalog import get_workload
 
@@ -155,6 +156,8 @@ def run_spec(
     parallel: bool = False,
     max_workers: int | None = None,
     mode: str = "thread",
+    wave_shared_pool: bool = False,
+    wave_pool_seed: int = 0,
 ) -> list[TuningResult]:
     """Run one arm across seeds.
 
@@ -163,17 +166,37 @@ def run_spec(
     sequential order).  ``max_workers`` defaults to
     ``min(len(seeds), cpu_count)``.
 
-    ``mode`` picks the pool: ``"thread"`` (default) helps when evaluations
-    block — a real DBMS benchmark run, the paper's 5-minute workloads —
-    but the microsecond-scale simulator is GIL-bound, so simulated seeds
-    run at parity there.  ``"process"`` sidesteps the GIL entirely: specs,
-    adapters (:class:`LlamaTuneFactory`), and results are all picklable,
-    so each seed runs in its own interpreter and true multi-core speedup
-    applies to simulated sweeps as well (worker startup is the overhead to
-    amortize — use it for full-length sessions, not micro-runs).
+    ``mode`` picks the execution strategy: ``"thread"`` (default) helps
+    when evaluations block — a real DBMS benchmark run, the paper's
+    5-minute workloads — but the microsecond-scale simulator is GIL-bound,
+    so simulated seeds run at parity there.  ``"process"`` sidesteps the
+    GIL entirely: specs, adapters (:class:`LlamaTuneFactory`), and results
+    are all picklable, so each seed runs in its own interpreter and true
+    multi-core speedup applies to simulated sweeps as well (worker startup
+    is the overhead to amortize — use it for full-length sessions, not
+    micro-runs).  ``"wave"`` runs the seeds in lockstep waves with one
+    stacked model phase and one cross-session evaluation per round
+    (:func:`repro.tuning.wave.run_wave`): per-seed trajectories stay
+    byte-identical to the sequential order, and the per-iteration
+    fixed costs are paid once per wave instead of once per seed —
+    the fast path for simulated multi-seed sweeps on one core.
+    ``wave_shared_pool``/``wave_pool_seed`` opt into the wave scheduler's
+    shared candidate-pool protocol (trajectories then differ from
+    sequential but remain reproducible per ``(spec, seed, pool_seed)``).
     """
-    if mode not in ("thread", "process"):
-        raise ValueError(f"unknown mode {mode!r}; use 'thread' or 'process'")
+    if mode not in ("thread", "process", "wave"):
+        raise ValueError(
+            f"unknown mode {mode!r}; use 'thread', 'process', or 'wave'"
+        )
+    if mode == "wave":
+        if parallel:
+            raise ValueError(
+                "mode='wave' is its own execution strategy; drop parallel=True"
+            )
+        return run_wave(
+            spec, seeds, shared_pool=wave_shared_pool,
+            pool_seed=wave_pool_seed,
+        )
     if parallel and len(seeds) > 1:
         workers = max_workers or min(len(seeds), os.cpu_count() or 1)
         if mode == "process":

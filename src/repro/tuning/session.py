@@ -122,13 +122,21 @@ class TuningSession:
     def maximize(self) -> bool:
         return self.objective == "throughput"
 
-    def run(self) -> TuningResult:
+    def _begin(self) -> tuple[KnowledgeBase, float]:
+        """Session-start bookkeeping shared with the wave scheduler: a
+        fresh knowledge base plus the default configuration's measurement,
+        which seeds the crash penalty's worst-seen reference."""
         kb = KnowledgeBase(maximize=self.maximize)
-        default = self.simulator.default_measurement()
-        default_value = default.value(self.objective)
+        default_value = self.simulator.default_measurement().value(
+            self.objective
+        )
         # The crash penalty references the worst performance seen so far,
         # initialized with the default configuration's performance.
         self._worst_seen = default_value
+        return kb, default_value
+
+    def run(self) -> TuningResult:
+        kb, default_value = self._begin()
         stopped_at: int | None = None
         iteration = 0
 
@@ -147,17 +155,10 @@ class TuningSession:
                 measurements = self.simulator.evaluate_batch(
                     target_configs, rng=self.rng, on_crash="none"
                 )
-                per_suggest = suggest_elapsed / len(init_configs)
-                for opt_config, target_config, measurement in zip(
-                    init_configs, target_configs, measurements
-                ):
-                    stopped_at = self._record(
-                        kb, iteration, opt_config, target_config, measurement,
-                        per_suggest,
-                    )
-                    iteration += 1
-                    if stopped_at is not None:
-                        break
+                iteration, stopped_at = self._feed_batch(
+                    kb, iteration, init_configs, target_configs,
+                    measurements, suggest_elapsed / len(init_configs),
+                )
 
         while stopped_at is None and iteration < self.n_iterations:
             q = min(self.suggest_batch, self.n_iterations - iteration)
@@ -191,17 +192,10 @@ class TuningSession:
                 measurements = self.simulator.evaluate_batch(
                     target_configs, rng=self.rng, on_crash="none"
                 )
-                per_suggest = suggest_elapsed / len(opt_configs)
-                for opt_config, target_config, measurement in zip(
-                    opt_configs, target_configs, measurements
-                ):
-                    stopped_at = self._record(
-                        kb, iteration, opt_config, target_config,
-                        measurement, per_suggest,
-                    )
-                    iteration += 1
-                    if stopped_at is not None:
-                        break
+                iteration, stopped_at = self._feed_batch(
+                    kb, iteration, opt_configs, target_configs,
+                    measurements, suggest_elapsed / len(opt_configs),
+                )
 
         return TuningResult(
             knowledge_base=kb,
@@ -209,6 +203,35 @@ class TuningSession:
             default_value=default_value,
             stopped_early_at=stopped_at,
         )
+
+    def _feed_batch(
+        self,
+        kb: KnowledgeBase,
+        iteration: int,
+        opt_configs,
+        target_configs,
+        measurements,
+        per_suggest: float,
+    ) -> tuple[int, int | None]:
+        """Apply one batch of outcomes in order — THE feedback loop
+        (penalty/early-stop bookkeeping included), shared by the batched
+        init phase, the model-phase batch rounds, and the wave scheduler,
+        so every driver stays bit-identical by construction.  Returns the
+        advanced iteration counter and the early-stop iteration, if
+        triggered (remaining outcomes are discarded, exactly like the
+        scalar loop exiting)."""
+        stopped_at: int | None = None
+        for opt_config, target_config, measurement in zip(
+            opt_configs, target_configs, measurements
+        ):
+            stopped_at = self._record(
+                kb, iteration, opt_config, target_config, measurement,
+                per_suggest,
+            )
+            iteration += 1
+            if stopped_at is not None:
+                break
+        return iteration, stopped_at
 
     def _record(
         self,

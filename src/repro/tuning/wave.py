@@ -1,0 +1,339 @@
+"""Wave scheduler: lockstep multi-seed sweeps with one stacked model phase.
+
+``run_spec(spec, seeds, mode="wave")`` runs S same-spec sessions in
+*waves*: every iteration still fits S surrogates (each on its own seed's
+data and RNG stream — that part is irreducibly per-session), but the rest
+of the round is executed **once** across all sessions:
+
+* the LHS init phase is one cross-session ``evaluate_batch_stacked`` pass
+  over every session's decoded design;
+* each model round's candidate matrices are concatenated and scored in a
+  single stacked ``predict_mean_var`` call over one packed-forest
+  super-table (per-session node-offset slabs; GP surrogates score
+  per-session — dense linear algebra has no shared table to stack);
+* expected improvement runs as one pass with per-row incumbents;
+* all S suggestions evaluate in one simulator matrix pass, with each
+  session's noise pairs drawn from its own stream.
+
+**Determinism contract.**  Per-seed trajectories — knob values, crash
+rows, penalties, early-stop iterations, and every optimizer/evaluation
+PCG64 stream position — are *byte-identical* to sequential
+``run_spec(spec, seeds)``: each session's RNG-consuming calls happen in
+exactly the sequential order (``suggest_prepare`` + ``suggest_select``
+compose to ``suggest_batch``; stacked evaluation stitches per-session
+noise blocks; stacked scoring and EI are elementwise-identical per
+slice).  ``tests/test_wave.py`` pins this across SMAC, GP-BO, and random
+search; DDPG degrades to per-session stepping (its actions pair with
+observes step by step) while still sharing the stacked evaluation.
+
+**Shared-pool protocol** (``shared_pool=True``): the random candidate
+pool is generated once per wave from a *dedicated* pool PCG64 stream
+(``pool_seed``) and shared by every session; per-seed local-search
+neighborhoods still come from each session's own stream.  Trajectories
+then intentionally differ from sequential runs, but stay reproducible:
+each seed's trajectory depends only on ``(spec, seed, pool_seed)`` — the
+pool stream advances on exactly the waves whose rounds reach a pool draw,
+a schedule all same-spec sessions share — so any single seed can be
+replayed standalone (``run_wave(spec, [seed], shared_pool=True)``) and
+match its trajectory from the full sweep.  The mode amortizes the pool
+generation S-fold; use it for throughput sweeps where cross-seed pool
+independence is not required.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.dbms.engine import PostgresSimulator
+from repro.optimizers.acquisition import expected_improvement
+from repro.optimizers.base import PreparedSuggest
+from repro.optimizers.forest import (
+    RandomForestRegressor,
+    predict_mean_var_stacked,
+)
+from repro.tuning.knowledge_base import KnowledgeBase
+from repro.tuning.session import TuningResult, TuningSession
+
+
+@dataclass
+class _Member:
+    """One seed's session plus its wave-side progress bookkeeping."""
+
+    seed: int
+    session: TuningSession
+    kb: KnowledgeBase
+    default_value: float
+    iteration: int = 0
+    stopped_at: int | None = None
+
+    @property
+    def live(self) -> bool:
+        return (
+            self.stopped_at is None
+            and self.iteration < self.session.n_iterations
+        )
+
+
+@dataclass
+class _Round:
+    """One member's suggestion round within the current wave."""
+
+    member: _Member
+    q: int
+    prepared: PreparedSuggest
+    prepare_seconds: float
+    mean: np.ndarray | None = None
+    var: np.ndarray | None = None
+    configs: list | None = None
+    score_seconds: float = 0.0
+
+
+def run_wave(
+    spec,
+    seeds: Sequence[int],
+    shared_pool: bool = False,
+    pool_seed: int = 0,
+) -> list[TuningResult]:
+    """Run one arm's seeds in lockstep waves (see the module docstring).
+
+    ``spec`` is a :class:`repro.tuning.runner.SessionSpec` (duck-typed:
+    anything with ``build(seed) -> TuningSession``).  Returns one
+    :class:`TuningResult` per seed, in ``seeds`` order.
+    """
+    members: list[_Member] = []
+    for seed in seeds:
+        session = spec.build(seed)
+        kb, default_value = session._begin()
+        members.append(_Member(seed, session, kb, default_value))
+    if not members:
+        return []
+    # All sessions share one workload/version/hardware profile, so any
+    # member's simulator can evaluate the stacked rows (calibration is
+    # cached by profile value); noise stays per-session via rng blocks.
+    # Simulator subclasses that customize the evaluation path (failure
+    # injection, real-DBMS drivers) opt every member out of the stacked
+    # pass: each member then evaluates its own rows through its own
+    # simulator — the very calls sequential ``run_spec`` makes — so the
+    # byte-identity contract holds for them too.
+    evaluator = None
+    if all(
+        type(m.session.simulator).evaluate is PostgresSimulator.evaluate
+        and type(m.session.simulator).evaluate_batch
+        is PostgresSimulator.evaluate_batch
+        for m in members
+    ):
+        evaluator = members[0].session.simulator
+    pool_rng = np.random.default_rng(pool_seed) if shared_pool else None
+
+    _stacked_init(members, evaluator)
+    live = [m for m in members if m.live]
+    while live:
+        _wave_round(live, evaluator, pool_rng)
+        live = [m for m in live if m.live]
+
+    return [
+        TuningResult(
+            knowledge_base=m.kb,
+            objective=m.session.objective,
+            default_value=m.default_value,
+            stopped_early_at=m.stopped_at,
+        )
+        for m in members
+    ]
+
+
+def _feed(
+    member: _Member,
+    opt_configs,
+    target_configs,
+    measurements,
+    per_suggest: float,
+) -> None:
+    """Apply one batch of outcomes to a member — the sequential loop's
+    own feedback bookkeeping (``TuningSession._feed_batch``: penalties,
+    early stop), shared rather than copied."""
+    member.iteration, member.stopped_at = member.session._feed_batch(
+        member.kb, member.iteration, opt_configs, target_configs,
+        measurements, per_suggest,
+    )
+
+
+def _evaluate_blocks(evaluator, batches, blocks):
+    """All members' rows in one stacked pass when the simulators are
+    stock; otherwise each member's rows through its *own* simulator's
+    ``evaluate_batch`` (which honors subclass overrides row by row) —
+    the exact calls the sequential runner would make."""
+    if evaluator is not None:
+        all_targets = [t for __, targets in batches for t in targets]
+        return evaluator.evaluate_batch_stacked(all_targets, blocks)
+    measurements = []
+    for member, targets in batches:
+        measurements.extend(
+            member.session.simulator.evaluate_batch(
+                targets, rng=member.session.rng, on_crash="none"
+            )
+        )
+    return measurements
+
+
+def _stacked_init(members: list[_Member], evaluator) -> None:
+    """The batched LHS init phase of every session, evaluated in one
+    cross-session simulator pass (sessions with ``batch_init`` disabled —
+    or optimizers that cannot batch their init, e.g. DDPG — run their
+    init iterations through the generic wave rounds instead)."""
+    batches = []
+    blocks = []
+    for member in members:
+        session = member.session
+        if not session.batch_init:
+            continue
+        started = time.perf_counter()
+        init_configs = session.optimizer.suggest_init_batch()[
+            : session.n_iterations
+        ]
+        elapsed = time.perf_counter() - started
+        if not init_configs:
+            continue
+        target_configs = session.adapter.to_target_batch(init_configs)
+        batches.append(
+            (member, init_configs, target_configs, elapsed / len(init_configs))
+        )
+        blocks.append((session.rng, len(init_configs)))
+    if not batches:
+        return
+    measurements = _evaluate_blocks(
+        evaluator,
+        [(member, targets) for member, __, targets, __ in batches],
+        blocks,
+    )
+    pos = 0
+    for member, init_configs, target_configs, per_suggest in batches:
+        count = len(init_configs)
+        _feed(
+            member, init_configs, target_configs,
+            measurements[pos:pos + count], per_suggest,
+        )
+        pos += count
+
+
+def _pool_provider(
+    optimizer, cache: dict, pool_rng: np.random.Generator
+) -> Callable[[], np.ndarray] | None:
+    """Lazy per-wave shared pool: generated on the first round that
+    actually reaches its pool draw (random interleaves don't), once per
+    wave, from the dedicated pool stream."""
+    n = getattr(optimizer, "n_random_candidates", None)
+    if n is None:
+        return None
+    encoding = optimizer.encoding
+
+    def provide() -> np.ndarray:
+        if n not in cache:
+            cache[n] = encoding.random_vectors(n, pool_rng)
+        return cache[n]
+
+    return provide
+
+
+def _wave_round(
+    live: list[_Member],
+    evaluator,
+    pool_rng: np.random.Generator | None,
+) -> None:
+    """One lockstep wave: prepare every live session's round, score all
+    scorable rounds in one stacked pass, evaluate every suggestion in one
+    cross-session simulator pass, and feed the outcomes back."""
+    pool_cache: dict = {}
+    rounds: list[_Round] = []
+    for member in live:
+        session = member.session
+        q = min(
+            session.suggest_batch,
+            session.n_iterations - member.iteration,
+        )
+        provider = (
+            _pool_provider(session.optimizer, pool_cache, pool_rng)
+            if pool_rng is not None
+            else None
+        )
+        started = time.perf_counter()
+        prepared = session.optimizer.suggest_prepare(q, shared_pool=provider)
+        elapsed = time.perf_counter() - started
+        rounds.append(_Round(member, q, prepared, elapsed))
+
+    scorable = [r for r in rounds if not r.prepared.resolved]
+    if scorable:
+        score_started = time.perf_counter()
+        forest_rounds = [
+            r for r in scorable
+            if isinstance(r.prepared.model, RandomForestRegressor)
+        ]
+        if forest_rounds:
+            stacked = predict_mean_var_stacked(
+                [r.prepared.model for r in forest_rounds],
+                np.concatenate([r.prepared.candidates for r in forest_rounds]),
+                np.array(
+                    [len(r.prepared.candidates) for r in forest_rounds],
+                    dtype=np.int64,
+                ),
+            )
+            for r, (mean, var) in zip(forest_rounds, stacked):
+                r.mean, r.var = mean, var
+        for r in scorable:
+            if r.mean is None:  # GP and other non-stackable surrogates
+                r.mean, r.var = r.prepared.model.predict_mean_var(
+                    r.prepared.candidates
+                )
+        # One EI pass with per-row incumbents; each slice is elementwise-
+        # identical to the per-session call, so selection is unchanged.
+        ei_all = expected_improvement(
+            np.concatenate([r.mean for r in scorable]),
+            np.sqrt(np.concatenate([r.var for r in scorable])),
+            np.concatenate(
+                [np.full(len(r.mean), r.prepared.best) for r in scorable]
+            ),
+        )
+        pos = 0
+        for r in scorable:
+            count = len(r.mean)
+            r.configs = r.member.session.optimizer.suggest_select(
+                r.prepared, ei_all[pos:pos + count]
+            )
+            pos += count
+        score_share = (time.perf_counter() - score_started) / len(scorable)
+        for r in scorable:
+            r.score_seconds = score_share
+    for r in rounds:
+        if r.configs is None:
+            r.configs = r.prepared.configs
+
+    feeds = []
+    blocks = []
+    for r in rounds:
+        session = r.member.session
+        # Mirror the sequential loop's conversion choice: the scalar plan
+        # for one-suggestion rounds, the batch pass otherwise (both are
+        # pinned bit-identical).
+        if r.q == 1:
+            targets = [session.adapter.to_target(r.configs[0])]
+        else:
+            targets = session.adapter.to_target_batch(r.configs)
+        per_suggest = (r.prepare_seconds + r.score_seconds) / len(r.configs)
+        feeds.append((r.member, r.configs, targets, per_suggest))
+        blocks.append((session.rng, len(targets)))
+
+    measurements = _evaluate_blocks(
+        evaluator,
+        [(member, targets) for member, __, targets, __ in feeds],
+        blocks,
+    )
+    pos = 0
+    for member, configs, targets, per_suggest in feeds:
+        count = len(targets)
+        _feed(member, configs, targets, measurements[pos:pos + count],
+              per_suggest)
+        pos += count

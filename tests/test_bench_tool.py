@@ -1,0 +1,108 @@
+"""Unit tests for ``tools/check_bench_regression.py``'s comparison logic.
+
+The CI job must never *crash* on shape mismatches between a fresh run and
+the baseline: new benchmarks are informational, missing ones warn (fatal
+only with ``--fail-missing``), and only threshold regressions fail.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+TOOL_PATH = (
+    pathlib.Path(__file__).parent.parent / "tools" / "check_bench_regression.py"
+)
+spec = importlib.util.spec_from_file_location("check_bench_regression", TOOL_PATH)
+tool = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(tool)
+
+
+BASELINE = {"bench_a": 1.0, "bench_b": 2.0}
+
+
+class TestCompareResults:
+    def test_all_within_threshold_passes(self, capsys):
+        code = tool.compare_results(
+            {"bench_a": 1.2, "bench_b": 2.0}, BASELINE, {}, 1.5
+        )
+        assert code == 0
+        assert "no benchmark regressions" in capsys.readouterr().out
+
+    def test_regression_fails(self, capsys):
+        code = tool.compare_results({"bench_a": 2.0}, BASELINE, {}, 1.5)
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_per_benchmark_threshold_overrides_global(self):
+        assert tool.compare_results(
+            {"bench_a": 2.0, "bench_b": 2.0}, BASELINE, {"bench_a": 2.5}, 1.5
+        ) == 0
+        assert tool.compare_results(
+            {"bench_a": 1.2, "bench_b": 2.0}, BASELINE, {"bench_a": 1.1}, 1.5
+        ) == 1
+
+    def test_new_benchmark_reported_not_fatal(self, capsys):
+        code = tool.compare_results(
+            {"bench_a": 1.0, "bench_b": 2.0, "bench_new": 9.9}, BASELINE, {}, 1.5
+        )
+        assert code == 0
+        assert "new, no baseline" in capsys.readouterr().out
+
+    def test_missing_benchmark_warns_without_failing(self, capsys):
+        code = tool.compare_results({"bench_a": 1.0}, BASELINE, {}, 1.5)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MISSING" in out
+        assert "--fail-missing" in out
+
+    def test_missing_benchmark_fails_when_requested(self):
+        assert tool.compare_results(
+            {"bench_a": 1.0}, BASELINE, {}, 1.5, fail_missing=True
+        ) == 1
+
+    def test_empty_run_does_not_crash(self, capsys):
+        """A run that produced zero benchmarks used to crash on
+        ``max()`` over an empty sequence; it must report instead."""
+        code = tool.compare_results({}, BASELINE, {}, 1.5)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MISSING" in out
+        assert "no results" in out
+
+    def test_empty_baseline_and_run(self, capsys):
+        assert tool.compare_results({}, {}, {}, 1.5) == 0
+
+
+class TestMainPlumbing:
+    def test_check_against_baseline_file(self, tmp_path, monkeypatch, capsys):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(
+            {"means": {"bench_a": 1.0}, "thresholds": {"bench_a": 2.0}}
+        ))
+        monkeypatch.setattr(
+            tool, "run_benchmarks", lambda min_rounds: {"bench_a": 1.5}
+        )
+        assert tool.main(["--baseline", str(baseline)]) == 0
+        assert tool.main(["--baseline", str(baseline), "--threshold", "1.2"]) == 0
+
+    def test_fail_missing_flag(self, tmp_path, monkeypatch):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps({"means": {"bench_a": 1.0, "gone": 1.0}}))
+        monkeypatch.setattr(
+            tool, "run_benchmarks", lambda min_rounds: {"bench_a": 1.0}
+        )
+        assert tool.main(["--baseline", str(baseline)]) == 0
+        assert tool.main(
+            ["--baseline", str(baseline), "--fail-missing"]
+        ) == 1
+
+    def test_legacy_flat_layout_still_read(self, tmp_path, monkeypatch):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps({"bench_a": 1.0}))
+        monkeypatch.setattr(
+            tool, "run_benchmarks", lambda min_rounds: {"bench_a": 1.2}
+        )
+        assert tool.main(["--baseline", str(baseline)]) == 0

@@ -4,8 +4,10 @@
 Runs the micro-benchmarks under ``pytest-benchmark --benchmark-json`` and
 compares each test's mean time against the committed baseline
 (``benchmarks/baseline_micro.json``).  A test slower than
-``threshold x baseline`` fails the check; new tests (absent from the
-baseline) are reported but never fail.
+``threshold x baseline`` fails the check; tests only one side knows about
+are reported, not fatal — new tests (absent from the baseline) are
+informational, and baseline tests missing from the run (renamed, removed,
+or skipped on this host) warn without failing unless ``--fail-missing``.
 
 The baseline file carries per-benchmark thresholds next to the recorded
 means::
@@ -87,6 +89,11 @@ def main(argv: list[str] | None = None) -> int:
                              "baseline (per-benchmark thresholds in the "
                              "baseline file override this)")
     parser.add_argument("--min-rounds", type=int, default=5)
+    parser.add_argument("--fail-missing", action="store_true",
+                        help="treat baseline benchmarks absent from the run "
+                             "as a failure (default: report-only, so "
+                             "renames/removals and host-skipped benches "
+                             "don't break CI)")
     parser.add_argument("--baseline", type=pathlib.Path, default=BASELINE_PATH,
                         help="baseline JSON to read/write (CI records one on "
                              "its own hardware; default: the committed file)")
@@ -114,15 +121,38 @@ def main(argv: list[str] | None = None) -> int:
     if not args.baseline.exists():
         sys.exit(f"no baseline at {args.baseline}; run with --update first")
     baseline, thresholds = load_baseline(args.baseline)
+    return compare_results(
+        means, baseline, thresholds, args.threshold,
+        fail_missing=args.fail_missing,
+    )
 
+
+def compare_results(
+    means: dict[str, float],
+    baseline: dict[str, float],
+    thresholds: dict[str, float],
+    default_threshold: float,
+    fail_missing: bool = False,
+) -> int:
+    """Compare a fresh run against the baseline; returns the exit code.
+
+    Benchmarks only one side knows about are *reported*, never a crash:
+    new benchmarks (present in the run, absent from the baseline) are
+    informational, and missing ones (in the baseline, not run — renamed,
+    removed, or skipped on this host) warn without failing unless
+    ``fail_missing`` — a fresh run, a PR that reshapes the bench suite,
+    and a host that skips compiler-dependent benches all stay green.
+    Only threshold regressions fail the check.
+    """
     failures = []
-    width = max(len(name) for name in means)
+    width = max((len(name) for name in means), default=0)
+    width = max(width, max((len(name) for name in baseline), default=0))
     for name, mean in sorted(means.items()):
         base = baseline.get(name)
         if base is None:
             print(f"{name:{width}s}  {mean * 1e6:10.1f} us  (new, no baseline)")
             continue
-        threshold = thresholds.get(name, args.threshold)
+        threshold = thresholds.get(name, default_threshold)
         ratio = mean / base
         status = "ok" if ratio <= threshold else "REGRESSION"
         print(
@@ -136,20 +166,22 @@ def main(argv: list[str] | None = None) -> int:
     missing = sorted(set(baseline) - set(means))
     for name in missing:
         print(f"{name:{width}s}  MISSING (present in baseline, not run)")
+    if not means:
+        print("(the benchmark run produced no results)")
 
-    if failures or missing:
-        if failures:
-            print(
-                f"\n{len(failures)} benchmark(s) regressed beyond their "
-                "threshold x baseline"
-            )
-        if missing:
-            # A silently vanished benchmark is lost regression coverage;
-            # deliberate removals must re-record the baseline (--update).
-            print(
-                f"\n{len(missing)} baseline benchmark(s) missing from the "
-                "run; re-record with --update if the removal is intended"
-            )
+    if missing:
+        print(
+            f"\n{len(missing)} baseline benchmark(s) missing from the run; "
+            "re-record with --update if the removal is intended"
+            + ("" if fail_missing else " (not failing; use --fail-missing)")
+        )
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) regressed beyond their "
+            "threshold x baseline"
+        )
+        return 1
+    if missing and fail_missing:
         return 1
     print("\nno benchmark regressions")
     return 0
