@@ -159,6 +159,28 @@ def test_wave_runner_8seeds(benchmark):
     )
 
 
+def test_checkpoint_resume(benchmark, tmp_path):
+    """Checkpoint + fresh-session restore round trip of a 50-observation
+    SMAC+LlamaTune session — the fault-tolerance tax.  The budget: one
+    round trip must stay well under 5% of the 8-seed wave sweep above
+    (``test_wave_runner_8seeds``), so periodic checkpointing is free at
+    sweep scale."""
+    spec = SessionSpec(
+        workload="ycsb-a", optimizer="smac", adapter=llamatune_factory(),
+        n_iterations=50, n_init=10,
+        checkpoint_every=50, checkpoint_dir=str(tmp_path),
+    )
+    session = spec.build(1)
+    session.run()
+    path = spec.checkpoint_path(1)
+
+    def round_trip():
+        session.checkpoint(path)
+        spec.build(1).load_checkpoint(path)
+
+    benchmark.pedantic(round_trip, rounds=10, warmup_rounds=1)
+
+
 def test_gp_fit_100x16_mixed(benchmark):
     """Mixed numeric/categorical fit: exercises both precomputed kernel
     tensors (squared distances and Hamming mismatch)."""

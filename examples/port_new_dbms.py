@@ -12,6 +12,36 @@ This example shows the equivalent with this library:
    that the whole pipeline is catalog-agnostic — define knobs, mark special
    values, and tune.
 
+Fault handling for real drivers
+-------------------------------
+
+A driver for a *real* DBMS talks to flaky infrastructure: benchmark
+harness restarts, connection resets, cloud-VM hiccups.  The tuning
+session's fault envelope handles those for free — the driver only has to
+classify its failures.  Raise
+:class:`repro.dbms.errors.TransientEvalError` for anything retryable and
+the envelope retries the evaluation with deterministic exponential
+backoff instead of recording a crash penalty::
+
+    from repro.dbms.errors import DbmsCrashError, TransientEvalError
+
+    class MiniDbDriver:
+        def evaluate(self, config, rng=None):
+            try:
+                return self._run_benchmark(config)
+            except ConnectionResetError as exc:
+                # Infrastructure flake, not the config's fault: the
+                # envelope retries (bounded, backed off) for free.
+                raise TransientEvalError(str(exc)) from exc
+            except MiniDbStartupFailure as exc:
+                # The configuration genuinely killed the server: a real
+                # crash, penalized per the paper's protocol.
+                raise DbmsCrashError(str(exc)) from exc
+
+Reserve :class:`~repro.dbms.errors.DbmsCrashError` for failures *caused
+by the configuration* — those feed the crash-penalty protocol and teach
+the optimizer to avoid the region.
+
 Usage::
 
     python examples/port_new_dbms.py

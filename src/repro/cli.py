@@ -98,6 +98,27 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["hesbo", "rembo", "none"])
     parser.add_argument("--early-stop", metavar="PCT,PATIENCE", default=None,
                         help="early stopping, e.g. '1,20' for (1%%, 20 iters)")
+    parser.add_argument("--checkpoint-every", type=int, default=0, metavar="K",
+                        help="write a resumable session checkpoint at every "
+                             "K-iteration round boundary (requires "
+                             "--checkpoint-dir; 0 disables)")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="directory for per-seed session checkpoints")
+    parser.add_argument("--resume", action="store_true",
+                        help="restore any existing checkpoint from "
+                             "--checkpoint-dir before running; the "
+                             "continuation is byte-identical to the "
+                             "uninterrupted run")
+    parser.add_argument("--fault-rate", type=float, default=0.0, metavar="P",
+                        help="inject evaluation faults (transient errors, "
+                             "hangs, flaky crashes, corrupted measurements) "
+                             "with probability P per evaluation, handled by "
+                             "the retry/timeout fault envelope; the schedule "
+                             "is reproducible per (spec, seed, fault seed) "
+                             "and P=0 is byte-identical to no injection")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="dedicated seed for the fault schedule "
+                             "(independent of evaluation/optimizer streams)")
     parser.add_argument("--conf-out", metavar="FILE", default=None,
                         help="write the best configuration as postgresql.conf")
     parser.add_argument("--kb-out", metavar="FILE", default=None,
@@ -135,6 +156,25 @@ def main(argv: list[str] | None = None) -> int:
     if args.wave_shared_pool and not args.wave:
         print("error: --wave-shared-pool requires --wave", file=sys.stderr)
         return 2
+    if args.checkpoint_every < 0:
+        print("error: --checkpoint-every must be >= 0", file=sys.stderr)
+        return 2
+    if (args.checkpoint_every > 0 or args.resume) and not args.checkpoint_dir:
+        print(
+            "error: --checkpoint-every/--resume require --checkpoint-dir",
+            file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint_every > 0 and args.optimizer == "ddpg":
+        print(
+            "error: ddpg is not checkpointable (its neural state is outside "
+            "the checkpoint seam); drop --checkpoint-every",
+            file=sys.stderr,
+        )
+        return 2
+    if not 0.0 <= args.fault_rate <= 1.0:
+        print("error: --fault-rate must be in [0, 1]", file=sys.stderr)
+        return 2
 
     early_stopping = None
     if args.early_stop:
@@ -164,6 +204,11 @@ def main(argv: list[str] | None = None) -> int:
         target_rate=args.rate,
         early_stopping=early_stopping,
         suggest_batch=args.suggest_batch,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        fault_rate=args.fault_rate,
+        fault_seed=args.fault_seed,
     )
     label = "vanilla" if args.no_llamatune else "LlamaTune"
     seeds = args.seeds if args.seeds else [args.seed]
@@ -206,6 +251,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"crashed configurations: {sum(r.crash_count for r in results)}")
     if result.stopped_early_at is not None:
         print(f"stopped early at iteration {result.stopped_early_at}")
+    for r, seed in zip(results, seeds):
+        if r.quarantined_at is not None:
+            print(
+                f"seed {seed} quarantined at iteration {r.quarantined_at} "
+                "(an evaluation exhausted its fault-envelope retries)"
+            )
 
     best = result.knowledge_base.best_observation().target_config
     if args.conf_out:

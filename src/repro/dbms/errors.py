@@ -18,3 +18,30 @@ class DbmsCrashError(DbmsError):
     def __init__(self, reason: str):
         super().__init__(reason)
         self.reason = reason
+
+
+class TransientEvalError(DbmsError):
+    """The evaluation failed for a reason unrelated to the configuration.
+
+    A dropped connection, a benchmark-harness hiccup, a filesystem blip:
+    the configuration itself is innocent, so retrying the same evaluation
+    is meaningful — unlike :class:`DbmsCrashError`, where the configuration
+    caused the failure and the paper's ¼-of-worst penalty applies.  The
+    fault envelope (:class:`repro.tuning.faults.FaultEnvelope`) retries
+    these with bounded exponential backoff; real-DBMS drivers raise it to
+    get that retry loop for free.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class EvalTimeoutError(TransientEvalError):
+    """The evaluation exceeded its wall-clock budget (a hang, not a crash).
+
+    A subclass of :class:`TransientEvalError` because the remedy is the
+    same — abandon the attempt and retry under the envelope's budget —
+    while staying distinguishable for drivers that want to treat hangs
+    specially (e.g. kill a stuck benchmark process first).
+    """

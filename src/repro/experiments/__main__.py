@@ -10,6 +10,7 @@ import sys
 import time
 
 from repro.experiments import EXPERIMENTS, Scale, run_experiment
+from repro.tuning.runner import spec_overrides
 
 #: Unique experiment ids in a sensible execution order (aliases removed).
 ORDERED_IDS = (
@@ -57,7 +58,43 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the seeds of every tuning arm concurrently (thread pool)",
     )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="checkpoint every tuning session at K-iteration round "
+             "boundaries (requires --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for per-seed session checkpoints",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore existing checkpoints from --checkpoint-dir, "
+             "continuing interrupted experiments byte-identically",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="inject evaluation faults with probability P per evaluation "
+             "(reproducible per (spec, seed, fault seed))",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="dedicated seed for the fault schedule",
+    )
     args = parser.parse_args(argv)
+    if (args.checkpoint_every or args.resume) and not args.checkpoint_dir:
+        parser.error("--checkpoint-every/--resume require --checkpoint-dir")
     scale = {"paper": Scale.paper, "default": Scale.default, "quick": Scale.quick}[
         args.scale
     ]()
@@ -65,24 +102,34 @@ def main(argv: list[str] | None = None) -> int:
         scale = dataclasses.replace(scale, parallel=True)
 
     ids = ORDERED_IDS if args.experiment == "all" else (args.experiment,)
-    for experiment_id in ids:
-        started = time.perf_counter()
-        report = run_experiment(experiment_id, scale)
-        elapsed = time.perf_counter() - started
-        print(report.text())
-        print(f"[{experiment_id} completed in {elapsed:.1f}s]")
-        print()
-        if args.json:
-            out_dir = pathlib.Path(args.json)
-            out_dir.mkdir(parents=True, exist_ok=True)
-            payload = {
-                "experiment": report.experiment_id,
-                "title": report.title,
-                "elapsed_seconds": elapsed,
-                "data": report.data,
-            }
-            path = out_dir / f"{experiment_id}.json"
-            path.write_text(json.dumps(payload, indent=2, default=float))
+    # Resilience flags reach every SessionSpec the experiment modules build
+    # through the runner's spec-override seam; None leaves a field at its
+    # spec default, so unset flags change nothing.
+    with spec_overrides(
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=True if args.resume else None,
+        fault_rate=args.fault_rate,
+        fault_seed=args.fault_seed,
+    ):
+        for experiment_id in ids:
+            started = time.perf_counter()
+            report = run_experiment(experiment_id, scale)
+            elapsed = time.perf_counter() - started
+            print(report.text())
+            print(f"[{experiment_id} completed in {elapsed:.1f}s]")
+            print()
+            if args.json:
+                out_dir = pathlib.Path(args.json)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                payload = {
+                    "experiment": report.experiment_id,
+                    "title": report.title,
+                    "elapsed_seconds": elapsed,
+                    "data": report.data,
+                }
+                path = out_dir / f"{experiment_id}.json"
+                path.write_text(json.dumps(payload, indent=2, default=float))
     return 0
 
 

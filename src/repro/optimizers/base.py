@@ -57,6 +57,12 @@ class Optimizer(ABC):
             model-guided phase begins (10 in the paper).
     """
 
+    #: Whether the optimizer supports the checkpoint/resume seam.  DDPG's
+    #: neural state (networks, Adam moments, replay buffer) is out of the
+    #: seam's scope and opts out; sessions refuse to checkpoint over a
+    #: non-checkpointable optimizer instead of silently losing its state.
+    checkpointable = True
+
     def __init__(self, space: ConfigurationSpace, seed: int = 0, n_init: int = 10):
         self.space = space
         self.encoding = SpaceEncoding(space)
@@ -221,6 +227,49 @@ class Optimizer(ABC):
     @abstractmethod
     def _suggest_model(self) -> Configuration:
         """Model-guided suggestion, called after the init phase."""
+
+    # --- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of everything ``suggest``/``observe``
+        depend on: observations, the (possibly pending) LHS design, and
+        the PCG64 stream position.  ``load_state`` on a freshly built
+        optimizer of the same type and space restores the snapshot so the
+        continuation is byte-identical to never having stopped — the
+        tuning session's checkpoint contract.  Subclasses extend the dict
+        with their own counters/caches and must keep it JSON-clean
+        (Python scalars and lists only: JSON round-trips binary64 floats
+        and arbitrary ints losslessly, so exactness survives the disk
+        trip).
+        """
+        return {
+            "type": type(self).__name__,
+            "rng": dict(self.rng.bit_generator.state),
+            "X": [x.tolist() for x in self._X],
+            "y": list(self._y),
+            "init_points": (
+                None
+                if self._init_points is None
+                else [p.tolist() for p in self._init_points]
+            ),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (same type and space)."""
+        if state.get("type") != type(self).__name__:
+            raise ValueError(
+                f"checkpoint holds {state.get('type')!r} state, "
+                f"not {type(self).__name__!r}"
+            )
+        self.rng.bit_generator.state = state["rng"]
+        self._X = [np.asarray(x, dtype=float) for x in state["X"]]
+        self._y = [float(v) for v in state["y"]]
+        points = state["init_points"]
+        self._init_points = (
+            None
+            if points is None
+            else [np.asarray(p, dtype=float) for p in points]
+        )
 
     # --- shared helpers ------------------------------------------------------
 

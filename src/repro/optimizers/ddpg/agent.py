@@ -39,6 +39,13 @@ class DDPGOptimizer(Optimizer):
     metrics vector from the previous workload run.
     """
 
+    #: The checkpoint seam covers observations, designs, and PCG64 streams
+    #: — not the agent's neural state (network weights, Adam moments, the
+    #: replay buffer).  Declaring the optimizer non-checkpointable makes
+    #: sessions refuse `checkpoint_every` up front instead of resuming
+    #: with a silently reset policy.
+    checkpointable = False
+
     def __init__(
         self,
         space: ConfigurationSpace,
@@ -101,6 +108,18 @@ class DDPGOptimizer(Optimizer):
         return (raw - self._state_mean) / np.maximum(std, 1e-6)
 
     # --- optimizer protocol ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        raise NotImplementedError(
+            "DDPG is not checkpointable: its neural state (networks, Adam "
+            "moments, replay buffer) is outside the state_dict seam"
+        )
+
+    def load_state(self, state: dict) -> None:
+        raise NotImplementedError(
+            "DDPG is not checkpointable: its neural state (networks, Adam "
+            "moments, replay buffer) is outside the state_dict seam"
+        )
 
     def _suggest_model(self) -> Configuration:
         assert self._state is not None

@@ -523,6 +523,47 @@ class GaussianProcess:
     def is_fitted(self) -> bool:
         return self._X is not None
 
+    # --- checkpointing ------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the fitted state: hyperparameters,
+        the restart RNG's position, and the cached windowed factor, so a
+        restored GP continues ``update``/boundary-refit sequences exactly
+        where the original left off (the GP-BO ``refit_every > 1`` resume
+        path)."""
+
+        def rows(a: np.ndarray | None):
+            return None if a is None else a.tolist()
+
+        return {
+            "theta": self._theta.tolist(),
+            "rng": dict(self.rng.bit_generator.state),
+            "X": rows(self._X),
+            "y_raw": rows(self._y_raw),
+            "windows": list(self._windows),
+            "y_mean": self._y_mean,
+            "y_std": self._y_std,
+            "chol": rows(self._chol),
+            "alpha": rows(self._alpha),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (same ``is_categorical``
+        mask)."""
+
+        def arr(value):
+            return None if value is None else np.asarray(value, dtype=float)
+
+        self._theta = np.asarray(state["theta"], dtype=float)
+        self.rng.bit_generator.state = state["rng"]
+        self._X = arr(state["X"])
+        self._y_raw = arr(state["y_raw"])
+        self._windows = [int(w) for w in state["windows"]]
+        self._y_mean = float(state["y_mean"])
+        self._y_std = float(state["y_std"])
+        self._chol = arr(state["chol"])
+        self._alpha = arr(state["alpha"])
+
     # --- prediction --------------------------------------------------------------
 
     def predict_mean_var(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

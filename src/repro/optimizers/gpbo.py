@@ -36,6 +36,31 @@ class GPBOOptimizer(Optimizer):
     def _suggest_model(self) -> Configuration:
         return self.suggest_batch(1)[0]
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["model_suggestions"] = self._model_suggestions
+        # The cached GP matters only under refit_every > 1: between
+        # boundaries ``update`` extends its factor, and boundaries
+        # warm-start from its theta.  With refit_every = 1 every round
+        # refits from scratch (cold theta), so a restart loses nothing.
+        state["gp"] = (
+            self._gp.state_dict()
+            if self.refit_every > 1 and self._gp is not None
+            else None
+        )
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self._model_suggestions = int(state["model_suggestions"])
+        gp_state = state.get("gp")
+        if gp_state is None:
+            self._gp = None
+        else:
+            gp = GaussianProcess(self.encoding.is_categorical)
+            gp.load_state(gp_state)
+            self._gp = gp
+
     def _prepare_model_batch(
         self, q: int, shared_pool: np.ndarray | None = None
     ) -> PreparedSuggest:

@@ -51,6 +51,18 @@ class SMACOptimizer(Optimizer):
     def _suggest_model(self) -> Configuration:
         return self.suggest_batch(1)[0]
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        # The interleave counter decides which future rounds go random;
+        # the forest itself is refit from data every round, so no model
+        # state needs to survive a restart.
+        state["model_suggestions"] = self._model_suggestions
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self._model_suggestions = int(state["model_suggestions"])
+
     def _prepare_model_batch(
         self, q: int, shared_pool: np.ndarray | None = None
     ) -> PreparedSuggest:

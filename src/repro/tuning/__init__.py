@@ -1,8 +1,22 @@
 """Tuning controller: sessions, knowledge base, metrics, runner."""
 
 from repro.tuning.early_stopping import EarlyStoppingPolicy
+from repro.tuning.fault_injection import FaultInjectingSimulator, FaultProfile
+from repro.tuning.faults import (
+    EXHAUSTED,
+    FaultEnvelope,
+    FaultPolicy,
+    MonotonicClock,
+    VirtualClock,
+)
 from repro.tuning.knowledge_base import KnowledgeBase, Observation
-from repro.tuning.persistence import load_result, result_to_dict, save_result
+from repro.tuning.persistence import (
+    load_checkpoint,
+    load_result,
+    result_to_dict,
+    save_checkpoint,
+    save_result,
+)
 from repro.tuning.metrics import (
     ComparisonSummary,
     confidence_interval,
@@ -21,6 +35,7 @@ from repro.tuning.runner import (
     mean_best_curve,
     run_spec,
     space_for_version,
+    spec_overrides,
 )
 from repro.tuning.session import TuningResult, TuningSession
 
@@ -28,23 +43,33 @@ __all__ = [
     "ComparisonSummary",
     "DEFAULT_ITERATIONS",
     "DEFAULT_SEEDS",
+    "EXHAUSTED",
     "EarlyStoppingPolicy",
+    "FaultEnvelope",
+    "FaultInjectingSimulator",
+    "FaultPolicy",
+    "FaultProfile",
     "KnowledgeBase",
+    "MonotonicClock",
     "Observation",
     "SessionSpec",
     "TuningResult",
     "TuningSession",
+    "VirtualClock",
     "compare_specs",
     "confidence_interval",
     "final_improvement",
     "iteration_mapping",
     "llamatune_factory",
+    "load_checkpoint",
     "load_result",
     "mean_best_curve",
     "result_to_dict",
     "run_spec",
+    "save_checkpoint",
     "save_result",
     "space_for_version",
+    "spec_overrides",
     "summarize_comparison",
     "time_to_optimal_iteration",
     "time_to_optimal_speedup",

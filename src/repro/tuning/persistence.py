@@ -1,22 +1,74 @@
-"""Knowledge-base persistence.
+"""Knowledge-base and checkpoint persistence.
 
 The paper's architecture (Section 2.1) centers on a knowledge base of all
 evaluated ``(configuration, performance)`` pairs.  This module saves and
 restores that record as JSON, so sessions can be archived, analyzed
-offline, or used to warm-start future runs.
+offline, or used to warm-start future runs — and, beyond final-result
+archiving, stores the versioned *mid-run checkpoints* behind
+``TuningSession.checkpoint``/``resume``.
+
+All writers are atomic: the payload lands in a temp file in the target's
+directory and is moved into place with ``os.replace``, so a process
+killed mid-save can never truncate an existing archive or checkpoint
+(the write is not fsync'd — the contract covers process death, not
+power loss; see the ROADMAP resilience contract).
+
+Checkpoints carry their own format version, bumped independently of the
+knowledge-base archive format whenever the serialized state's shape
+changes; loading a mismatched version fails loudly (re-run from scratch
+or re-capture — checkpoints are recovery artifacts, not long-term
+archives, so no migration shims).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import tempfile
 from typing import Any
+
+import numpy as np
 
 from repro.space.configspace import Configuration, ConfigurationSpace
 from repro.tuning.knowledge_base import KnowledgeBase, Observation
 from repro.tuning.session import TuningResult
 
 FORMAT_VERSION = 1
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+def _atomic_write_text(path: str | pathlib.Path, text: str) -> None:
+    """Write-then-rename in the target's directory (same filesystem, so
+    the replace is atomic); the temp file is removed on any failure."""
+    path = pathlib.Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _json_default(value: Any):
+    """Safety net for stray numpy scalars: ints stay ints (knob values
+    must round-trip exactly), floats become binary64 floats."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON-serializable: {type(value).__name__}")
 
 
 def _config_to_json(config: Configuration) -> dict[str, Any]:
@@ -30,6 +82,7 @@ def result_to_dict(result: TuningResult) -> dict[str, Any]:
         "objective": result.objective,
         "default_value": result.default_value,
         "stopped_early_at": result.stopped_early_at,
+        "quarantined_at": result.quarantined_at,
         "optimizer_space": result.knowledge_base.observations[0]
         .optimizer_config.space.name
         if result.knowledge_base.observations
@@ -55,9 +108,9 @@ def result_to_dict(result: TuningResult) -> dict[str, Any]:
 
 
 def save_result(result: TuningResult, path: str | pathlib.Path) -> None:
-    """Write a tuning result to a JSON file."""
-    pathlib.Path(path).write_text(
-        json.dumps(result_to_dict(result), indent=2, default=float)
+    """Write a tuning result to a JSON file (atomically)."""
+    _atomic_write_text(
+        path, json.dumps(result_to_dict(result), indent=2, default=_json_default)
     )
 
 
@@ -100,7 +153,40 @@ def load_result(
         objective=payload["objective"],
         default_value=float(payload["default_value"]),
         stopped_early_at=payload.get("stopped_early_at"),
+        quarantined_at=payload.get("quarantined_at"),
     )
+
+
+def save_checkpoint(payload: dict[str, Any], path: str | pathlib.Path) -> None:
+    """Atomically write a session checkpoint (see
+    ``TuningSession.checkpoint`` for the payload's composition).
+
+    The payload is stamped with :data:`CHECKPOINT_FORMAT_VERSION` and
+    serialized compactly (no indentation — checkpoints are written every
+    few iterations, and JSON round-trips every binary64 float and PCG64
+    state integer losslessly either way).
+    """
+    body = dict(payload)
+    body["checkpoint_format_version"] = CHECKPOINT_FORMAT_VERSION
+    _atomic_write_text(
+        path,
+        json.dumps(body, separators=(",", ":"), default=_json_default),
+    )
+
+
+def load_checkpoint(path: str | pathlib.Path) -> dict[str, Any]:
+    """Read a checkpoint written by :func:`save_checkpoint`, rejecting
+    version mismatches loudly (checkpoints are recovery artifacts; there
+    are no cross-version migration shims — re-run or re-capture)."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    version = payload.get("checkpoint_format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format {version!r} "
+            f"(expected {CHECKPOINT_FORMAT_VERSION}); re-run the session "
+            "from scratch instead of resuming"
+        )
+    return payload
 
 
 def _coerce(space: ConfigurationSpace, values: dict[str, Any]) -> dict[str, Any]:

@@ -8,7 +8,11 @@ module turns the curves into Table-style rows.
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
 import os
+import pathlib
+import zlib
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -26,6 +30,8 @@ from repro.optimizers import make_optimizer
 from repro.space.configspace import ConfigurationSpace
 from repro.space.postgres import postgres_space_for_version
 from repro.tuning.early_stopping import EarlyStoppingPolicy
+from repro.tuning.fault_injection import FaultInjectingSimulator
+from repro.tuning.faults import FaultPolicy, VirtualClock
 from repro.tuning.metrics import ComparisonSummary, summarize_comparison
 from repro.tuning.session import TuningResult, TuningSession
 from repro.tuning.wave import run_wave
@@ -55,6 +61,18 @@ class SessionSpec:
     every session evaluate its whole LHS init phase through the batch
     pipeline — one decode, one conversion, one simulator matrix pass per
     seed — with bit-identical results to the scalar loop.
+
+    **Resilience knobs.**  ``checkpoint_every`` + ``checkpoint_dir``
+    periodically snapshot each seed's session to
+    ``<dir>/<workload>-<optimizer>-<token>-seed<seed>.ckpt.json``;
+    ``resume`` makes ``build`` restore any existing snapshot so a killed
+    sweep continues byte-identically.  ``fault_rate`` swaps the simulator
+    for a :class:`~repro.tuning.fault_injection.FaultInjectingSimulator`
+    (fault schedule keyed by ``(spec_token, seed, fault_seed)``, never
+    touching the evaluation or optimizer streams) and runs evaluations
+    under a fault envelope; ``fault_policy`` alone wraps the stock
+    simulator in the envelope, the seam a real-DBMS driver raising
+    ``TransientEvalError`` plugs into.
     """
 
     workload: str
@@ -69,13 +87,83 @@ class SessionSpec:
     optimizer_kwargs: tuple[tuple[str, object], ...] = ()
     batch_init: bool = True
     suggest_batch: int = 1
+    checkpoint_every: int = 0
+    checkpoint_dir: str | None = None
+    resume: bool = False
+    fault_rate: float = 0.0
+    fault_seed: int = 0
+    fault_policy: FaultPolicy | None = None
+
+    def spec_token(self) -> int:
+        """Stable 32-bit digest of the trajectory-determining fields.
+
+        Keys the fault-injection stream (with the seed and ``fault_seed``)
+        and names checkpoint files.  ``zlib.crc32`` of a canonical string
+        — not ``hash()``, which is salted per process and would break
+        cross-process reproducibility.  ``fault_seed`` itself is excluded
+        (it is the key's own third component), as are the checkpoint/
+        resume fields (resuming must not change the fault schedule) and
+        ``n_iterations``/``early_stopping`` — they only decide where a
+        trajectory *ends*, so a resumed session may extend the budget and
+        still find its checkpoint and replay its fault schedule.
+        """
+        adapter = self.adapter
+        adapter_token = (
+            getattr(adapter, "__qualname__", None) or repr(adapter)
+        )
+        canonical = "|".join(
+            [
+                self.workload,
+                self.optimizer,
+                adapter_token,
+                self.objective,
+                self.version.name,
+                str(self.n_init),
+                str(self.target_rate),
+                repr(sorted(self.optimizer_kwargs)),
+                str(self.batch_init),
+                str(self.suggest_batch),
+                repr(self.fault_rate),
+            ]
+        )
+        return zlib.crc32(canonical.encode())
+
+    def checkpoint_path(self, seed: int) -> pathlib.Path | None:
+        """This seed's checkpoint file under ``checkpoint_dir`` (None
+        when checkpointing is not configured)."""
+        if self.checkpoint_dir is None:
+            return None
+        return pathlib.Path(self.checkpoint_dir) / (
+            f"{self.workload}-{self.optimizer}-{self.spec_token():08x}"
+            f"-seed{seed}.ckpt.json"
+        )
 
     def build(self, seed: int) -> TuningSession:
         space = space_for_version(self.version)
         workload = get_workload(self.workload)
-        simulator = PostgresSimulator(
-            workload, version=self.version, target_rate=self.target_rate
-        )
+        fault_policy = self.fault_policy
+        fault_clock = None
+        if self.fault_rate > 0:
+            # One virtual clock shared by the injector (hangs advance it)
+            # and the envelope (timeouts/backoff measure it): fault
+            # handling is then deterministic and sleep-free.
+            fault_clock = VirtualClock()
+            if fault_policy is None:
+                fault_policy = FaultPolicy()
+            simulator: PostgresSimulator = FaultInjectingSimulator(
+                workload,
+                version=self.version,
+                target_rate=self.target_rate,
+                fault_rate=self.fault_rate,
+                fault_seed=self.fault_seed,
+                session_seed=seed,
+                spec_token=self.spec_token(),
+                clock=fault_clock,
+            )
+        else:
+            simulator = PostgresSimulator(
+                workload, version=self.version, target_rate=self.target_rate
+            )
         if self.adapter is None:
             adapter: SearchSpaceAdapter = IdentityAdapter(space)
         else:
@@ -87,7 +175,12 @@ class SessionSpec:
             n_init=self.n_init,
             **dict(self.optimizer_kwargs),
         )
-        return TuningSession(
+        checkpoint_path = self.checkpoint_path(seed)
+        if self.checkpoint_every > 0 and checkpoint_path is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+        if checkpoint_path is not None:
+            checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+        session = TuningSession(
             simulator=simulator,
             optimizer=optimizer,
             adapter=adapter,
@@ -102,7 +195,18 @@ class SessionSpec:
             early_stopping=(
                 self.early_stopping.fresh() if self.early_stopping else None
             ),
+            checkpoint_every=self.checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            fault_policy=fault_policy,
+            fault_clock=fault_clock,
         )
+        if (
+            self.resume
+            and checkpoint_path is not None
+            and checkpoint_path.exists()
+        ):
+            session.load_checkpoint(checkpoint_path)
+        return session
 
 
 @dataclass(frozen=True)
@@ -150,6 +254,42 @@ def _run_seed(spec: SessionSpec, seed: int) -> TuningResult:
     return spec.build(seed).run()
 
 
+#: Active :func:`spec_overrides` fields, applied to every spec entering
+#: :func:`run_spec` (before pool dispatch, so process pools pickle the
+#: already-overridden spec).
+_SPEC_OVERRIDES: dict[str, object] = {}
+
+
+@contextlib.contextmanager
+def spec_overrides(**fields):
+    """Temporarily overlay :class:`SessionSpec` fields on every spec that
+    passes through :func:`run_spec`/:func:`compare_specs`.
+
+    The seam that lets the experiments CLI thread resilience flags
+    (``--checkpoint-every``, ``--fault-rate``, ...) through the ~14
+    experiment modules without widening each module's spec construction.
+    ``None`` values are ignored, so argparse defaults pass straight in.
+    Not thread-safe across concurrently *entered* contexts (experiment
+    runs are sequential; the parallel seed pools start strictly inside
+    one context).
+    """
+    previous = dict(_SPEC_OVERRIDES)
+    _SPEC_OVERRIDES.update(
+        {name: value for name, value in fields.items() if value is not None}
+    )
+    try:
+        yield
+    finally:
+        _SPEC_OVERRIDES.clear()
+        _SPEC_OVERRIDES.update(previous)
+
+
+def _apply_overrides(spec: SessionSpec) -> SessionSpec:
+    if not _SPEC_OVERRIDES:
+        return spec
+    return dataclasses.replace(spec, **_SPEC_OVERRIDES)
+
+
 def run_spec(
     spec: SessionSpec,
     seeds: Sequence[int] = DEFAULT_SEEDS,
@@ -188,6 +328,7 @@ def run_spec(
         raise ValueError(
             f"unknown mode {mode!r}; use 'thread', 'process', or 'wave'"
         )
+    spec = _apply_overrides(spec)
     if mode == "wave":
         if parallel:
             raise ValueError(

@@ -5,20 +5,51 @@ synthetic) space, the adapter converts it to a DBMS configuration, the
 simulated controller runs the workload and feeds the result back.  Crashing
 configurations receive one fourth of the worst performance observed so far
 (initially the default configuration's), exactly as in Section 6.1.
+
+**State machine.**  A session moves through three explicit states:
+
+* ``"new"`` — constructed, nothing evaluated; :meth:`start` measures the
+  default configuration and opens the knowledge base, and
+  :meth:`load_checkpoint` instead restores a mid-run snapshot;
+* ``"running"`` — the iteration cursor, knowledge base, worst-seen
+  reference, early-stop state, and both PCG64 streams (session noise and
+  optimizer) advance together; :meth:`checkpoint` can serialize all of it
+  at any round boundary;
+* ``"done"`` — the budget ran out, early stopping fired, or the session
+  was *quarantined* (an evaluation exhausted its fault-envelope retries).
+
+:meth:`run` drives ``new → running → done``; :meth:`resume` is
+``load_checkpoint`` + ``run`` and continues **byte-identically** to the
+uninterrupted trajectory — same values, same crash rows, same stream
+positions — because a checkpoint captures every mutable input of the loop
+and checkpoints are only written at round boundaries (between batches,
+never inside one, since a batch's noise is drawn up front).
+
+**Fault handling.**  With a :class:`~repro.tuning.faults.FaultPolicy`,
+evaluations run under a :class:`~repro.tuning.faults.FaultEnvelope`:
+transient errors, hangs, and corrupted measurements cost bounded retries;
+crashes still take the paper's penalty; and an evaluation that exhausts
+its retries *quarantines* the session — no observation is recorded (the
+configuration is innocent; recording a penalty would poison the
+surrogate) and the session ends at the current cursor, exactly like
+early-stop dropout from the wave scheduler's perspective.
 """
 
 from __future__ import annotations
 
+import math
+import pathlib
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.pipeline import IdentityAdapter, SearchSpaceAdapter
 from repro.dbms.engine import PostgresSimulator
-from repro.dbms.errors import DbmsCrashError
+from repro.dbms.errors import DbmsCrashError, DbmsError
 from repro.optimizers.base import Optimizer
 from repro.tuning.early_stopping import EarlyStoppingPolicy
+from repro.tuning.faults import EXHAUSTED, FaultEnvelope, FaultPolicy
 from repro.tuning.knowledge_base import KnowledgeBase, Observation
 
 
@@ -30,6 +61,7 @@ class TuningResult:
     objective: str
     default_value: float
     stopped_early_at: int | None = None
+    quarantined_at: int | None = None
 
     @property
     def maximize(self) -> bool:
@@ -84,6 +116,21 @@ class TuningSession:
             (observations arrive in batches).  The default q = 1 keeps
             the paper's sequential loop, byte-identical to earlier
             releases.
+        checkpoint_every: Write a checkpoint at the first round boundary
+            at or past every multiple of this many iterations (0 — the
+            default — disables periodic checkpoints; :meth:`checkpoint`
+            stays available for manual snapshots).  Requires a
+            checkpointable optimizer (DDPG opts out).
+        checkpoint_path: Where periodic checkpoints (and path-less
+            :meth:`checkpoint` calls) land.
+        fault_policy: Run every evaluation under a
+            :class:`~repro.tuning.faults.FaultEnvelope` with this policy
+            (``None`` — the default — evaluates exactly as earlier
+            releases; a policy with no faults occurring is byte-identical
+            to that anyway).
+        fault_clock: Time source for the envelope's timeout budget and
+            backoff; share it with a fault injector's clock so simulated
+            hangs are observable.  Defaults to wall-clock.
     """
 
     def __init__(
@@ -97,11 +144,17 @@ class TuningSession:
         early_stopping: EarlyStoppingPolicy | None = None,
         batch_init: bool = True,
         suggest_batch: int = 1,
+        checkpoint_every: int = 0,
+        checkpoint_path: str | pathlib.Path | None = None,
+        fault_policy: FaultPolicy | None = None,
+        fault_clock=None,
     ):
         if objective not in ("throughput", "latency"):
             raise ValueError(f"unknown objective {objective!r}")
         if suggest_batch < 1:
             raise ValueError("suggest_batch must be >= 1")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
         self.simulator = simulator
         self.optimizer = optimizer
         self.adapter = adapter if adapter is not None else IdentityAdapter(
@@ -117,68 +170,124 @@ class TuningSession:
         self.early_stopping = early_stopping
         self.batch_init = batch_init
         self.suggest_batch = suggest_batch
+        self.checkpoint_every = int(checkpoint_every)
+        self.checkpoint_path = (
+            pathlib.Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        if self.checkpoint_every > 0 and not getattr(
+            optimizer, "checkpointable", True
+        ):
+            raise ValueError(
+                f"{type(optimizer).__name__} is not checkpointable; "
+                "run without checkpoint_every"
+            )
+        self._envelope = (
+            FaultEnvelope(fault_policy, clock=fault_clock)
+            if fault_policy is not None
+            else None
+        )
+        # --- state machine ---------------------------------------------------
+        self._state = "new"
+        self._kb: KnowledgeBase | None = None
+        self._default_value: float | None = None
+        self._iteration = 0
+        self._stopped_at: int | None = None
+        self._quarantined_at: int | None = None
+        self._next_checkpoint_at = (
+            self.checkpoint_every if self.checkpoint_every > 0 else None
+        )
 
     @property
     def maximize(self) -> bool:
         return self.objective == "throughput"
 
-    def _begin(self) -> tuple[KnowledgeBase, float]:
-        """Session-start bookkeeping shared with the wave scheduler: a
-        fresh knowledge base plus the default configuration's measurement,
-        which seeds the crash penalty's worst-seen reference."""
-        kb = KnowledgeBase(maximize=self.maximize)
-        default_value = self.simulator.default_measurement().value(
+    @property
+    def state(self) -> str:
+        """``"new"`` | ``"running"`` | ``"done"``."""
+        return self._state
+
+    @property
+    def iteration(self) -> int:
+        """Completed-iteration cursor (= observations recorded)."""
+        return self._iteration
+
+    @property
+    def stopped_at(self) -> int | None:
+        return self._stopped_at
+
+    @property
+    def quarantined_at(self) -> int | None:
+        return self._quarantined_at
+
+    @property
+    def live(self) -> bool:
+        """Whether the loop has more rounds to run."""
+        return (
+            self._state == "running"
+            and self._stopped_at is None
+            and self._quarantined_at is None
+            and self._iteration < self.n_iterations
+        )
+
+    @property
+    def envelope(self) -> FaultEnvelope | None:
+        """The session's fault envelope (``None`` without a policy)."""
+        return self._envelope
+
+    # --- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """``new → running``: open the knowledge base and measure the
+        default configuration, which seeds the crash penalty's worst-seen
+        reference (Section 6.1)."""
+        if self._state != "new":
+            raise RuntimeError(f"cannot start a {self._state!r} session")
+        self._kb = KnowledgeBase(maximize=self.maximize)
+        self._default_value = self.simulator.default_measurement().value(
             self.objective
         )
         # The crash penalty references the worst performance seen so far,
         # initialized with the default configuration's performance.
-        self._worst_seen = default_value
-        return kb, default_value
+        self._worst_seen = self._default_value
+        self._state = "running"
 
     def run(self) -> TuningResult:
-        kb, default_value = self._begin()
-        stopped_at: int | None = None
-        iteration = 0
+        """Drive the session to completion (from fresh or from a restored
+        checkpoint) and return its result."""
+        if self._state == "new":
+            self.start()
+            if self.batch_init:
+                # Fast path: the whole LHS init phase is one decode, one
+                # adapter conversion, and one simulator matrix pass.  Every
+                # batch stage is pinned bit-identical to its scalar
+                # counterpart, and outcomes are fed back in order with the
+                # same penalty/early-stop bookkeeping, so the knowledge base
+                # and optimizer state match the scalar loop exactly.
+                started = time.perf_counter()
+                init_configs = self.optimizer.suggest_init_batch()[
+                    : self.n_iterations
+                ]
+                suggest_elapsed = time.perf_counter() - started
+                if init_configs:
+                    target_configs = self.adapter.to_target_batch(init_configs)
+                    outcomes = self._evaluate_batch(target_configs)
+                    self._feed_outcomes(
+                        init_configs, target_configs, outcomes,
+                        suggest_elapsed / len(init_configs),
+                    )
 
-        if self.batch_init:
-            # Fast path: the whole LHS init phase is one decode, one
-            # adapter conversion, and one simulator matrix pass.  Every
-            # batch stage is pinned bit-identical to its scalar
-            # counterpart, and outcomes are fed back in order with the
-            # same penalty/early-stop bookkeeping, so the knowledge base
-            # and optimizer state match the scalar loop exactly.
-            started = time.perf_counter()
-            init_configs = self.optimizer.suggest_init_batch()[: self.n_iterations]
-            suggest_elapsed = time.perf_counter() - started
-            if init_configs:
-                target_configs = self.adapter.to_target_batch(init_configs)
-                measurements = self.simulator.evaluate_batch(
-                    target_configs, rng=self.rng, on_crash="none"
-                )
-                iteration, stopped_at = self._feed_batch(
-                    kb, iteration, init_configs, target_configs,
-                    measurements, suggest_elapsed / len(init_configs),
-                )
-
-        while stopped_at is None and iteration < self.n_iterations:
-            q = min(self.suggest_batch, self.n_iterations - iteration)
+        while self.live:
+            q = min(self.suggest_batch, self.n_iterations - self._iteration)
             if q == 1:
                 started = time.perf_counter()
                 opt_config = self.optimizer.suggest()
                 suggest_seconds = time.perf_counter() - started
 
                 target_config = self.adapter.to_target(opt_config)
-                try:
-                    measurement = self.simulator.evaluate(
-                        target_config, rng=self.rng
-                    )
-                except DbmsCrashError:
-                    measurement = None
-                stopped_at = self._record(
-                    kb, iteration, opt_config, target_config, measurement,
-                    suggest_seconds,
+                outcome = self._evaluate_one(target_config)
+                self._feed_outcomes(
+                    [opt_config], [target_config], [outcome], suggest_seconds
                 )
-                iteration += 1
             else:
                 # Model-phase batch round: one surrogate fit and one
                 # shared candidate pool produce q suggestions, evaluated
@@ -189,49 +298,102 @@ class TuningSession:
                 opt_configs = self.optimizer.suggest_batch(q)
                 suggest_elapsed = time.perf_counter() - started
                 target_configs = self.adapter.to_target_batch(opt_configs)
-                measurements = self.simulator.evaluate_batch(
-                    target_configs, rng=self.rng, on_crash="none"
-                )
-                iteration, stopped_at = self._feed_batch(
-                    kb, iteration, opt_configs, target_configs,
-                    measurements, suggest_elapsed / len(opt_configs),
+                outcomes = self._evaluate_batch(target_configs)
+                self._feed_outcomes(
+                    opt_configs, target_configs, outcomes,
+                    suggest_elapsed / len(opt_configs),
                 )
 
+        self._state = "done"
+        return self.result()
+
+    def resume(self, path: str | pathlib.Path) -> TuningResult:
+        """Restore the checkpoint at ``path`` and run to completion.
+
+        The continuation is byte-identical to the uninterrupted run: the
+        checkpoint holds every mutable input of the loop (observations,
+        worst-seen, early-stop state, optimizer state, and both PCG64
+        stream positions), and checkpoints only exist at round
+        boundaries.
+        """
+        self.load_checkpoint(path)
+        return self.run()
+
+    def result(self) -> TuningResult:
+        if self._kb is None or self._default_value is None:
+            raise RuntimeError("session has not started")
         return TuningResult(
-            knowledge_base=kb,
+            knowledge_base=self._kb,
             objective=self.objective,
-            default_value=default_value,
-            stopped_early_at=stopped_at,
+            default_value=self._default_value,
+            stopped_early_at=self._stopped_at,
+            quarantined_at=self._quarantined_at,
         )
 
-    def _feed_batch(
+    # --- evaluation dispatch -------------------------------------------------
+
+    def _evaluate_one(self, target_config):
+        """One evaluation: through the fault envelope when a policy is
+        set, else the historical direct call (byte-identical paths when
+        no fault occurs).  Returns Measurement | None (crash) |
+        EXHAUSTED."""
+        if self._envelope is not None:
+            return self._envelope.evaluate(
+                self.simulator, target_config, rng=self.rng
+            )
+        try:
+            return self.simulator.evaluate(target_config, rng=self.rng)
+        except DbmsCrashError:
+            return None
+
+    def _evaluate_batch(self, target_configs) -> list:
+        """Batch counterpart of :meth:`_evaluate_one` (row outcomes in
+        order; may be short of the input when a row exhausts retries)."""
+        if self._envelope is not None:
+            return self._envelope.evaluate_batch(
+                self.simulator, target_configs, rng=self.rng
+            )
+        return self.simulator.evaluate_batch(
+            target_configs, rng=self.rng, on_crash="none"
+        )
+
+    # --- feedback ------------------------------------------------------------
+
+    def _feed_outcomes(
         self,
-        kb: KnowledgeBase,
-        iteration: int,
         opt_configs,
         target_configs,
-        measurements,
+        outcomes,
         per_suggest: float,
-    ) -> tuple[int, int | None]:
-        """Apply one batch of outcomes in order — THE feedback loop
-        (penalty/early-stop bookkeeping included), shared by the batched
-        init phase, the model-phase batch rounds, and the wave scheduler,
-        so every driver stays bit-identical by construction.  Returns the
-        advanced iteration counter and the early-stop iteration, if
-        triggered (remaining outcomes are discarded, exactly like the
-        scalar loop exiting)."""
-        stopped_at: int | None = None
-        for opt_config, target_config, measurement in zip(
-            opt_configs, target_configs, measurements
+    ) -> None:
+        """Apply one round's outcomes in order — THE feedback loop
+        (penalty/early-stop/quarantine bookkeeping included), shared by
+        the batched init phase, the scalar and batch model rounds, and
+        the wave scheduler, so every driver stays bit-identical by
+        construction.  An :data:`EXHAUSTED` outcome quarantines the
+        session at the current cursor without recording an observation
+        (the configuration is innocent — a penalty would poison the
+        surrogate); outcomes after an early stop or quarantine are
+        discarded, exactly like the scalar loop exiting.  Ends with the
+        periodic-checkpoint hook: rounds are the only places checkpoints
+        may be written (a batch's noise is drawn up front, so an
+        intra-batch snapshot could never resume byte-identically).
+        """
+        for opt_config, target_config, outcome in zip(
+            opt_configs, target_configs, outcomes
         ):
-            stopped_at = self._record(
-                kb, iteration, opt_config, target_config, measurement,
-                per_suggest,
-            )
-            iteration += 1
-            if stopped_at is not None:
+            if outcome is EXHAUSTED:
+                self._quarantined_at = self._iteration
                 break
-        return iteration, stopped_at
+            stopped = self._record(
+                self._kb, self._iteration, opt_config, target_config,
+                outcome, per_suggest,
+            )
+            self._iteration += 1
+            if stopped is not None:
+                self._stopped_at = stopped
+                break
+        self._maybe_checkpoint()
 
     def _record(
         self,
@@ -253,6 +415,16 @@ class TuningSession:
         else:
             crashed = False
             value = measurement.value(self.objective)
+            if not math.isfinite(value):
+                # A NaN/inf observation would silently poison the
+                # forest/GP surrogates; subclassed evaluators must either
+                # fix their measurements or run under a fault envelope
+                # (which retries corrupted rows before they get here).
+                raise DbmsError(
+                    f"non-finite objective value {value!r} at iteration "
+                    f"{iteration} — corrupted measurement from "
+                    f"{type(self.simulator).__name__}.evaluate"
+                )
             metrics = measurement.metrics
             throughput = measurement.throughput
             p95 = measurement.p95_latency_ms
@@ -281,3 +453,168 @@ class TuningSession:
         ):
             return iteration + 1
         return None
+
+    # --- checkpointing -------------------------------------------------------
+
+    def _maybe_checkpoint(self) -> None:
+        """Periodic-checkpoint hook, called at every round boundary: fire
+        once the cursor crosses the next multiple of ``checkpoint_every``,
+        and once more when the session reaches a terminal condition (so a
+        resume of a finished run is a no-op instead of a partial rerun)."""
+        if self._next_checkpoint_at is None or self.checkpoint_path is None:
+            return
+        if self._iteration >= self._next_checkpoint_at or not self.live:
+            self.checkpoint(self.checkpoint_path)
+            self._next_checkpoint_at = (
+                self._iteration // self.checkpoint_every + 1
+            ) * self.checkpoint_every
+
+    def checkpoint(self, path: str | pathlib.Path | None = None) -> pathlib.Path:
+        """Serialize the complete resumable state to ``path`` (defaults
+        to ``checkpoint_path``), atomically.  Callable at any round
+        boundary of a started session."""
+        from repro.tuning import persistence  # lazy: persistence imports us
+
+        target = pathlib.Path(path) if path is not None else self.checkpoint_path
+        if target is None:
+            raise ValueError("no checkpoint path given or configured")
+        if self._state == "new":
+            raise RuntimeError("cannot checkpoint an unstarted session")
+        persistence.save_checkpoint(self._checkpoint_payload(), target)
+        return target
+
+    def _checkpoint_payload(self) -> dict:
+        """Everything the loop mutates, JSON-clean.  Configurations are
+        stored as knob-value rows under one name header per space (stored
+        once, not per observation), keeping checkpoints compact and their
+        round-trip exact — JSON preserves binary64 floats and arbitrary
+        ints losslessly."""
+        assert self._kb is not None
+        opt_space = self.optimizer.space
+        target_space = self.adapter.target_space
+        opt_names = list(opt_space.names)
+        target_names = list(target_space.names)
+        observations = [
+            [
+                o.iteration,
+                [o.optimizer_config[name] for name in opt_names],
+                [o.target_config[name] for name in target_names],
+                o.value,
+                o.crashed,
+                o.suggest_seconds,
+                o.throughput,
+                o.p95_latency_ms,
+            ]
+            for o in self._kb
+        ]
+        early = None
+        if self.early_stopping is not None:
+            early = {
+                "reference": self.early_stopping._reference,
+                "reference_iteration": self.early_stopping._reference_iteration,
+            }
+        return {
+            "objective": self.objective,
+            "n_iterations": self.n_iterations,
+            "iteration": self._iteration,
+            "default_value": self._default_value,
+            "worst_seen": self._worst_seen,
+            "stopped_early_at": self._stopped_at,
+            "quarantined_at": self._quarantined_at,
+            "session_rng": dict(self.rng.bit_generator.state),
+            "early_stopping": early,
+            "optimizer": self.optimizer.state_dict(),
+            "optimizer_knobs": opt_names,
+            "target_knobs": target_names,
+            "observations": observations,
+        }
+
+    def load_checkpoint(self, path: str | pathlib.Path) -> "TuningSession":
+        """``new → running`` from an on-disk snapshot.
+
+        The session must be freshly built over the *same* spec the
+        checkpoint came from: spaces are validated by knob-name header,
+        the optimizer by type, the early-stopping policy by presence; the
+        objective must match.  Returns ``self`` for chaining.
+        """
+        from repro.tuning import persistence  # lazy: persistence imports us
+
+        if self._state != "new":
+            raise RuntimeError(
+                f"cannot load a checkpoint into a {self._state!r} session"
+            )
+        payload = persistence.load_checkpoint(path)
+        if payload["objective"] != self.objective:
+            raise ValueError(
+                f"checkpoint tunes {payload['objective']!r}, "
+                f"session tunes {self.objective!r}"
+            )
+        opt_space = self.optimizer.space
+        target_space = self.adapter.target_space
+        if payload["optimizer_knobs"] != list(opt_space.names):
+            raise ValueError("checkpoint optimizer space does not match")
+        if payload["target_knobs"] != list(target_space.names):
+            raise ValueError("checkpoint target space does not match")
+        if (payload["early_stopping"] is None) != (self.early_stopping is None):
+            raise ValueError(
+                "checkpoint and session disagree on early stopping"
+            )
+
+        self._kb = KnowledgeBase(maximize=self.maximize)
+        decode_opt = _row_decoder(opt_space)
+        decode_target = _row_decoder(target_space)
+        for row in payload["observations"]:
+            (iteration, opt_row, target_row, value, crashed,
+             suggest_seconds, throughput, p95) = row
+            self._kb.record(
+                Observation(
+                    iteration=int(iteration),
+                    optimizer_config=decode_opt(opt_row),
+                    target_config=decode_target(target_row),
+                    value=value,
+                    crashed=bool(crashed),
+                    suggest_seconds=suggest_seconds,
+                    throughput=throughput,
+                    p95_latency_ms=p95,
+                )
+            )
+        self._default_value = payload["default_value"]
+        self._worst_seen = payload["worst_seen"]
+        self._iteration = int(payload["iteration"])
+        self._stopped_at = payload["stopped_early_at"]
+        self._quarantined_at = payload["quarantined_at"]
+        self.rng.bit_generator.state = payload["session_rng"]
+        if self.early_stopping is not None:
+            early = payload["early_stopping"]
+            self.early_stopping._reference = early["reference"]
+            self.early_stopping._reference_iteration = int(
+                early["reference_iteration"]
+            )
+        self.optimizer.load_state(payload["optimizer"])
+        if self.checkpoint_every > 0:
+            self._next_checkpoint_at = (
+                self._iteration // self.checkpoint_every + 1
+            ) * self.checkpoint_every
+        self._state = "running"
+        return self
+
+
+def _row_decoder(space):
+    """Row → Configuration restorer for one space: values were legal when
+    checkpointed and round-trip exactly, so the trusted constructor
+    applies; only integer knobs need the JSON float→int guard (mirroring
+    ``persistence._coerce``)."""
+    from repro.space.configspace import Configuration
+    from repro.space.knob import IntegerKnob
+
+    names = list(space.names)
+    is_int = [isinstance(space[name], IntegerKnob) for name in names]
+
+    def decode(row):
+        values = {
+            name: (int(value) if integer else value)
+            for name, integer, value in zip(names, is_int, row)
+        }
+        return Configuration._trusted(space, values)
+
+    return decode

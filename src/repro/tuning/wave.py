@@ -26,6 +26,19 @@ slice).  ``tests/test_wave.py`` pins this across SMAC, GP-BO, and random
 search; DDPG degrades to per-session stepping (its actions pair with
 observes step by step) while still sharing the stacked evaluation.
 
+**Session-owned state.**  Each member's progress — iteration cursor,
+knowledge base, early-stop/quarantine markers — lives on its
+:class:`~repro.tuning.session.TuningSession` (the resumable state
+machine), and the wave feeds outcomes through the session's own
+``_feed_outcomes``, so checkpoints, fault handling, and quarantine
+behave identically under both drivers.  A member built from a restored
+checkpoint simply joins the waves at its cursor (its exhausted init
+design contributes nothing to the stacked init pass); a member whose
+evaluation exhausts its fault-envelope retries is quarantined out of
+later waves exactly like early-stop dropout — and because every member
+owns its simulator, envelope, and streams (fault-handling members never
+share the stacked evaluator), the survivors' trajectories are untouched.
+
 **Shared-pool protocol** (``shared_pool=True``): the random candidate
 pool is generated once per wave from a *dedicated* pool PCG64 stream
 (``pool_seed``) and shared by every session; per-seed local-search
@@ -55,27 +68,19 @@ from repro.optimizers.forest import (
     RandomForestRegressor,
     predict_mean_var_stacked,
 )
-from repro.tuning.knowledge_base import KnowledgeBase
 from repro.tuning.session import TuningResult, TuningSession
 
 
 @dataclass
 class _Member:
-    """One seed's session plus its wave-side progress bookkeeping."""
+    """One seed's session within the wave (state lives on the session)."""
 
     seed: int
     session: TuningSession
-    kb: KnowledgeBase
-    default_value: float
-    iteration: int = 0
-    stopped_at: int | None = None
 
     @property
     def live(self) -> bool:
-        return (
-            self.stopped_at is None
-            and self.iteration < self.session.n_iterations
-        )
+        return self.session.live
 
 
 @dataclass
@@ -107,23 +112,27 @@ def run_wave(
     members: list[_Member] = []
     for seed in seeds:
         session = spec.build(seed)
-        kb, default_value = session._begin()
-        members.append(_Member(seed, session, kb, default_value))
+        if session.state == "new":
+            session.start()
+        members.append(_Member(seed, session))
     if not members:
         return []
     # All sessions share one workload/version/hardware profile, so any
     # member's simulator can evaluate the stacked rows (calibration is
     # cached by profile value); noise stays per-session via rng blocks.
     # Simulator subclasses that customize the evaluation path (failure
-    # injection, real-DBMS drivers) opt every member out of the stacked
-    # pass: each member then evaluates its own rows through its own
-    # simulator — the very calls sequential ``run_spec`` makes — so the
-    # byte-identity contract holds for them too.
+    # injection, real-DBMS drivers) — and sessions running under a fault
+    # envelope — opt every member out of the stacked pass: each member
+    # then evaluates its own rows through its own session's dispatch —
+    # the very calls sequential ``run_spec`` makes — so the byte-identity
+    # contract holds for them too, and one member's faults can never
+    # touch another member's streams.
     evaluator = None
     if all(
         type(m.session.simulator).evaluate is PostgresSimulator.evaluate
         and type(m.session.simulator).evaluate_batch
         is PostgresSimulator.evaluate_batch
+        and m.session.envelope is None
         for m in members
     ):
         evaluator = members[0].session.simulator
@@ -135,61 +144,57 @@ def run_wave(
         _wave_round(live, evaluator, pool_rng)
         live = [m for m in live if m.live]
 
-    return [
-        TuningResult(
-            knowledge_base=m.kb,
-            objective=m.session.objective,
-            default_value=m.default_value,
-            stopped_early_at=m.stopped_at,
-        )
-        for m in members
-    ]
-
-
-def _feed(
-    member: _Member,
-    opt_configs,
-    target_configs,
-    measurements,
-    per_suggest: float,
-) -> None:
-    """Apply one batch of outcomes to a member — the sequential loop's
-    own feedback bookkeeping (``TuningSession._feed_batch``: penalties,
-    early stop), shared rather than copied."""
-    member.iteration, member.stopped_at = member.session._feed_batch(
-        member.kb, member.iteration, opt_configs, target_configs,
-        measurements, per_suggest,
-    )
+    return [m.session.result() for m in members]
 
 
 def _evaluate_blocks(evaluator, batches, blocks):
     """All members' rows in one stacked pass when the simulators are
-    stock; otherwise each member's rows through its *own* simulator's
-    ``evaluate_batch`` (which honors subclass overrides row by row) —
-    the exact calls the sequential runner would make."""
+    stock and no fault envelope is active; otherwise each member's rows
+    through its *own* session's evaluation dispatch (which honors
+    subclass overrides row by row and runs the fault envelope) — the
+    exact calls the sequential runner would make."""
     if evaluator is not None:
         all_targets = [t for __, targets in batches for t in targets]
         return evaluator.evaluate_batch_stacked(all_targets, blocks)
-    measurements = []
+    outcomes = []
     for member, targets in batches:
-        measurements.extend(
-            member.session.simulator.evaluate_batch(
-                targets, rng=member.session.rng, on_crash="none"
+        outcomes.append(member.session._evaluate_batch(targets))
+    return outcomes
+
+
+def _feed_evaluated(evaluator, feeds, outcomes) -> None:
+    """Slice one stacked result back into per-member feeds (stacked
+    passes return a flat row list; per-member dispatch returns one
+    outcome list per member, possibly short when a row exhausted its
+    retries)."""
+    if evaluator is not None:
+        pos = 0
+        for member, configs, targets, per_suggest in feeds:
+            count = len(targets)
+            member.session._feed_outcomes(
+                configs, targets, outcomes[pos:pos + count], per_suggest
             )
-        )
-    return measurements
+            pos += count
+    else:
+        for (member, configs, targets, per_suggest), member_outcomes in zip(
+            feeds, outcomes
+        ):
+            member.session._feed_outcomes(
+                configs, targets, member_outcomes, per_suggest
+            )
 
 
 def _stacked_init(members: list[_Member], evaluator) -> None:
     """The batched LHS init phase of every session, evaluated in one
     cross-session simulator pass (sessions with ``batch_init`` disabled —
     or optimizers that cannot batch their init, e.g. DDPG — run their
-    init iterations through the generic wave rounds instead)."""
-    batches = []
+    init iterations through the generic wave rounds instead; resumed
+    sessions past their init contribute an empty design)."""
+    feeds = []
     blocks = []
     for member in members:
         session = member.session
-        if not session.batch_init:
+        if not session.batch_init or not member.live:
             continue
         started = time.perf_counter()
         init_configs = session.optimizer.suggest_init_batch()[
@@ -199,25 +204,18 @@ def _stacked_init(members: list[_Member], evaluator) -> None:
         if not init_configs:
             continue
         target_configs = session.adapter.to_target_batch(init_configs)
-        batches.append(
+        feeds.append(
             (member, init_configs, target_configs, elapsed / len(init_configs))
         )
         blocks.append((session.rng, len(init_configs)))
-    if not batches:
+    if not feeds:
         return
-    measurements = _evaluate_blocks(
+    outcomes = _evaluate_blocks(
         evaluator,
-        [(member, targets) for member, __, targets, __ in batches],
+        [(member, targets) for member, __, targets, __ in feeds],
         blocks,
     )
-    pos = 0
-    for member, init_configs, target_configs, per_suggest in batches:
-        count = len(init_configs)
-        _feed(
-            member, init_configs, target_configs,
-            measurements[pos:pos + count], per_suggest,
-        )
-        pos += count
+    _feed_evaluated(evaluator, feeds, outcomes)
 
 
 def _pool_provider(
@@ -253,7 +251,7 @@ def _wave_round(
         session = member.session
         q = min(
             session.suggest_batch,
-            session.n_iterations - member.iteration,
+            session.n_iterations - session.iteration,
         )
         provider = (
             _pool_provider(session.optimizer, pool_cache, pool_rng)
@@ -326,14 +324,9 @@ def _wave_round(
         feeds.append((r.member, r.configs, targets, per_suggest))
         blocks.append((session.rng, len(targets)))
 
-    measurements = _evaluate_blocks(
+    outcomes = _evaluate_blocks(
         evaluator,
         [(member, targets) for member, __, targets, __ in feeds],
         blocks,
     )
-    pos = 0
-    for member, configs, targets, per_suggest in feeds:
-        count = len(targets)
-        _feed(member, configs, targets, measurements[pos:pos + count],
-              per_suggest)
-        pos += count
+    _feed_evaluated(evaluator, feeds, outcomes)

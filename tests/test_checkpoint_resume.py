@@ -1,0 +1,308 @@
+"""Checkpoint/resume: byte-identical continuation of interrupted sessions.
+
+The resilience contract (ROADMAP.md): a session restored from a round-
+boundary checkpoint continues **byte-identically** to the uninterrupted
+trajectory — same observation values, same configurations, same crash
+rows, and the same PCG64 stream positions for both the session noise and
+the optimizer streams.  The "kill" is simulated by running a truncated
+budget (n_iterations = k with checkpoint_every = k, so the terminal
+checkpoint lands exactly at iteration k) and resuming a *freshly built*
+session to the full budget; ``test_process_pool_resume`` additionally
+restores in brand-new interpreters.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.optimizers import make_optimizer
+from repro.space.postgres import postgres_v96_space
+from repro.tuning.persistence import (
+    CHECKPOINT_FORMAT_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+    save_result,
+)
+from repro.tuning.runner import SessionSpec, llamatune_factory, run_spec
+from repro.tuning.session import TuningSession
+
+
+N_FULL = 16
+N_CUT = 11  # mid model phase (n_init = 6)
+
+
+def make_spec(optimizer="smac", tmp_dir=None, n_iterations=N_FULL, **kwargs):
+    base = dict(
+        workload="ycsb-a",
+        optimizer=optimizer,
+        adapter=llamatune_factory(target_dim=4),
+        n_iterations=n_iterations,
+        n_init=6,
+    )
+    if tmp_dir is not None:
+        base["checkpoint_dir"] = str(tmp_dir)
+    base.update(kwargs)
+    return SessionSpec(**base)
+
+
+def run_full(spec, seed):
+    """Uninterrupted run, returning (result, session) for stream access."""
+    session = spec.build(seed)
+    return session.run(), session
+
+
+def run_interrupted(optimizer, tmp_dir, seed, cut=N_CUT, **kwargs):
+    """Truncated run (the simulated kill) + fresh-build resume to N_FULL."""
+    truncated = make_spec(
+        optimizer, tmp_dir, n_iterations=cut, checkpoint_every=cut, **kwargs
+    )
+    truncated.build(seed).run()
+
+    resumed_spec = make_spec(
+        optimizer, tmp_dir, checkpoint_every=cut, resume=True, **kwargs
+    )
+    session = resumed_spec.build(seed)
+    # The restore must actually have happened — an earlier bug made the
+    # resume arm miss its checkpoint file and trivially pass by rerunning.
+    assert session.state == "running"
+    assert session.iteration == cut
+    return session.run(), session
+
+
+def assert_byte_identical(full, resumed, full_session, resumed_session):
+    assert np.array_equal(full.values, resumed.values)
+    assert [o.crashed for o in full.knowledge_base] == [
+        o.crashed for o in resumed.knowledge_base
+    ]
+    assert all(
+        a.optimizer_config == b.optimizer_config
+        and a.target_config == b.target_config
+        for a, b in zip(full.knowledge_base, resumed.knowledge_base)
+    )
+    assert full.best_value == resumed.best_value
+    assert full.default_value == resumed.default_value
+    # Every RNG stream position must match, not just the outputs so far.
+    assert (
+        full_session.rng.bit_generator.state
+        == resumed_session.rng.bit_generator.state
+    )
+    assert (
+        full_session.optimizer.rng.bit_generator.state
+        == resumed_session.optimizer.rng.bit_generator.state
+    )
+
+
+class TestResumeByteIdentity:
+    @pytest.mark.parametrize(
+        "optimizer,kwargs",
+        [
+            ("smac", {}),
+            ("random", {}),
+            ("gp-bo", {}),
+            ("gp-bo", {"optimizer_kwargs": (("refit_every", 3),)}),
+        ],
+        ids=["smac", "random", "gp-bo", "gp-bo-refit3"],
+    )
+    def test_sequential(self, optimizer, kwargs, tmp_path):
+        full, full_session = run_full(make_spec(optimizer, **kwargs), seed=1)
+        resumed, resumed_session = run_interrupted(
+            optimizer, tmp_path, seed=1, **kwargs
+        )
+        assert_byte_identical(full, resumed, full_session, resumed_session)
+
+    def test_mid_init_checkpoint(self, tmp_path):
+        """A checkpoint *inside* the LHS init phase (scalar init loop)
+        restores the remaining init points along with everything else."""
+        cut = 4  # < n_init = 6
+        full, full_session = run_full(make_spec("smac", batch_init=False), seed=2)
+        resumed, resumed_session = run_interrupted(
+            "smac", tmp_path, seed=2, cut=cut, batch_init=False
+        )
+        assert_byte_identical(full, resumed, full_session, resumed_session)
+
+    def test_wave_driver_resume(self, tmp_path):
+        """Killed wave sweeps resume per member: every seed's trajectory
+        matches its uninterrupted wave (== sequential) counterpart."""
+        seeds = [1, 2, 3]
+        full = run_spec(make_spec("smac"), seeds, mode="wave")
+
+        truncated = make_spec(
+            "smac", tmp_path, n_iterations=N_CUT, checkpoint_every=N_CUT
+        )
+        run_spec(truncated, seeds, mode="wave")
+        resumed_spec = make_spec(
+            "smac", tmp_path, checkpoint_every=N_CUT, resume=True
+        )
+        resumed = run_spec(resumed_spec, seeds, mode="wave")
+
+        for f, r in zip(full, resumed):
+            assert np.array_equal(f.values, r.values)
+            assert f.best_value == r.best_value
+            assert [o.crashed for o in f.knowledge_base] == [
+                o.crashed for o in r.knowledge_base
+            ]
+
+    def test_process_pool_resume(self, tmp_path):
+        """Resume in fresh interpreters: the checkpoint file alone carries
+        the state across the process boundary."""
+        seeds = [1, 2]
+        full = run_spec(make_spec("smac"), seeds)
+
+        truncated = make_spec(
+            "smac", tmp_path, n_iterations=N_CUT, checkpoint_every=N_CUT
+        )
+        run_spec(truncated, seeds)
+        resumed_spec = make_spec(
+            "smac", tmp_path, checkpoint_every=N_CUT, resume=True
+        )
+        resumed = run_spec(resumed_spec, seeds, parallel=True, mode="process")
+
+        for f, r in zip(full, resumed):
+            assert np.array_equal(f.values, r.values)
+            assert f.best_value == r.best_value
+
+    def test_resume_of_finished_run_is_noop(self, tmp_path):
+        """The terminal checkpoint makes resuming a completed sweep free:
+        the restored session is already exhausted and replays nothing."""
+        spec = make_spec("smac", tmp_path, checkpoint_every=N_FULL)
+        first = spec.build(1).run()
+
+        session = make_spec(
+            "smac", tmp_path, checkpoint_every=N_FULL, resume=True
+        ).build(1)
+        assert session.iteration == N_FULL
+        assert not session.live
+        again = session.run()
+        assert np.array_equal(first.values, again.values)
+
+
+class TestStateMachine:
+    def _session(self, **kwargs):
+        space = postgres_v96_space()
+        from repro.dbms.engine import PostgresSimulator
+        from repro.workloads import get_workload
+
+        return TuningSession(
+            PostgresSimulator(get_workload("ycsb-a")),
+            make_optimizer("random", space, seed=0, n_init=3),
+            n_iterations=5,
+            **kwargs,
+        )
+
+    def test_checkpoint_before_start_rejected(self, tmp_path):
+        session = self._session()
+        with pytest.raises(RuntimeError, match="unstarted"):
+            session.checkpoint(tmp_path / "s.ckpt.json")
+
+    def test_load_into_running_session_rejected(self, tmp_path):
+        donor = self._session(checkpoint_path=tmp_path / "s.ckpt.json")
+        donor.run()
+        path = donor.checkpoint()
+        session = self._session()
+        session.start()
+        with pytest.raises(RuntimeError, match="running"):
+            session.load_checkpoint(path)
+
+    def test_objective_mismatch_rejected(self, tmp_path):
+        donor = self._session()
+        donor.run()
+        path = donor.checkpoint(tmp_path / "s.ckpt.json")
+        with pytest.raises(ValueError, match="objective|tunes"):
+            self._session(objective="latency").load_checkpoint(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        donor = self._session()
+        donor.run()
+        path = donor.checkpoint(tmp_path / "s.ckpt.json")
+        payload = json.loads(path.read_text())
+        assert payload["checkpoint_format_version"] == CHECKPOINT_FORMAT_VERSION
+        payload["checkpoint_format_version"] = CHECKPOINT_FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format"):
+            self._session().load_checkpoint(path)
+
+    def test_checkpoint_every_requires_checkpointable(self):
+        space = postgres_v96_space()
+        from repro.dbms.engine import PostgresSimulator
+        from repro.workloads import get_workload
+
+        optimizer = make_optimizer("ddpg", space, seed=0, n_init=3)
+        assert optimizer.checkpointable is False
+        with pytest.raises(NotImplementedError):
+            optimizer.state_dict()
+        with pytest.raises(ValueError, match="not checkpointable"):
+            TuningSession(
+                PostgresSimulator(get_workload("ycsb-a")),
+                optimizer,
+                n_iterations=5,
+                checkpoint_every=2,
+                checkpoint_path="unused.ckpt.json",
+            )
+
+    def test_cli_rejects_ddpg_checkpointing(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "--optimizer", "ddpg", "--iterations", "5",
+                "--checkpoint-every", "2", "--checkpoint-dir", "/tmp/x",
+            ]
+        )
+        assert code == 2
+        assert "not checkpointable" in capsys.readouterr().err
+
+
+class TestAtomicWrites:
+    def test_failed_checkpoint_leaves_previous_intact(self, tmp_path, monkeypatch):
+        path = tmp_path / "s.ckpt.json"
+        save_checkpoint({"observations": []}, path)
+        before = path.read_text()
+
+        import repro.tuning.persistence as persistence
+
+        def explode(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(persistence.os, "replace", explode)
+        with pytest.raises(OSError):
+            save_checkpoint({"observations": [1, 2, 3]}, path)
+        assert path.read_text() == before
+        # The orphaned temp file is cleaned up too.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_failed_save_result_leaves_previous_intact(
+        self, tmp_path, monkeypatch
+    ):
+        spec = make_spec("random", n_iterations=6)
+        result = spec.build(1).run()
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        before = path.read_text()
+
+        import repro.tuning.persistence as persistence
+
+        monkeypatch.setattr(
+            persistence.os,
+            "replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        with pytest.raises(OSError):
+            save_result(result, path)
+        assert path.read_text() == before
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_checkpoint_roundtrip_is_exact(self, tmp_path):
+        """save → load preserves floats bit-for-bit and the RNG state
+        verbatim (JSON binary64 round-trip)."""
+        spec = make_spec("smac", tmp_path, n_iterations=8, checkpoint_every=8)
+        session = spec.build(3)
+        session.run()
+        payload = load_checkpoint(spec.checkpoint_path(3))
+        assert payload["iteration"] == 8
+        assert payload["session_rng"] == dict(
+            session.rng.bit_generator.state
+        )
+        values = [row[3] for row in payload["observations"]]
+        assert values == [float(v) for v in session.result().values]

@@ -1,0 +1,350 @@
+"""Fault envelope + deterministic fault injection.
+
+Covers the fault half of the resilience contract (ROADMAP.md): the fault
+schedule is a pure function of ``(spec_token, seed, fault_seed)`` drawn
+from its own PCG64 (never the evaluation or optimizer streams); a zero
+rate is byte-identical to no injection; retries/timeouts/corruption cost
+bounded budget; exhausting the budget quarantines the session without
+recording an observation; and a quarantined wave member leaves the
+surviving members' trajectories untouched.
+"""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import IdentityAdapter
+from repro.dbms.engine import PostgresSimulator
+from repro.dbms.errors import DbmsCrashError, DbmsError, TransientEvalError
+from repro.optimizers import make_optimizer
+from repro.space.postgres import postgres_v96_space
+from repro.tuning.fault_injection import FaultInjectingSimulator, FaultProfile
+from repro.tuning.faults import EXHAUSTED, FaultEnvelope, FaultPolicy, VirtualClock
+from repro.tuning.runner import SessionSpec, llamatune_factory, run_spec
+from repro.tuning.session import TuningSession
+from repro.workloads import get_workload
+
+
+def faulty_spec(fault_rate, fault_seed=0, n_iterations=20, **kwargs):
+    return SessionSpec(
+        workload="ycsb-a",
+        optimizer="smac",
+        adapter=llamatune_factory(target_dim=4),
+        n_iterations=n_iterations,
+        n_init=6,
+        fault_rate=fault_rate,
+        fault_seed=fault_seed,
+        **kwargs,
+    )
+
+
+def make_session(simulator, n_iterations=12, seed=0, **kwargs):
+    space = postgres_v96_space()
+    return TuningSession(
+        simulator,
+        make_optimizer("smac", space, seed=seed, n_init=4),
+        IdentityAdapter(space),
+        n_iterations=n_iterations,
+        seed=seed,
+        **kwargs,
+    )
+
+
+class CrashingSimulator(PostgresSimulator):
+    """Every tuned configuration 'crashes' the DBMS (the session-start
+    default measurement, its first call, still succeeds)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.calls = 0
+
+    def evaluate(self, config, rng=None):
+        self.calls += 1
+        if self.calls == 1:
+            return super().evaluate(config, rng=rng)
+        raise DbmsCrashError("always down")
+
+
+class NaNSimulator(PostgresSimulator):
+    """A buggy driver returning non-finite measurements."""
+
+    def evaluate(self, config, rng=None):
+        measurement = super().evaluate(config, rng=rng)
+        return dataclasses.replace(measurement, throughput=float("nan"))
+
+
+class FlakyBatchSimulator(PostgresSimulator):
+    """Stock scalar path, but the bulk entry point fails once."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.batch_calls = 0
+
+    def evaluate_batch(self, configs, rng=None, on_crash="raise"):
+        self.batch_calls += 1
+        if self.batch_calls == 1:
+            raise TransientEvalError("bulk RPC reset")
+        return super().evaluate_batch(configs, rng=rng, on_crash=on_crash)
+
+
+class TestFaultDeterminism:
+    def test_reproducible_per_key(self):
+        spec = faulty_spec(fault_rate=0.3, fault_seed=7)
+        a = run_spec(spec, [1])[0]
+        b = run_spec(spec, [1])[0]
+        assert np.array_equal(a.values, b.values)
+        assert a.quarantined_at == b.quarantined_at
+        assert [o.crashed for o in a.knowledge_base] == [
+            o.crashed for o in b.knowledge_base
+        ]
+
+    def test_fault_seed_changes_schedule(self):
+        a = run_spec(faulty_spec(fault_rate=0.3, fault_seed=7), [1])[0]
+        b = run_spec(faulty_spec(fault_rate=0.3, fault_seed=8), [1])[0]
+        assert len(a.values) != len(b.values) or not np.array_equal(
+            a.values, b.values
+        )
+
+    def test_zero_rate_is_byte_identical_to_stock(self):
+        """fault_rate = 0 never consults the fault stream and replays the
+        stock trajectory bit-for-bit — envelope and all."""
+        workload = get_workload("ycsb-a")
+        stock = make_session(PostgresSimulator(workload))
+        clock = VirtualClock()
+        injected = make_session(
+            FaultInjectingSimulator(
+                workload, fault_rate=0.0, session_seed=0, clock=clock
+            ),
+            fault_policy=FaultPolicy(),
+            fault_clock=clock,
+        )
+        a = stock.run()
+        b = injected.run()
+        assert np.array_equal(a.values, b.values)
+        assert a.default_value == b.default_value
+        assert (
+            stock.rng.bit_generator.state == injected.rng.bit_generator.state
+        )
+        assert (
+            stock.optimizer.rng.bit_generator.state
+            == injected.optimizer.rng.bit_generator.state
+        )
+        assert injected.envelope.transient_retries == 0
+        assert injected.envelope.exhausted_evaluations == 0
+
+    def test_all_fault_kinds_fire(self):
+        """A long moderate-rate run exercises every failure mode, and the
+        injector's and envelope's counters agree."""
+        spec = faulty_spec(
+            fault_rate=0.5,
+            fault_seed=3,
+            n_iterations=40,
+            fault_policy=FaultPolicy(max_retries=10),
+        )
+        session = spec.build(1)
+        result = session.run()
+        injected = session.simulator.injected
+        assert all(injected[kind] > 0 for kind in injected), injected
+        envelope = session.envelope
+        assert envelope.transient_retries == injected["transient"]
+        assert envelope.timeout_retries == injected["hang"]
+        assert envelope.corrupt_retries >= injected["corrupt"]
+        # Genuine configuration crashes occur alongside injected ones.
+        assert result.crash_count >= injected["flaky_crash"]
+        assert result.quarantined_at is None
+        assert len(result.values) == 40
+
+
+class TestEnvelope:
+    def test_hang_timeout_exhaust_quarantine(self):
+        """Hangs trip the (virtual) timeout budget; exhausting it
+        quarantines the session with an empty knowledge base."""
+        clock = VirtualClock()
+        simulator = FaultInjectingSimulator(
+            get_workload("ycsb-a"),
+            fault_rate=1.0,
+            profile=FaultProfile(transient=0, hang=1, flaky_crash=0, corrupt=0),
+            clock=clock,
+            hang_seconds=120.0,
+        )
+        policy = FaultPolicy(max_retries=2, timeout_seconds=30.0)
+        session = make_session(
+            simulator, fault_policy=policy, fault_clock=clock
+        )
+        result = session.run()
+        assert result.quarantined_at == 0
+        assert len(result.knowledge_base) == 0
+        assert session.envelope.timeout_retries == 3  # 1 attempt + 2 retries
+        assert session.envelope.exhausted_evaluations == 1
+        # 3 hangs of 120s plus two backoff sleeps advanced the clock.
+        assert clock.now() > 360.0
+
+    def test_exhausted_sentinel_is_not_an_observation(self):
+        clock = VirtualClock()
+        simulator = FaultInjectingSimulator(
+            get_workload("ycsb-a"),
+            fault_rate=1.0,
+            profile=FaultProfile(transient=1, hang=0, flaky_crash=0, corrupt=0),
+            clock=clock,
+        )
+        envelope = FaultEnvelope(FaultPolicy(max_retries=1), clock=clock)
+        # With a transient-only profile at rate 1 the config is never
+        # reached, so any placeholder works here.
+        outcome = envelope.evaluate(simulator, config=None)
+        assert outcome is EXHAUSTED
+        assert envelope.exhausted_evaluations == 1
+
+    def test_flaky_crashes_take_the_paper_penalty(self):
+        """Injected crashes are indistinguishable from config crashes:
+        recorded with the ¼-of-worst-seen penalty, never retried."""
+        spec = faulty_spec(
+            fault_rate=0.3,
+            fault_seed=5,
+            fault_policy=FaultPolicy(max_retries=10),
+        )
+        session = spec.build(2)
+        result = session.run()
+        injected = session.simulator.injected["flaky_crash"]
+        assert injected > 0
+        # Genuine configuration crashes may add to the injected ones.
+        assert result.crash_count >= injected
+        worst = result.default_value
+        for o in result.knowledge_base:
+            if o.crashed:
+                assert o.value == worst / 4.0
+            else:
+                worst = min(worst, o.value)
+
+    def test_batch_fallback_matches_native_pass(self):
+        """A failing bulk entry point degrades to row-by-row evaluation
+        with identical results (batch == N scalar calls is pinned)."""
+        workload = get_workload("ycsb-a")
+        stock = make_session(PostgresSimulator(workload))
+        flaky = make_session(
+            FlakyBatchSimulator(workload), fault_policy=FaultPolicy()
+        )
+        a = stock.run()
+        b = flaky.run()
+        assert np.array_equal(a.values, b.values)
+        assert flaky.envelope.batch_fallbacks == 1
+
+    def test_real_driver_transient_errors_are_retried(self):
+        """The seam a real-DBMS driver plugs into: raise TransientEvalError
+        and the envelope retries for free (examples/port_new_dbms.py)."""
+
+        class FlakyDriver(PostgresSimulator):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.calls = 0
+
+            def evaluate(self, config, rng=None):
+                self.calls += 1
+                # Never the first call: the session-start default
+                # measurement runs outside the envelope (real drivers
+                # should classify failures there as fatal anyway).
+                if self.calls % 3 == 0:
+                    raise TransientEvalError("connection reset")
+                return super().evaluate(config, rng=rng)
+
+        clock = VirtualClock()
+        session = make_session(
+            FlakyDriver(get_workload("ycsb-a")),
+            fault_policy=FaultPolicy(),
+            fault_clock=clock,
+        )
+        result = session.run()
+        assert len(result.values) == 12
+        assert result.quarantined_at is None
+        assert session.envelope.transient_retries > 0
+
+
+class TestCrashAndCorruptionGuards:
+    def test_first_post_init_crash_penalty_seeded_from_default(self):
+        """Satellite: with every configuration crashing, the very first
+        observation already carries the ¼ penalty of the *default*
+        configuration's value — worst-seen is seeded at session start,
+        not lazily on first success."""
+        session = make_session(CrashingSimulator(get_workload("ycsb-a")))
+        result = session.run()
+        assert result.crash_count == len(result.values) == 12
+        assert np.all(result.values == result.default_value / 4.0)
+
+    def test_nan_measurement_rejected_without_envelope(self):
+        """Satellite: a non-finite objective raises a clear DbmsError
+        instead of silently poisoning the surrogate."""
+        session = make_session(NaNSimulator(get_workload("ycsb-a")))
+        with pytest.raises(DbmsError, match="non-finite"):
+            session.run()
+
+    def test_nan_measurement_retried_with_envelope(self):
+        """The same corruption under a fault envelope costs a retry and
+        the session completes."""
+        class OneBadRow(PostgresSimulator):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.calls = 0
+
+            def evaluate(self, config, rng=None):
+                measurement = super().evaluate(config, rng=rng)
+                self.calls += 1
+                if self.calls == 5:
+                    return dataclasses.replace(
+                        measurement, throughput=float("inf")
+                    )
+                return measurement
+
+        clock = VirtualClock()
+        session = make_session(
+            OneBadRow(get_workload("ycsb-a")),
+            fault_policy=FaultPolicy(),
+            fault_clock=clock,
+        )
+        result = session.run()
+        assert len(result.values) == 12
+        assert all(math.isfinite(v) for v in result.values)
+        assert session.envelope.corrupt_retries == 1
+
+
+class TestWaveQuarantine:
+    # Pinned empirically: with this key, seed 1 exhausts its zero-retry
+    # budget at iteration 9 while seeds 2 and 3 run their full budget.
+    SPEC_KW = dict(
+        fault_rate=0.02,
+        fault_seed=1,
+        fault_policy=FaultPolicy(max_retries=0),
+    )
+
+    def test_quarantined_member_leaves_survivors_byte_identical(self):
+        spec = faulty_spec(**self.SPEC_KW)
+        solo = {seed: run_spec(spec, [seed])[0] for seed in (1, 2, 3)}
+        wave = run_spec(spec, [1, 2, 3], mode="wave")
+
+        assert solo[1].quarantined_at == 9
+        assert wave[0].quarantined_at == 9
+        assert [r.quarantined_at for r in wave[1:]] == [None, None]
+
+        for result, seed in zip(wave, (1, 2, 3)):
+            assert np.array_equal(result.values, solo[seed].values)
+            assert result.best_value == solo[seed].best_value
+            assert [o.crashed for o in result.knowledge_base] == [
+                o.crashed for o in solo[seed].knowledge_base
+            ]
+
+    def test_quarantine_reported_by_cli(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main(
+            [
+                "--workload", "ycsb-a", "--iterations", "20",
+                "--seed", "1", "--dim", "4",
+                "--fault-rate", "0.02", "--fault-seed", "1",
+                "--no-plot",
+            ]
+        )
+        # The CLI builds its own default FaultPolicy (max_retries = 3),
+        # so this particular run completes; the smoke value here is only
+        # that the flags parse and run end to end.
+        assert code == 0
+        assert "Tuning ycsb-a" in capsys.readouterr().out
