@@ -39,11 +39,11 @@ def shapley_importance(
     model: RandomForestRegressor,
     X: np.ndarray,
     n_permutations: int = 600,
-    rng: np.random.Generator | None = None,
+    *,
+    rng: np.random.Generator,
 ) -> np.ndarray:
     """Mean |Shapley contribution| per feature for model ``model`` on data
     distribution ``X`` (rows are encoded configurations)."""
-    rng = rng if rng is not None else np.random.default_rng()
     n, d = X.shape
     totals = np.zeros(d)
 

@@ -25,7 +25,7 @@ from repro.analysis.textplot import ascii_plot
 from repro.dbms.versions import V96, V136
 from repro.space.render import to_conf
 from repro.tuning.early_stopping import EarlyStoppingPolicy
-from repro.tuning.persistence import save_result
+from repro.tuning.persistence import atomic_write_text, save_result
 from repro.tuning.runner import (
     SessionSpec,
     llamatune_factory,
@@ -260,10 +260,10 @@ def main(argv: list[str] | None = None) -> int:
 
     best = result.knowledge_base.best_observation().target_config
     if args.conf_out:
-        with open(args.conf_out, "w") as handle:
-            handle.write(
-                to_conf(best, header=f"best configuration for {args.workload}")
-            )
+        atomic_write_text(
+            args.conf_out,
+            to_conf(best, header=f"best configuration for {args.workload}"),
+        )
         print(f"wrote best configuration to {args.conf_out}")
     if args.kb_out:
         save_result(result, args.kb_out)

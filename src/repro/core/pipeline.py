@@ -127,7 +127,7 @@ class LlamaTuneAdapter(SearchSpaceAdapter):
         if projection is not None:
             rng = np.random.default_rng(seed)
             self.projection = make_projection(
-                projection, target_space.dim, target_dim, rng
+                projection, target_space.dim, target_dim, rng=rng
             )
             self._optimizer_space = self._synthetic_space(projection)
         elif max_values is not None:

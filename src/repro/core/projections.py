@@ -20,7 +20,6 @@ A projection matrix is generated once per tuning session and stays fixed
 
 from __future__ import annotations
 
-import math
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -78,14 +77,13 @@ class REMBOProjection(LinearProjection):
     """Dense Gaussian random projection with clipping (REMBO)."""
 
     def __init__(self, input_dim: int, target_dim: int,
-                 rng: np.random.Generator | None = None):
+                 *, rng: np.random.Generator):
         super().__init__(input_dim, target_dim)
-        rng = rng if rng is not None else np.random.default_rng()
         self.matrix = rng.normal(0.0, 1.0, size=(input_dim, target_dim))
 
     @property
     def low_bound(self) -> float:
-        return math.sqrt(self.target_dim)
+        return float(np.sqrt(self.target_dim))
 
     def project(self, low: np.ndarray) -> np.ndarray:
         low = self._check(low)
@@ -106,9 +104,8 @@ class HeSBOProjection(LinearProjection):
     """Count-sketch projection (Hashing-enhanced Subspace BO)."""
 
     def __init__(self, input_dim: int, target_dim: int,
-                 rng: np.random.Generator | None = None):
+                 *, rng: np.random.Generator):
         super().__init__(input_dim, target_dim)
-        rng = rng if rng is not None else np.random.default_rng()
         #: h: which synthetic knob controls each original knob.
         self.column = rng.integers(0, target_dim, size=input_dim)
         #: sigma: the sign with which it does.
@@ -138,12 +135,13 @@ def make_projection(
     kind: str,
     input_dim: int,
     target_dim: int,
-    rng: np.random.Generator | None = None,
+    *,
+    rng: np.random.Generator,
 ) -> LinearProjection:
     """Factory for ``"hesbo"`` / ``"rembo"`` projections."""
     key = kind.lower()
     if key == "hesbo":
-        return HeSBOProjection(input_dim, target_dim, rng)
+        return HeSBOProjection(input_dim, target_dim, rng=rng)
     if key == "rembo":
-        return REMBOProjection(input_dim, target_dim, rng)
+        return REMBOProjection(input_dim, target_dim, rng=rng)
     raise ValueError(f"unknown projection kind {kind!r}")

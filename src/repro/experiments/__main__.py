@@ -10,6 +10,7 @@ import sys
 import time
 
 from repro.experiments import EXPERIMENTS, Scale, run_experiment
+from repro.tuning.persistence import atomic_write_text
 from repro.tuning.runner import spec_overrides
 
 #: Unique experiment ids in a sensible execution order (aliases removed).
@@ -129,7 +130,9 @@ def main(argv: list[str] | None = None) -> int:
                     "data": report.data,
                 }
                 path = out_dir / f"{experiment_id}.json"
-                path.write_text(json.dumps(payload, indent=2, default=float))
+                atomic_write_text(
+                    path, json.dumps(payload, indent=2, default=float)
+                )
     return 0
 
 

@@ -746,22 +746,47 @@ _lib_failed = False
 _lib_lock = threading.Lock()
 
 
+#: The kernel source must stay warning-clean: every build runs with
+#: ``-Wall -Wextra -Werror`` (the CI lint job compiles it too, so a new
+#: warning fails the build everywhere, not just on strict toolchains).
+_STRICT_FLAGS = ("-Wall", "-Wextra", "-Werror")
+
+#: Opt-in instrumented build (``REPRO_FOREST_KERNEL_SANITIZE=1``): ASan +
+#: UBSan with no recovery, so any OOB access or UB in the kernel aborts
+#: the test run instead of silently corrupting a forest.  Loading the
+#: instrumented .so into a non-instrumented Python needs
+#: ``LD_PRELOAD=$(cc -print-file-name=libasan.so)`` and (libasan's leak
+#: checker can't reason about the interpreter) ``ASAN_OPTIONS=detect_leaks=0``.
+_SANITIZE_FLAGS = (
+    "-g", "-fsanitize=address,undefined", "-fno-sanitize-recover=all"
+)
+
+
+def _sanitize_requested() -> bool:
+    return os.environ.get("REPRO_FOREST_KERNEL_SANITIZE", "0") == "1"
+
+
 def _build_library() -> ctypes.CDLL | None:
     """Compile (once, cached by source hash) and load the kernel."""
     digest = hashlib.sha1(_C_SOURCE.encode()).hexdigest()[:16]
     cache_dir = pathlib.Path(__file__).resolve().parent / "_native"
-    so_path = cache_dir / f"forest_kernel_{digest}.so"
+    flavor = "_san" if _sanitize_requested() else ""
+    so_path = cache_dir / f"forest_kernel_{digest}{flavor}.so"
     if not so_path.exists():
         try:
             cache_dir.mkdir(exist_ok=True)
             with tempfile.TemporaryDirectory() as tmp:
                 c_path = pathlib.Path(tmp) / "forest_kernel.c"
+                # repro-lint: allow[atomic-write] reason=scratch file in a private TemporaryDirectory, published below via an atomic replace
                 c_path.write_text(_C_SOURCE)
                 tmp_so = pathlib.Path(tmp) / "forest_kernel.so"
+                flags = ["-O2", "-fPIC", "-shared", "-ffp-contract=off",
+                         *_STRICT_FLAGS]
+                if _sanitize_requested():
+                    flags += _SANITIZE_FLAGS
                 for compiler in ("cc", "gcc", "clang"):
                     result = subprocess.run(
-                        [compiler, "-O2", "-fPIC", "-shared",
-                         "-ffp-contract=off", "-o", str(tmp_so), str(c_path)],
+                        [compiler, *flags, "-o", str(tmp_so), str(c_path)],
                         capture_output=True,
                     )
                     if result.returncode == 0:

@@ -124,11 +124,11 @@ class OrnsteinUhlenbeckNoise:
     """Temporally correlated exploration noise (standard DDPG choice)."""
 
     def __init__(self, dim: int, theta: float = 0.15, sigma: float = 0.2,
-                 rng: np.random.Generator | None = None):
+                 *, rng: np.random.Generator):
         self.dim = dim
         self.theta = theta
         self.sigma = sigma
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng
         self.state = np.zeros(dim)
 
     def sample(self) -> np.ndarray:

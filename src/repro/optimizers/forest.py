@@ -153,13 +153,14 @@ class RegressionTree:
         min_samples_split: int = 3,
         max_depth: int = 20,
         n_thresholds: int = DEFAULT_N_THRESHOLDS,
-        rng: np.random.Generator | None = None,
+        *,
+        rng: np.random.Generator,
     ):
         self.max_features = max_features
         self.min_samples_split = min_samples_split
         self.max_depth = max_depth
         self.n_thresholds = n_thresholds
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng
         self._arrays: _TreeArrays | None = None
 
     def fit(
@@ -381,7 +382,8 @@ class RandomForestRegressor:
         min_samples_split: int = 3,
         max_depth: int = 20,
         bootstrap: bool = True,
-        seed: int | None = None,
+        *,
+        seed: int,
     ):
         self.n_trees = n_trees
         self.max_features = max_features

@@ -47,7 +47,7 @@ from scipy import linalg, optimize
 def matern52(sq_dist: np.ndarray) -> np.ndarray:
     """Matérn 5/2 correlation given *squared* scaled distances."""
     d = np.sqrt(np.maximum(sq_dist, 0.0))
-    sqrt5_d = math.sqrt(5.0) * d
+    sqrt5_d = np.sqrt(5.0) * d
     return (1.0 + sqrt5_d + 5.0 / 3.0 * sq_dist) * np.exp(-sqrt5_d)
 
 
@@ -116,8 +116,11 @@ class GaussianProcess:
         shape: tuple[int, int],
         theta: np.ndarray,
     ) -> np.ndarray:
+        # repro-lint: allow[ulp] reason=scalar-only theta transform; np.exp can differ from math.exp in the last ulp and would shift the pinned GP trajectories
         amp2 = math.exp(2.0 * theta[0])
+        # repro-lint: allow[ulp] reason=scalar-only theta transform; np.exp can differ from math.exp in the last ulp and would shift the pinned GP trajectories
         ls_num = math.exp(theta[1])
+        # repro-lint: allow[ulp] reason=scalar-only theta transform; np.exp can differ from math.exp in the last ulp and would shift the pinned GP trajectories
         ls_cat = math.exp(theta[2])
         k = np.ones(shape)
         if sq_num is not None:
@@ -142,6 +145,7 @@ class GaussianProcess:
         n: int,
         y: np.ndarray,
     ) -> float:
+        # repro-lint: allow[ulp] reason=scalar-only theta transform; np.exp can differ from math.exp in the last ulp and would shift the pinned GP trajectories
         noise = math.exp(2.0 * theta[3]) + 1e-8
         K = self._kernel_from_parts(
             sq_num, mismatch, (n, n), theta
@@ -188,14 +192,18 @@ class GaussianProcess:
         rebuilding whatever its single perturbed hyperparameter does not
         touch.
         """
+        # repro-lint: allow[ulp] reason=scalar-only theta transform; np.exp can differ from math.exp in the last ulp and would shift the pinned GP trajectories
         amp2 = math.exp(2.0 * theta[0])
+        # repro-lint: allow[ulp] reason=scalar-only theta transform; np.exp can differ from math.exp in the last ulp and would shift the pinned GP trajectories
         noise = math.exp(2.0 * theta[3]) + 1e-8
         k = np.ones((n, n))
         m_f = c_f = None
         if sq_num is not None:
+            # repro-lint: allow[ulp] reason=scalar-only theta transform; np.exp can differ from math.exp in the last ulp and would shift the pinned GP trajectories
             m_f = matern52(sq_num / math.exp(theta[1]) ** 2)
             k *= m_f
         if mismatch is not None:
+            # repro-lint: allow[ulp] reason=scalar-only theta transform; np.exp can differ from math.exp in the last ulp and would shift the pinned GP trajectories
             c_f = np.exp(-mismatch / math.exp(theta[2]))
             k *= c_f
         scaled = amp2 * k
@@ -220,21 +228,27 @@ class GaussianProcess:
         values that call would recompute, and the combining ops run in the
         same order)."""
         m_f, c_f, product, scaled = factors
+        # repro-lint: allow[ulp] reason=scalar-only theta transform; np.exp can differ from math.exp in the last ulp and would shift the pinned GP trajectories
         noise = math.exp(2.0 * theta_i[3]) + 1e-8
         eye = np.eye(n)
         if i == 0:
+            # repro-lint: allow[ulp] reason=scalar-only theta transform; np.exp can differ from math.exp in the last ulp and would shift the pinned GP trajectories
             K = math.exp(2.0 * theta_i[0]) * product
         elif i == 1 and sq_num is not None:
             k = np.ones((n, n))
+            # repro-lint: allow[ulp] reason=scalar-only theta transform; np.exp can differ from math.exp in the last ulp and would shift the pinned GP trajectories
             k *= matern52(sq_num / math.exp(theta_i[1]) ** 2)
             if c_f is not None:
                 k *= c_f
+            # repro-lint: allow[ulp] reason=scalar-only theta transform; np.exp can differ from math.exp in the last ulp and would shift the pinned GP trajectories
             K = math.exp(2.0 * theta_i[0]) * k
         elif i == 2 and mismatch is not None:
             k = np.ones((n, n))
             if m_f is not None:
                 k *= m_f
+            # repro-lint: allow[ulp] reason=scalar-only theta transform; np.exp can differ from math.exp in the last ulp and would shift the pinned GP trajectories
             k *= np.exp(-mismatch / math.exp(theta_i[2]))
+            # repro-lint: allow[ulp] reason=scalar-only theta transform; np.exp can differ from math.exp in the last ulp and would shift the pinned GP trajectories
             K = math.exp(2.0 * theta_i[0]) * k
         else:
             # The perturbed coordinate is the noise level, or a
@@ -387,6 +401,7 @@ class GaussianProcess:
                 best_nll, best_theta = result.fun, result.x
 
         self._theta = best_theta
+        # repro-lint: allow[ulp] reason=scalar-only theta transform; np.exp can differ from math.exp in the last ulp and would shift the pinned GP trajectories
         noise = math.exp(2.0 * best_theta[3]) + 1e-8
         K = self._kernel_from_parts(
             sq_num, mismatch, (n, n), best_theta
@@ -454,6 +469,7 @@ class GaussianProcess:
         """
         n, k = len(X_prev), len(X_new)
         theta = self._theta
+        # repro-lint: allow[ulp] reason=scalar-only theta transform; np.exp can differ from math.exp in the last ulp and would shift the pinned GP trajectories
         noise = math.exp(2.0 * theta[3]) + 1e-8
         sq_cross, mis_cross = self._distance_parts(X_prev, X_new)
         sq_new, mis_new = self._distance_parts(X_new, X_new)
@@ -480,6 +496,7 @@ class GaussianProcess:
         """
         n0 = windows[0]
         theta = self._theta
+        # repro-lint: allow[ulp] reason=scalar-only theta transform; np.exp can differ from math.exp in the last ulp and would shift the pinned GP trajectories
         noise = math.exp(2.0 * theta[3]) + 1e-8
         sq, mis = self._distance_parts(X[:n0], X[:n0])
         K = self._kernel_from_parts(
@@ -573,6 +590,7 @@ class GaussianProcess:
         k_star = self._kernel(X, self._X, self._theta)
         mean_z = k_star @ self._alpha
         v = linalg.solve_triangular(self._chol, k_star.T, lower=True)
+        # repro-lint: allow[ulp] reason=scalar-only theta transform; np.exp can differ from math.exp in the last ulp and would shift the pinned GP trajectories
         amp2 = math.exp(2.0 * self._theta[0])
         var_z = np.maximum(amp2 - np.sum(v**2, axis=0), 1e-12)
         mean = mean_z * self._y_std + self._y_mean

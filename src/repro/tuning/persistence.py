@@ -38,9 +38,15 @@ FORMAT_VERSION = 1
 CHECKPOINT_FORMAT_VERSION = 1
 
 
-def _atomic_write_text(path: str | pathlib.Path, text: str) -> None:
+def atomic_write_text(path: str | pathlib.Path, text: str) -> None:
     """Write-then-rename in the target's directory (same filesystem, so
-    the replace is atomic); the temp file is removed on any failure."""
+    the replace is atomic); the temp file is removed on any failure.
+
+    This is *the* write seam for every persistent artifact in ``src/``
+    (the repro-lint ``atomic-write`` rule enforces it): results,
+    checkpoints, rendered configs, experiment JSON all route through
+    here so a process killed mid-save never truncates an existing file.
+    """
     path = pathlib.Path(path)
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=path.name + ".", suffix=".tmp"
@@ -109,7 +115,7 @@ def result_to_dict(result: TuningResult) -> dict[str, Any]:
 
 def save_result(result: TuningResult, path: str | pathlib.Path) -> None:
     """Write a tuning result to a JSON file (atomically)."""
-    _atomic_write_text(
+    atomic_write_text(
         path, json.dumps(result_to_dict(result), indent=2, default=_json_default)
     )
 
@@ -168,7 +174,7 @@ def save_checkpoint(payload: dict[str, Any], path: str | pathlib.Path) -> None:
     """
     body = dict(payload)
     body["checkpoint_format_version"] = CHECKPOINT_FORMAT_VERSION
-    _atomic_write_text(
+    atomic_write_text(
         path,
         json.dumps(body, separators=(",", ":"), default=_json_default),
     )

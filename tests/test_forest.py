@@ -40,7 +40,9 @@ class TestRegressionTree:
 
     def test_unfitted_predict_raises(self):
         with pytest.raises(RuntimeError):
-            RegressionTree().predict_with_variance(np.zeros((1, 2)))
+            RegressionTree(rng=np.random.default_rng(0)).predict_with_variance(
+                np.zeros((1, 2))
+            )
 
     def test_max_depth_respected(self):
         X, y = make_data(n=200)
@@ -89,15 +91,15 @@ class TestRandomForest:
 
     def test_empty_fit_rejected(self):
         with pytest.raises(ValueError):
-            RandomForestRegressor().fit(np.empty((0, 3)), np.empty(0))
+            RandomForestRegressor(seed=0).fit(np.empty((0, 3)), np.empty(0))
 
     def test_length_mismatch_rejected(self):
         with pytest.raises(ValueError):
-            RandomForestRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+            RandomForestRegressor(seed=0).fit(np.zeros((5, 2)), np.zeros(4))
 
     def test_unfitted_predict_raises(self):
         with pytest.raises(RuntimeError):
-            RandomForestRegressor().predict_mean_var(np.zeros((1, 2)))
+            RandomForestRegressor(seed=0).predict_mean_var(np.zeros((1, 2)))
 
     def test_deterministic_given_seed(self):
         X, y = make_data()

@@ -16,7 +16,7 @@ from repro.core.projections import (
 
 class TestHeSBO:
     def test_one_nonzero_per_row(self):
-        proj = HeSBOProjection(90, 16, np.random.default_rng(0))
+        proj = HeSBOProjection(90, 16, rng=np.random.default_rng(0))
         A = proj.matrix
         assert A.shape == (90, 16)
         nonzero_per_row = (A != 0).sum(axis=1)
@@ -25,7 +25,7 @@ class TestHeSBO:
 
     def test_projection_matches_matrix_product(self):
         rng = np.random.default_rng(1)
-        proj = HeSBOProjection(30, 8, rng)
+        proj = HeSBOProjection(30, 8, rng=rng)
         low = rng.uniform(-1, 1, size=8)
         np.testing.assert_allclose(proj.project(low), proj.matrix @ low)
 
@@ -38,22 +38,22 @@ class TestHeSBO:
     @settings(max_examples=50, deadline=None)
     def test_containment_property(self, low, seed):
         """HeSBO invariant: projections of [-1,1]^d never leave [-1,1]^D."""
-        proj = HeSBOProjection(50, 8, np.random.default_rng(seed))
+        proj = HeSBOProjection(50, 8, rng=np.random.default_rng(seed))
         high = proj.project(low)
         assert np.all(high >= -1.0) and np.all(high <= 1.0)
 
     def test_low_bound_is_one(self):
-        assert HeSBOProjection(10, 4).low_bound == 1.0
+        assert HeSBOProjection(10, 4, rng=np.random.default_rng(0)).low_bound == 1.0
 
     def test_deterministic_given_rng(self):
-        a = HeSBOProjection(20, 4, np.random.default_rng(7))
-        b = HeSBOProjection(20, 4, np.random.default_rng(7))
+        a = HeSBOProjection(20, 4, rng=np.random.default_rng(7))
+        b = HeSBOProjection(20, 4, rng=np.random.default_rng(7))
         np.testing.assert_array_equal(a.matrix, b.matrix)
 
     def test_one_to_many_mapping(self):
         """Every original knob is controlled by exactly one synthetic knob;
         synthetic knobs control multiple originals (D > d forces sharing)."""
-        proj = HeSBOProjection(90, 16, np.random.default_rng(3))
+        proj = HeSBOProjection(90, 16, rng=np.random.default_rng(3))
         counts = np.bincount(proj.column, minlength=16)
         assert counts.sum() == 90
         assert counts.max() > 1
@@ -61,11 +61,11 @@ class TestHeSBO:
 
 class TestREMBO:
     def test_low_bound_is_sqrt_d(self):
-        proj = REMBOProjection(90, 16, np.random.default_rng(0))
+        proj = REMBOProjection(90, 16, rng=np.random.default_rng(0))
         assert proj.low_bound == pytest.approx(np.sqrt(16))
 
     def test_projection_is_clipped(self):
-        proj = REMBOProjection(90, 16, np.random.default_rng(0))
+        proj = REMBOProjection(90, 16, rng=np.random.default_rng(0))
         low = np.full(16, proj.low_bound)
         high = proj.project(low)
         assert np.all(high >= -1.0) and np.all(high <= 1.0)
@@ -74,7 +74,7 @@ class TestREMBO:
         """The failure mode from the paper: most coordinates of typical
         REMBO projections are clipped, pinning points to the facets."""
         rng = np.random.default_rng(5)
-        proj = REMBOProjection(90, 16, rng)
+        proj = REMBOProjection(90, 16, rng=rng)
         fractions = [
             proj.clip_fraction(rng.uniform(-proj.low_bound, proj.low_bound, 16))
             for _ in range(50)
@@ -82,26 +82,31 @@ class TestREMBO:
         assert np.mean(fractions) > 0.5
 
     def test_zero_maps_to_interior(self):
-        proj = REMBOProjection(30, 8, np.random.default_rng(2))
+        proj = REMBOProjection(30, 8, rng=np.random.default_rng(2))
         np.testing.assert_allclose(proj.project(np.zeros(8)), np.zeros(30))
 
 
 class TestFactory:
     def test_make_projection(self):
-        assert isinstance(make_projection("hesbo", 10, 4), HeSBOProjection)
-        assert isinstance(make_projection("rembo", 10, 4), REMBOProjection)
+        rng = np.random.default_rng(0)
+        assert isinstance(
+            make_projection("hesbo", 10, 4, rng=rng), HeSBOProjection
+        )
+        assert isinstance(
+            make_projection("rembo", 10, 4, rng=rng), REMBOProjection
+        )
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError):
-            make_projection("pca", 10, 4)
+            make_projection("pca", 10, 4, rng=np.random.default_rng(0))
 
     def test_invalid_dims_rejected(self):
         with pytest.raises(ValueError):
-            HeSBOProjection(5, 10)
+            HeSBOProjection(5, 10, rng=np.random.default_rng(0))
         with pytest.raises(ValueError):
-            HeSBOProjection(5, 0)
+            HeSBOProjection(5, 0, rng=np.random.default_rng(0))
 
     def test_wrong_input_shape_rejected(self):
-        proj = HeSBOProjection(10, 4)
+        proj = HeSBOProjection(10, 4, rng=np.random.default_rng(0))
         with pytest.raises(ValueError):
             proj.project(np.zeros(5))

@@ -1,0 +1,7 @@
+"""Repo tooling: pin capture, bench regression, chaos smoke, repro-lint.
+
+The standalone scripts (``capture_determinism_pins.py``,
+``check_bench_regression.py``, ``chaos_smoke.py``) still run as plain
+files; this package marker exists so ``python -m tools.repro_lint`` works
+from the repository root.
+"""

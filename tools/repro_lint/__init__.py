@@ -1,0 +1,49 @@
+"""repro-lint: an AST-based determinism/contract linter for this repo.
+
+Every speedup since PR 1 is sold on a *byte-identity* contract (batch ≡ N
+scalar calls, wave ≡ sequential, resume ≡ uninterrupted — see the ROADMAP
+contract sections), but those contracts were enforced only dynamically, by
+pins that fire *after* a violation ships.  The bug classes the repo has
+already hit — an ``id()``-keyed calibration cache, unseeded RNG fallbacks,
+``math.*``-vs-numpy last-ulp drift — are all statically detectable.  This
+package detects them at lint time, one rule module per contract:
+
+``rules.rng``
+    RNG discipline: no legacy ``np.random.*`` module-level draws, no
+    stdlib ``random`` in ``src/``, no unseeded ``default_rng()`` — every
+    Generator must trace to an explicit seed or an injected session
+    stream.
+``rules.ulp``
+    Ulp discipline: ``math.*`` transcendentals on non-constant arguments
+    are forbidden in ``src/`` (numpy ufuncs required) because they differ
+    from the ufunc loops in the last ulp, breaking batch ≡ scalar.
+``rules.cache_key``
+    Cache-key hygiene: no ``id()``-keyed caches, no iteration over sets
+    feeding trajectory-determining draws or serialized output.
+``rules.atomic_write``
+    Persistence atomicity: every write routes through the
+    temp-file + ``os.replace`` helpers in ``tuning/persistence.py``.
+``rules.excepts``
+    Fault-envelope hygiene: no broad ``except`` that can swallow
+    ``DbmsCrashError``/``TransientEvalError`` outside ``tuning/faults.py``.
+
+False positives are silenced only by inline pragmas with a mandatory
+reason::
+
+    x = math.exp(t)  # repro-lint: allow[ulp] reason=scalar-only formula
+
+A pragma on a comment-only line covers the next line.  A pragma without a
+reason does not suppress anything (and is itself reported), and a pragma
+that suppresses nothing is reported as stale — every exemption stays
+reviewable.
+
+Usage::
+
+    python -m tools.repro_lint src tests tools
+    python -m tools.repro_lint --explain ulp
+
+Stdlib-only by design (``ast`` visitors); exits non-zero on findings.
+"""
+
+from tools.repro_lint.engine import Finding, lint_paths, lint_source  # noqa: F401
+from tools.repro_lint.rules import ALL_RULES, rule_by_id  # noqa: F401

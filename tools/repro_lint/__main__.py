@@ -1,0 +1,77 @@
+"""CLI: ``python -m tools.repro_lint [paths...]``.
+
+Exits 0 when every linted file is clean, 1 on findings, 2 on usage
+errors.  ``--explain RULE-ID`` prints the contract a rule enforces
+(sourced from the ROADMAP contract sections); ``--list-rules`` shows
+every rule with its scopes.  There is deliberately no ``--fix``: every
+violation is either a real contract break (fix the code) or a reviewed
+exemption (add an ``allow[...]`` pragma with a reason).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import textwrap
+
+from tools.repro_lint.engine import lint_paths
+from tools.repro_lint.rules import ALL_RULES, rule_by_id
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_lint",
+        description="AST-based determinism/contract linter (see ROADMAP "
+        "'Static-analysis contract').",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint (e.g. src tests tools)"
+    )
+    parser.add_argument(
+        "--explain", metavar="RULE-ID",
+        help="print the contract a rule enforces and exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.explain:
+        rule = rule_by_id(args.explain)
+        if rule is None:
+            known = ", ".join(r.rule_id for r in ALL_RULES)
+            print(f"unknown rule id {args.explain!r}; known: {known}",
+                  file=sys.stderr)
+            return 2
+        print(f"{rule.rule_id}: {rule.title}")
+        print(f"  scopes: {', '.join(rule.scopes)}")
+        if rule.exempt_files:
+            print(f"  exempt: {', '.join(rule.exempt_files)}")
+        print()
+        print(textwrap.fill(rule.contract, width=78,
+                            initial_indent="  ", subsequent_indent="  "))
+        return 0
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id:<20} {rule.title} "
+                  f"[{', '.join(rule.scopes)}]")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    findings = lint_paths(args.paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"\n{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+              "(silence false positives with "
+              "'# repro-lint: allow[rule-id] reason=...')")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

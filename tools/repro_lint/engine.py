@@ -1,0 +1,226 @@
+"""Lint engine: file walking, pragma parsing, suppression, reporting.
+
+The engine is deliberately dumb: rules do all AST work and yield
+:class:`Finding`\\ s; the engine classifies files into scopes
+(``src``/``tests``/``tools``), applies per-rule file exemptions, matches
+findings against ``# repro-lint: allow[...] reason=...`` pragmas, and
+reports stale or reasonless pragmas as findings of their own so every
+exemption stays reviewable.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import pathlib
+import re
+import tokenize
+from typing import Iterable, Sequence
+
+#: A pragma comment anywhere in a line, shaped
+#: ``<hash> repro-lint: allow[rule-one, rule-two] reason=<text to EOL>``
+#: (the reason is mandatory — enforced below, not by the regex, so a
+#: reasonless pragma is reported instead of silently ignored).
+PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*allow\[(?P<rules>[^\]]*)\]\s*(?:reason=(?P<reason>.*))?$"
+)
+
+#: Findings the engine emits about pragmas themselves; not suppressible.
+PRAGMA_RULE_ID = "bad-pragma"
+STALE_PRAGMA_RULE_ID = "stale-pragma"
+SYNTAX_RULE_ID = "syntax-error"
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One lint violation, anchored to a file position."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass
+class Pragma:
+    line: int          # line the pragma comment sits on
+    target: int        # line whose findings it suppresses
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+class Module:
+    """A parsed source file handed to every applicable rule."""
+
+    def __init__(self, path: str, source: str, scope: str):
+        self.path = path
+        self.source = source
+        self.scope = scope
+        self.tree = ast.parse(source)
+
+    @property
+    def posix_path(self) -> str:
+        return pathlib.PurePath(self.path).as_posix()
+
+
+def classify_scope(path: pathlib.PurePath) -> str:
+    """``tests`` / ``tools`` / ``src`` by path segment (rules declare which
+    scopes they run in; e.g. the atomicity rule does not police pytest
+    tmp-file writes)."""
+    parts = path.parts
+    if "tests" in parts:
+        return "tests"
+    if "tools" in parts:
+        return "tools"
+    return "src"
+
+
+def parse_pragmas(source: str) -> tuple[list[Pragma], list[tuple[int, str]]]:
+    """Extract pragmas and pragma *errors* (reasonless or empty rule list).
+
+    Returns ``(pragmas, errors)`` where each error is ``(line, message)``.
+    A pragma on a comment-only line targets the next line; otherwise it
+    targets its own line.  Reasonless pragmas are returned as errors only —
+    they never suppress, so the underlying finding is still reported.
+
+    Only real ``#`` comments count (``tokenize``-based): pragma-shaped
+    text inside string literals or docstrings — e.g. documentation showing
+    the pragma syntax — is inert.
+    """
+    pragmas: list[Pragma] = []
+    errors: list[tuple[int, str]] = []
+    comments: list[tuple[int, str, bool]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comment_only = token.line[: token.start[1]].strip() == ""
+                comments.append((token.start[0], token.string, comment_only))
+    except (tokenize.TokenError, IndentationError):
+        # The AST parse reports unparseable files; nothing to do here.
+        return [], []
+    for lineno, text, comment_only in comments:
+        match = PRAGMA_RE.search(text)
+        if match is None:
+            # A comment that tries to be a pragma but doesn't parse must
+            # not silently do nothing.
+            if re.search(r"#\s*repro-lint\s*:", text):
+                errors.append((lineno, "malformed repro-lint pragma"))
+            continue
+        rules = tuple(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        if not rules:
+            errors.append((lineno, "pragma allows no rules: allow[] is empty"))
+            continue
+        if not reason:
+            errors.append(
+                (
+                    lineno,
+                    "pragma without a reason= justification "
+                    f"(rules: {', '.join(rules)}) — reasons are mandatory",
+                )
+            )
+            continue
+        target = lineno + 1 if comment_only else lineno
+        pragmas.append(Pragma(lineno, target, rules, reason))
+    return pragmas, errors
+
+
+def _iter_files(paths: Sequence[str | pathlib.Path]) -> Iterable[pathlib.Path]:
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    scope: str = "src",
+    rules: Sequence | None = None,
+) -> list[Finding]:
+    """Lint one source string (the unit-test entry point)."""
+    if rules is None:
+        from tools.repro_lint.rules import ALL_RULES
+
+        rules = ALL_RULES
+    findings: list[Finding] = []
+    try:
+        module = Module(path, source, scope)
+    except SyntaxError as exc:
+        return [
+            Finding(path, exc.lineno or 1, exc.offset or 0, SYNTAX_RULE_ID,
+                    f"file does not parse: {exc.msg}")
+        ]
+    pragmas, pragma_errors = parse_pragmas(source)
+    for line, message in pragma_errors:
+        findings.append(Finding(path, line, 0, PRAGMA_RULE_ID, message))
+
+    raw: list[Finding] = []
+    posix = module.posix_path
+    for rule in rules:
+        if scope not in rule.scopes:
+            continue
+        if any(posix.endswith(suffix) for suffix in rule.exempt_files):
+            continue
+        raw.extend(rule.check(module))
+
+    known_ids = {rule.rule_id for rule in rules}
+    for pragma in pragmas:
+        for rid in pragma.rules:
+            if rid not in known_ids:
+                findings.append(
+                    Finding(path, pragma.line, 0, PRAGMA_RULE_ID,
+                            f"pragma allows unknown rule id {rid!r}")
+                )
+
+    for finding in raw:
+        suppressed = False
+        for pragma in pragmas:
+            if finding.line == pragma.target and finding.rule in pragma.rules:
+                pragma.used = True
+                suppressed = True
+        if not suppressed:
+            findings.append(finding)
+
+    for pragma in pragmas:
+        if not pragma.used and all(rid in known_ids for rid in pragma.rules):
+            findings.append(
+                Finding(
+                    path, pragma.line, 0, STALE_PRAGMA_RULE_ID,
+                    "pragma suppresses nothing on its target line "
+                    f"(rules: {', '.join(pragma.rules)}) — remove it",
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str | pathlib.Path],
+    rules: Sequence | None = None,
+) -> list[Finding]:
+    """Lint every ``.py`` file under the given paths."""
+    findings: list[Finding] = []
+    for path in _iter_files(paths):
+        scope = classify_scope(path)
+        try:
+            source = path.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(str(path), 1, 0, SYNTAX_RULE_ID, f"unreadable: {exc}")
+            )
+            continue
+        findings.extend(
+            lint_source(source, path=str(path), scope=scope, rules=rules)
+        )
+    return findings

@@ -1,0 +1,78 @@
+"""Rule registry: one module per ROADMAP contract.
+
+Each rule declares its id, the scopes it runs in (``src``/``tests``/
+``tools``), files exempt by design (e.g. ``tuning/persistence.py`` *is*
+the atomic writer), and a ``contract`` paragraph printed by
+``--explain``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_lint.engine import Finding, Module
+
+
+class Rule:
+    """Base class: subclasses set the class attributes and implement
+    :meth:`check` as an AST walk yielding findings."""
+
+    rule_id: str = ""
+    title: str = ""
+    scopes: tuple[str, ...] = ("src",)
+    exempt_files: tuple[str, ...] = ()
+    contract: str = ""
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            module.path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            self.rule_id,
+            message,
+        )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``np.random.default_rng`` → that string; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+from tools.repro_lint.rules.atomic_write import AtomicWriteRule  # noqa: E402
+from tools.repro_lint.rules.cache_key import IdKeyRule, SetIterationRule  # noqa: E402
+from tools.repro_lint.rules.excepts import BroadExceptRule  # noqa: E402
+from tools.repro_lint.rules.rng import (  # noqa: E402
+    LegacyGlobalRule,
+    StdlibRandomRule,
+    UnseededRule,
+)
+from tools.repro_lint.rules.ulp import UlpRule  # noqa: E402
+
+ALL_RULES: tuple[Rule, ...] = (
+    LegacyGlobalRule(),
+    StdlibRandomRule(),
+    UnseededRule(),
+    UlpRule(),
+    IdKeyRule(),
+    SetIterationRule(),
+    AtomicWriteRule(),
+    BroadExceptRule(),
+)
+
+
+def rule_by_id(rule_id: str) -> Rule | None:
+    for rule in ALL_RULES:
+        if rule.rule_id == rule_id:
+            return rule
+    return None

@@ -1,0 +1,108 @@
+"""Cache-key hygiene rules.
+
+Contract (ROADMAP batch-API contract, calibration bullet): caches are
+keyed by *value identity* — frozen-dataclass contents, not ``id()`` — so
+sweeps constructing fresh but equal objects hit the cache and nothing is
+pinned alive.  The PR 1 calibration cache bug was exactly an
+``id()``-keyed dict: correctness depended on CPython address reuse.
+
+The second half: anything that *orders* trajectory-determining work must
+not iterate a set — set iteration order depends on insertion history and
+(for str elements) per-process hash randomization, so a draw or a
+serialized artifact fed from it changes between processes.  Dicts and
+dict views are insertion-ordered and fine.  ``sorted(set(...))``
+normalizes the order and is fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_lint.engine import Finding, Module
+from tools.repro_lint.rules import Rule
+
+
+class IdKeyRule(Rule):
+    rule_id = "cache-key-id"
+    title = "id()-derived keys"
+    scopes = ("src",)
+    contract = (
+        "Cache-key hygiene (ROADMAP batch-API contract): calibration "
+        "factors — and every other cache — are keyed per value identity "
+        "(frozen-dataclass contents), not id().  An id()-keyed cache "
+        "either pins its keys alive forever or, worse, collides when "
+        "CPython reuses a freed address (the PR 1 calibration bug).  "
+        "Key by the value's content; make the key type hashable."
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+                and len(node.args) == 1
+                and not node.keywords
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "id() ties behavior to CPython address reuse — cache "
+                    "keys and identity checks must use value identity "
+                    "(frozen-dataclass contents, explicit tokens)",
+                )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    ):
+        return True
+    # set algebra over set expressions: (a | b), (a & b), ...
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class SetIterationRule(Rule):
+    rule_id = "set-iteration"
+    title = "iteration directly over a set expression"
+    scopes = ("src",)
+    contract = (
+        "Cache-key hygiene (ROADMAP determinism contracts): set "
+        "iteration order depends on insertion history and per-process "
+        "str-hash randomization, so a loop over a set that feeds "
+        "trajectory-determining draws or serialized output differs "
+        "between processes — exactly what byte-identity pins forbid.  "
+        "Iterate a list/dict (insertion-ordered) or wrap the set in "
+        "sorted(...) to normalize.  This static check flags only "
+        "syntactically-evident cases: for/comprehension iteration "
+        "directly over a set display, set()/frozenset() call, or set "
+        "algebra."
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            iters: list[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expr(it):
+                    yield self.finding(
+                        module,
+                        it,
+                        "iterating a set draws an insertion/hash-dependent "
+                        "order; sort it (sorted(...)) or keep an ordered "
+                        "container",
+                    )

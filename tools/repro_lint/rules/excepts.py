@@ -1,0 +1,81 @@
+"""Fault-envelope hygiene rule.
+
+Contract (ROADMAP resilience contract): the fault envelope in
+``tuning/faults.py`` is the *only* place that decides what a failed
+evaluation means — ``TransientEvalError`` retries with deterministic
+backoff, ``DbmsCrashError`` never retries (the paper's ¼-of-worst
+penalty applies), exhaustion quarantines the session.  A broad
+``except`` anywhere else in ``src/`` can swallow those exceptions before
+the envelope sees them, silently converting a crash into a success path
+and a retryable flake into a lost observation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_lint.engine import Finding, Module
+from tools.repro_lint.rules import Rule, dotted_name
+
+#: Catching any of these can swallow DbmsCrashError/TransientEvalError.
+BROAD_NAMES = frozenset({"Exception", "BaseException", "DbmsError"})
+
+
+def _broad_name(node: ast.AST) -> str | None:
+    name = dotted_name(node)
+    if name is None:
+        return None
+    leaf = name.rsplit(".", 1)[-1]
+    return leaf if leaf in BROAD_NAMES else None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler contains a bare ``raise`` — it may clean up,
+    but the exception keeps propagating, so nothing is swallowed."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+class BroadExceptRule(Rule):
+    rule_id = "broad-except"
+    title = "broad except that can swallow fault-envelope exceptions"
+    scopes = ("src",)
+    exempt_files = ("repro/tuning/faults.py",)
+    contract = (
+        "Fault-envelope hygiene (ROADMAP resilience contract): "
+        "DbmsCrashError never retries (crash penalty applies), "
+        "TransientEvalError retries under the envelope's deterministic "
+        "backoff, and only tuning/faults.py makes that call.  A bare "
+        "except:, except Exception:, except BaseException:, or except "
+        "DbmsError: elsewhere in src/ can intercept those exceptions "
+        "first and swallow the contract.  Catch the narrowest concrete "
+        "type instead; a cleanup handler that ends by re-raising (bare "
+        "raise) is exempt because nothing is swallowed."
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught: str | None = None
+            if node.type is None:
+                caught = "bare except"
+            elif (name := _broad_name(node.type)) is not None:
+                caught = f"except {name}"
+            elif isinstance(node.type, ast.Tuple):
+                for element in node.type.elts:
+                    if (name := _broad_name(element)) is not None:
+                        caught = f"except (... {name} ...)"
+                        break
+            if caught is None or _reraises(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"{caught} can swallow DbmsCrashError/TransientEvalError "
+                "before the fault envelope classifies them; catch the "
+                "narrowest concrete exception (or re-raise)",
+            )

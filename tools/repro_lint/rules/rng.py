@@ -1,0 +1,155 @@
+"""RNG discipline rules.
+
+Contract (ROADMAP, batch-API / wave / resilience sections): every random
+draw in the tuning stack flows from an explicitly seeded PCG64 stream —
+the session's, the optimizer's, the dedicated fault or pool stream — so
+trajectories replay byte-for-byte per ``(spec, seed)``.  A module-level
+``np.random.*`` draw, a stdlib ``random`` call, or an unseeded
+``default_rng()`` fallback silently breaks that: the draw consumes hidden
+global state (or OS entropy) that no checkpoint serializes and no pin can
+replay.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_lint.engine import Finding, Module
+from tools.repro_lint.rules import Rule, dotted_name
+
+#: The only attributes of ``np.random`` a contract-following module may
+#: touch: the seeded constructor and the generator/bit-generator types.
+#: Everything else on the module is the legacy global-state API.
+APPROVED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+#: Bit-generator constructors that take a seed; calling them with no
+#: arguments draws OS entropy.
+SEEDED_CONSTRUCTORS = frozenset(
+    {"default_rng", "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64"}
+)
+
+
+def _np_random_attr(node: ast.AST) -> str | None:
+    """``np.random.X`` / ``numpy.random.X`` → ``"X"``, else None."""
+    name = dotted_name(node)
+    if name is None:
+        return None
+    for prefix in ("np.random.", "numpy.random."):
+        if name.startswith(prefix):
+            rest = name[len(prefix):]
+            if "." not in rest:
+                return rest
+    return None
+
+
+class LegacyGlobalRule(Rule):
+    rule_id = "rng-legacy-global"
+    title = "legacy np.random.* global-state API"
+    scopes = ("src", "tests", "tools")
+    contract = (
+        "RNG discipline (ROADMAP batch-API / wave contracts): all draws "
+        "come from explicitly seeded Generators threaded through the "
+        "session.  np.random.seed / np.random.rand / np.random.normal / "
+        "RandomState and every other module-level np.random attribute "
+        "mutate or read the hidden global RandomState, which no "
+        "checkpoint serializes and no determinism pin can replay.  Use "
+        "np.random.default_rng(seed) and pass the Generator explicitly."
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            attr = _np_random_attr(node)
+            if attr is not None and attr not in APPROVED_NP_RANDOM:
+                yield self.finding(
+                    module,
+                    node,
+                    f"np.random.{attr} uses the legacy global RandomState; "
+                    "draw from an explicitly seeded, explicitly passed "
+                    "Generator instead",
+                )
+
+
+class StdlibRandomRule(Rule):
+    rule_id = "rng-stdlib-random"
+    title = "stdlib random module in src/"
+    scopes = ("src",)
+    contract = (
+        "RNG discipline (ROADMAP batch-API / wave contracts): the stdlib "
+        "random module is a process-global Mersenne Twister outside the "
+        "session's PCG64 streams — its draws are invisible to "
+        "checkpoints, pins, and the fault-injection keying.  src/ code "
+        "must draw from numpy Generators passed in explicitly."
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            module, node,
+                            "stdlib random imported in src/ — use an "
+                            "injected np.random.Generator",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        module, node,
+                        "stdlib random imported in src/ — use an "
+                        "injected np.random.Generator",
+                    )
+
+
+class UnseededRule(Rule):
+    rule_id = "rng-unseeded"
+    title = "unseeded default_rng() / bit-generator construction"
+    scopes = ("src",)
+    contract = (
+        "RNG discipline (ROADMAP resilience contract): every Generator "
+        "must trace to an explicit seed or an injected session stream.  "
+        "default_rng() (or PCG64() etc.) with no argument — or an "
+        "explicit None — seeds from OS entropy, so the resulting "
+        "trajectory can never be replayed, checkpointed, or pinned.  "
+        "Require a seed or Generator at construction and push the "
+        "decision to the caller."
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            attr = _np_random_attr(node.func)
+            if attr is None and isinstance(node.func, ast.Name):
+                attr = node.func.id
+            if attr not in SEEDED_CONSTRUCTORS:
+                continue
+            unseeded = not node.args and not node.keywords
+            explicit_none = (
+                len(node.args) == 1
+                and not node.keywords
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            )
+            if unseeded or explicit_none:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{attr}() without an explicit seed draws OS entropy; "
+                    "every Generator must trace to an explicit seed or an "
+                    "injected session stream",
+                )

@@ -1,0 +1,108 @@
+"""Ulp discipline rule.
+
+Contract (ROADMAP batch-API contract, closing caveat): numpy float64
+ufuncs are bit-consistent across array shapes/strides but differ from
+``math.*`` in the last ulp — so scalar paths must route through the same
+ufuncs as their batch twins.  A ``math.exp`` in a formula that also runs
+as ``np.exp`` over an array makes batch ≡ N scalar calls false by one
+ulp, which the byte-identity pins treat as a real divergence.
+
+Statically: ``math.<transcendental>(...)`` with any non-constant argument
+is an error in ``src/``.  Constant-argument calls (``math.sqrt(5.0)``,
+``math.log(2.0 * math.pi)``) are exempt — they fold to one bit pattern at
+definition time and appear identically in both paths.  Genuinely
+scalar-only formulas (no array twin anywhere) carry an ``allow[ulp]``
+pragma whose reason says so.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_lint.engine import Finding, Module
+from tools.repro_lint.rules import Rule, dotted_name
+
+#: Transcendental / correctly-vs-incorrectly-rounded libm entry points
+#: with numpy ufunc twins.  Predicates (isfinite, isnan, isinf) and
+#: integer helpers (ceil, floor, comb, gcd) have no rounding ambiguity
+#: and stay allowed.
+TRANSCENDENTALS = frozenset(
+    {
+        "exp", "exp2", "expm1", "log", "log1p", "log2", "log10",
+        "sqrt", "cbrt", "pow", "hypot", "fmod",
+        "sin", "cos", "tan", "asin", "acos", "atan", "atan2",
+        "sinh", "cosh", "tanh", "asinh", "acosh", "atanh",
+        "erf", "erfc", "gamma", "lgamma",
+    }
+)
+
+#: math-module attributes that are plain constants.
+MATH_CONSTANTS = frozenset({"math.pi", "math.e", "math.tau", "math.inf", "math.nan"})
+
+
+def _is_constant_expr(node: ast.AST) -> bool:
+    """True for expressions that fold to one compile-time float: literals,
+    ``math.pi``-style constants, and unary/binary arithmetic over them."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float, complex, bool))
+    if isinstance(node, ast.Attribute):
+        return dotted_name(node) in MATH_CONSTANTS
+    if isinstance(node, ast.UnaryOp):
+        return _is_constant_expr(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_constant_expr(node.left) and _is_constant_expr(node.right)
+    return False
+
+
+class UlpRule(Rule):
+    rule_id = "ulp"
+    title = "math.* transcendental on non-constant arguments in src/"
+    scopes = ("src",)
+    contract = (
+        "Ulp discipline (ROADMAP batch-API contract): numpy float64 "
+        "ufuncs are bit-consistent across array shapes but differ from "
+        "math.* in the last ulp, so any formula shared between a batch "
+        "path and a scalar path must use the ufunc in both — the "
+        "one-row-batch design exists exactly for this.  math.* "
+        "transcendentals on non-constant arguments are therefore "
+        "forbidden in src/; constant-argument calls fold to a fixed bit "
+        "pattern and are fine.  A genuinely scalar-only formula (no "
+        "array twin) may carry an allow[ulp] pragma whose reason says "
+        "why converting would be wrong (e.g. np.exp would shift a "
+        "pinned trajectory by ulps for no contract gain)."
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        imported_from_math: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "math":
+                for alias in node.names:
+                    if alias.name in TRANSCENDENTALS:
+                        imported_from_math.add(alias.asname or alias.name)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = None
+            if isinstance(node.func, ast.Attribute):
+                dotted = dotted_name(node.func)
+                if dotted is not None and dotted.startswith("math."):
+                    attr = dotted[len("math."):]
+                    if attr in TRANSCENDENTALS:
+                        name = dotted
+            elif isinstance(node.func, ast.Name):
+                if node.func.id in imported_from_math:
+                    name = f"math.{node.func.id}"
+            if name is None:
+                continue
+            args = list(node.args) + [kw.value for kw in node.keywords]
+            if args and all(_is_constant_expr(a) for a in args):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"{name} differs from the numpy ufunc in the last ulp; "
+                "route shared batch/scalar formulas through the ufunc "
+                "(np." + name.split(".", 1)[1] + "), or pragma a "
+                "genuinely scalar-only formula",
+            )
