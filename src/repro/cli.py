@@ -58,7 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --seeds, run the seeds concurrently via "
                              "the parallel multi-seed runner")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
-                        help="with --parallel, cap the pool at N workers")
+                        help="with --parallel, cap the pool at N workers "
+                             "(default: the CPUs available to this "
+                             "process); with --wave, run the wave's "
+                             "per-seed surrogate fits and the stacked "
+                             "leaf walk on N threads — trajectories stay "
+                             "byte-identical at any N")
     parser.add_argument("--process-pool", action="store_true",
                         help="with --parallel, use a process pool instead "
                              "of threads (sidesteps the GIL for simulated "
@@ -138,6 +143,13 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if args.workers is not None and args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers is not None and not (args.parallel or args.wave):
+        print(
+            "error: --workers requires --parallel or --wave (it would "
+            "otherwise be silently ignored)",
+            file=sys.stderr,
+        )
         return 2
     if args.process_pool and not (args.parallel and args.seeds and len(args.seeds) > 1):
         print(

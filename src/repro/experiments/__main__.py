@@ -60,6 +60,14 @@ def main(argv: list[str] | None = None) -> int:
         help="run the seeds of every tuning arm concurrently (thread pool)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --parallel, cap each arm's seed pool at N workers "
+             "(default: the CPUs available to this process)",
+    )
+    parser.add_argument(
         "--checkpoint-every",
         type=int,
         default=None,
@@ -96,11 +104,17 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if (args.checkpoint_every or args.resume) and not args.checkpoint_dir:
         parser.error("--checkpoint-every/--resume require --checkpoint-dir")
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.workers is not None and not args.parallel:
+        parser.error("--workers requires --parallel")
     scale = {"paper": Scale.paper, "default": Scale.default, "quick": Scale.quick}[
         args.scale
     ]()
     if args.parallel:
-        scale = dataclasses.replace(scale, parallel=True)
+        scale = dataclasses.replace(
+            scale, parallel=True, workers=args.workers
+        )
 
     ids = ORDERED_IDS if args.experiment == "all" else (args.experiment,)
     # Resilience flags reach every SessionSpec the experiment modules build

@@ -18,7 +18,9 @@ class Scale:
 
     ``parallel`` runs the seeds of every tuning arm concurrently through
     :func:`repro.tuning.runner.run_spec` (results are identical to the
-    sequential order; see the ``--parallel`` CLI flag).
+    sequential order; see the ``--parallel`` CLI flag).  ``workers`` caps
+    that pool (``--workers``; None sizes it by the CPUs available to the
+    process) — execution strategy only, results unchanged.
     """
 
     seeds: tuple[int, ...] = (1, 2, 3, 4, 5)
@@ -26,6 +28,7 @@ class Scale:
     lhs_samples: int = 2000  # importance-study sample count (paper: 2500)
     shap_permutations: int = 600
     parallel: bool = False
+    workers: int | None = None
 
     @classmethod
     def paper(cls) -> "Scale":

@@ -46,7 +46,8 @@ def compare_on_workload(
     )
     baseline = SessionSpec(adapter=None, **common)
     treatment = SessionSpec(adapter=llamatune_factory(), **common)
-    return compare_specs(baseline, treatment, scale.seeds, parallel=scale.parallel)
+    return compare_specs(baseline, treatment, scale.seeds,
+                         parallel=scale.parallel, max_workers=scale.workers)
 
 
 def main_table(

@@ -36,6 +36,7 @@ def run(scale: Scale | None = None) -> ExperimentReport:
             SessionSpec(workload=workload, n_iterations=scale.n_iterations),
             scale.seeds,
             parallel=scale.parallel,
+            max_workers=scale.workers,
         )
         baseline_final = float(np.mean([r.best_value for r in baseline]))
         cells = []
@@ -47,7 +48,8 @@ def run(scale: Scale | None = None) -> ExperimentReport:
                 n_iterations=scale.n_iterations,
                 early_stopping=EarlyStoppingPolicy(min_improvement, patience),
             )
-            results = run_spec(spec, scale.seeds, parallel=scale.parallel)
+            results = run_spec(spec, scale.seeds, parallel=scale.parallel,
+                               max_workers=scale.workers)
             improvement = float(
                 np.mean([r.best_value / baseline_final - 1.0 for r in results])
             )

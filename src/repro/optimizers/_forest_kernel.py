@@ -45,7 +45,11 @@ scoring its own candidate-row slab of one concatenated super-table.  The
 walks perform no float arithmetic — only ``x <= threshold`` comparisons —
 and return leaf indices; the mean/variance reductions stay in numpy,
 shared verbatim with the fallback path, so native predict is
-byte-identical to the numpy frontier traversal by construction.
+byte-identical to the numpy frontier traversal by construction.  The
+grouped walk can also run on a persistent in-library pthread pool
+(``predict_leaves_grouped(..., n_threads=N)``): work is split into
+(group, 64-row chunk) tasks with one writer per output cell, so the
+threaded result is byte-identical to the serial walk under any schedule.
 
 If no compiler is available (or ``REPRO_FOREST_KERNEL=0``), everything
 silently falls back to the numpy implementation — results are identical,
@@ -67,6 +71,7 @@ import numpy as np
 _C_SOURCE = r"""
 #include <stdint.h>
 #include <math.h>
+#include <pthread.h>
 #include <string.h>
 
 /* numpy's public bit-generator interface (numpy/random/bitgen.h): the
@@ -568,16 +573,22 @@ typedef struct {
     int64_t child[2];  /* [left, right] */
 } pnode_t;
 
-void predict_leaves(const pnode_t *nodes, const int64_t *offsets,
-                    int64_t n_trees, const double *x, int64_t n_rows,
-                    int64_t d, int64_t *out)
+/* Row-range core of predict_leaves: walks rows [row0, row1) only, while
+ * keeping the full-matrix output layout (out[t * n_rows + i]).  Every
+ * (tree, row) cell is independent and written exactly once, so any
+ * partition of the row range — including the threaded grouped walk's
+ * 64-row chunks — reproduces the serial output bit for bit. */
+static void walk_lanes_range(const pnode_t *nodes, const int64_t *offsets,
+                             int64_t n_trees, const double *x, int64_t n_rows,
+                             int64_t d, int64_t *out, int64_t row0,
+                             int64_t row1)
 {
     enum { CHUNK = 64 };
     int64_t cur[CHUNK];
     int64_t lane_out[CHUNK];
     for (int64_t t0 = 0; t0 < n_trees; t0 += CHUNK) {
         const int64_t nt = n_trees - t0 < CHUNK ? n_trees - t0 : CHUNK;
-        for (int64_t i = 0; i < n_rows; i++) {
+        for (int64_t i = row0; i < row1; i++) {
             const double *xi = x + i * d;
             int64_t n_active = 0;
             for (int64_t l = 0; l < nt; l++) {
@@ -613,6 +624,13 @@ void predict_leaves(const pnode_t *nodes, const int64_t *offsets,
     }
 }
 
+void predict_leaves(const pnode_t *nodes, const int64_t *offsets,
+                    int64_t n_trees, const double *x, int64_t n_rows,
+                    int64_t d, int64_t *out)
+{
+    walk_lanes_range(nodes, offsets, n_trees, x, n_rows, d, out, 0, n_rows);
+}
+
 /* Branchless leaf walk: lanes advance in fixed lockstep levels with no
  * leaf-exit branches and no lane bookkeeping.  Leaves freeze in place
  * via conditional moves (the feature index is clamped to 0 for the dead
@@ -624,14 +642,23 @@ void predict_leaves(const pnode_t *nodes, const int64_t *offsets,
  * total steps are the sum of tree depths, not n_trees x max depth.
  * Wins for the shallow trees of in-session observation counts; the lane
  * walk stays the better choice for deep forests (callers dispatch on the
- * forest's recorded build depth). */
-void predict_leaves_depth(const pnode_t *nodes, const int64_t *offsets,
-                          const int64_t *tree_depths, int64_t n_trees,
-                          const double *x, int64_t n_rows, int64_t d,
-                          int64_t *out)
+ * forest's recorded build depth).
+ *
+ * Rows advance through the level schedule in blocks of ROWBLK: the lane
+ * state is a contiguous lane-major x row-minor block, so the inner row
+ * loop is a fixed-width strip of independent blend-style conditional
+ * moves over adjacent state words — the shape compilers auto-vectorize
+ * (gather x, compare, blend child index).  Per (tree, row) the visited
+ * nodes and comparisons are unchanged, so the leaf indices match the
+ * one-row-at-a-time walk exactly. */
+static void walk_depth_range(const pnode_t *nodes, const int64_t *offsets,
+                             const int64_t *tree_depths, int64_t n_trees,
+                             const double *x, int64_t n_rows, int64_t d,
+                             int64_t *out, int64_t row0, int64_t row1)
 {
-    enum { CHUNK = 64 };
-    int64_t ord[CHUNK], cur[CHUNK], level_count[CHUNK];
+    enum { CHUNK = 64, ROWBLK = 8 };
+    int64_t ord[CHUNK], level_count[CHUNK];
+    int64_t cur[CHUNK * ROWBLK];
     for (int64_t t0 = 0; t0 < n_trees; t0 += CHUNK) {
         const int64_t nt = n_trees - t0 < CHUNK ? n_trees - t0 : CHUNK;
         /* stable insertion sort of the chunk's lanes, deepest first */
@@ -650,8 +677,8 @@ void predict_leaves_depth(const pnode_t *nodes, const int64_t *offsets,
         if (dmax >= CHUNK) {
             /* dispatchers only send shallow forests here; keep the deep
              * case correct anyway via the early-exit walk */
-            predict_leaves(nodes, offsets + t0, nt, x, n_rows, d,
-                           out + t0 * n_rows);
+            walk_lanes_range(nodes, offsets + t0, nt, x, n_rows, d,
+                             out + t0 * n_rows, row0, row1);
             continue;
         }
         for (int64_t k = 0; k < dmax; k++) {
@@ -659,23 +686,42 @@ void predict_leaves_depth(const pnode_t *nodes, const int64_t *offsets,
             while (c < nt && tree_depths[ord[c]] > k) c++;
             level_count[k] = c;
         }
-        for (int64_t i = 0; i < n_rows; i++) {
-            const double *xi = x + i * d;
-            for (int64_t l = 0; l < nt; l++) cur[l] = offsets[ord[l]];
+        for (int64_t i0 = row0; i0 < row1; i0 += ROWBLK) {
+            const int64_t nb = row1 - i0 < ROWBLK ? row1 - i0 : ROWBLK;
+            for (int64_t l = 0; l < nt; l++) {
+                const int64_t root = offsets[ord[l]];
+                for (int64_t r = 0; r < nb; r++)
+                    cur[l * ROWBLK + r] = root;
+            }
             for (int64_t k = 0; k < dmax; k++) {
                 const int64_t c = level_count[k];
                 for (int64_t l = 0; l < c; l++) {
-                    const pnode_t *pn = nodes + cur[l];
-                    const int64_t f = pn->feature;
-                    const int64_t nx =
-                        pn->child[!(xi[f >= 0 ? f : 0] <= pn->threshold)];
-                    cur[l] = f >= 0 ? nx : cur[l];
+                    int64_t *lane = cur + l * ROWBLK;
+                    for (int64_t r = 0; r < nb; r++) {
+                        const pnode_t *pn = nodes + lane[r];
+                        const int64_t f = pn->feature;
+                        const double xv = x[(i0 + r) * d + (f >= 0 ? f : 0)];
+                        const int64_t nx = pn->child[!(xv <= pn->threshold)];
+                        lane[r] = f >= 0 ? nx : lane[r];
+                    }
                 }
             }
-            for (int64_t l = 0; l < nt; l++)
-                out[ord[l] * n_rows + i] = cur[l];
+            for (int64_t l = 0; l < nt; l++) {
+                int64_t *dst = out + ord[l] * n_rows;
+                for (int64_t r = 0; r < nb; r++)
+                    dst[i0 + r] = cur[l * ROWBLK + r];
+            }
         }
     }
+}
+
+void predict_leaves_depth(const pnode_t *nodes, const int64_t *offsets,
+                          const int64_t *tree_depths, int64_t n_trees,
+                          const double *x, int64_t n_rows, int64_t d,
+                          int64_t *out)
+{
+    walk_depth_range(nodes, offsets, tree_depths, n_trees, x, n_rows, d,
+                     out, 0, n_rows);
 }
 
 /* Stacked leaf lookup for the wave scheduler: group g owns tree_counts[g]
@@ -709,6 +755,212 @@ void predict_leaves_grouped(const pnode_t *nodes, const int64_t *offsets,
         xg += row_counts[g] * d;
         og += tree_counts[g] * row_counts[g];
     }
+}
+
+/* ---- persistent worker pool for the threaded grouped walk ------------
+ *
+ * The stacked walk is pure comparisons with per-(tree, row) independent
+ * output, so any partition of the work reproduces the serial result bit
+ * for bit.  Tasks are (group, 64-row chunk) pairs enumerated by the
+ * caller-provided prefix arrays; workers claim them through one atomic
+ * cursor, so load balance is dynamic but the output bytes cannot depend
+ * on the schedule.  Helper threads are created lazily on first threaded
+ * call and persist for the process lifetime, parked on a condvar between
+ * jobs; the caller's thread always participates, so n_threads = 1 + the
+ * helpers actually woken.  fork() does not replicate helper threads, so
+ * an atfork child handler resets the pool bookkeeping — a forked worker
+ * process (run_spec mode="process") lazily rebuilds its own helpers
+ * instead of deadlocking on ghosts. */
+typedef struct {
+    const pnode_t *nodes;
+    const int64_t *offsets;
+    const int64_t *tree_counts;
+    const int64_t *row_counts;
+    const int64_t *tree_depths;
+    const int64_t *depths;
+    const int64_t *tree_starts;   /* n_groups+1: prefix sum of tree_counts */
+    const int64_t *row_starts;    /* n_groups+1: prefix sum of row_counts */
+    const int64_t *out_starts;    /* n_groups+1: prefix of trees*rows */
+    const int64_t *chunk_starts;  /* n_groups+1: prefix of row chunks */
+    int64_t depth_limit;
+    int64_t n_groups;
+    int64_t d;
+    const double *x;
+    int64_t *out;
+    int64_t n_tasks;
+} walk_job_t;
+
+enum { MT_ROW_CHUNK = 64, POOL_MAX = 16 };
+
+static pthread_mutex_t pool_mu = PTHREAD_MUTEX_INITIALIZER;
+static pthread_cond_t pool_start_cv = PTHREAD_COND_INITIALIZER;
+static pthread_cond_t pool_done_cv = PTHREAD_COND_INITIALIZER;
+static pthread_t pool_threads[POOL_MAX];
+static int pool_size = 0;         /* helper threads created so far */
+static int pool_helpers = 0;      /* helpers invited to the current job */
+static int pool_active = 0;       /* woken helpers yet to finish */
+static uint64_t pool_generation = 0;  /* job counter, guarded by pool_mu */
+static walk_job_t pool_job;
+static int64_t pool_cursor;       /* atomic task cursor */
+
+static void walk_one_task(const walk_job_t *j, int64_t t)
+{
+    /* map the task to its group: last g with chunk_starts[g] <= t (an
+     * empty group has chunk_starts[g] == chunk_starts[g+1], so the
+     * search can never land on it) */
+    int64_t lo = 0, hi = j->n_groups;
+    while (lo + 1 < hi) {
+        const int64_t mid = lo + (hi - lo) / 2;
+        if (j->chunk_starts[mid] <= t) lo = mid; else hi = mid;
+    }
+    const int64_t g = lo;
+    const int64_t nr = j->row_counts[g];
+    const int64_t r0 = (t - j->chunk_starts[g]) * MT_ROW_CHUNK;
+    const int64_t r1 = r0 + MT_ROW_CHUNK < nr ? r0 + MT_ROW_CHUNK : nr;
+    const int64_t *off = j->offsets + j->tree_starts[g];
+    const int64_t *dep = j->tree_depths + j->tree_starts[g];
+    const double *xg = j->x + j->row_starts[g] * j->d;
+    int64_t *og = j->out + j->out_starts[g];
+    if (j->depths[g] <= j->depth_limit)
+        walk_depth_range(j->nodes, off, dep, j->tree_counts[g], xg, nr,
+                         j->d, og, r0, r1);
+    else
+        walk_lanes_range(j->nodes, off, j->tree_counts[g], xg, nr, j->d,
+                         og, r0, r1);
+}
+
+static void pool_run_tasks(const walk_job_t *job)
+{
+    for (;;) {
+        const int64_t t =
+            __atomic_fetch_add(&pool_cursor, 1, __ATOMIC_RELAXED);
+        if (t >= job->n_tasks) return;
+        walk_one_task(job, t);
+    }
+}
+
+static void *pool_worker(void *arg)
+{
+    const int slot = (int)(intptr_t)arg;
+    uint64_t seen = 0;
+    for (;;) {
+        pthread_mutex_lock(&pool_mu);
+        while (pool_generation == seen)
+            pthread_cond_wait(&pool_start_cv, &pool_mu);
+        seen = pool_generation;
+        const int invited = slot < pool_helpers;
+        pthread_mutex_unlock(&pool_mu);
+        if (invited)
+            pool_run_tasks(&pool_job);
+        pthread_mutex_lock(&pool_mu);
+        if (--pool_active == 0)
+            pthread_cond_signal(&pool_done_cv);
+        pthread_mutex_unlock(&pool_mu);
+    }
+    return NULL;
+}
+
+static void pool_reset_in_child(void)
+{
+    /* helper threads do not survive fork(); reinitialize the primitives
+     * and counters so the child lazily rebuilds its own pool instead of
+     * waiting on helpers that no longer exist */
+    pthread_mutex_init(&pool_mu, NULL);
+    pthread_cond_init(&pool_start_cv, NULL);
+    pthread_cond_init(&pool_done_cv, NULL);
+    pool_size = 0;
+    pool_helpers = 0;
+    pool_active = 0;
+    pool_generation = 0;
+}
+
+static pthread_once_t pool_once = PTHREAD_ONCE_INIT;
+
+static void pool_register_atfork(void)
+{
+    pthread_atfork(NULL, NULL, pool_reset_in_child);
+}
+
+/* Create helpers up to ``want``; returns how many are usable (creation
+ * failure degrades to fewer helpers, never to an error).  Called with
+ * pool_mu held. */
+static int pool_ensure(int want)
+{
+    pthread_once(&pool_once, pool_register_atfork);
+    if (want > POOL_MAX) want = POOL_MAX;
+    while (pool_size < want) {
+        if (pthread_create(&pool_threads[pool_size], NULL, pool_worker,
+                           (void *)(intptr_t)pool_size) != 0)
+            break;
+        pool_size++;
+    }
+    return pool_size < want ? pool_size : want;
+}
+
+/* Threaded stacked leaf lookup: identical output bytes to
+ * predict_leaves_grouped (same walks over the same cells; only the
+ * schedule differs).  The four *_starts arrays are inclusive prefix sums
+ * with a leading 0 (length n_groups+1); chunk_starts counts
+ * ceil(row_counts[g] / MT_ROW_CHUNK) tasks per group. */
+void predict_leaves_grouped_mt(const pnode_t *nodes, const int64_t *offsets,
+                               const int64_t *tree_counts,
+                               const int64_t *row_counts,
+                               const int64_t *tree_depths,
+                               const int64_t *depths, int64_t depth_limit,
+                               int64_t n_groups, int64_t d, const double *x,
+                               int64_t *out, const int64_t *tree_starts,
+                               const int64_t *row_starts,
+                               const int64_t *out_starts,
+                               const int64_t *chunk_starts,
+                               int64_t n_threads)
+{
+    const int64_t n_tasks = chunk_starts[n_groups];
+    if (n_threads < 2 || n_tasks < 2) {
+        predict_leaves_grouped(nodes, offsets, tree_counts, row_counts,
+                               tree_depths, depths, depth_limit, n_groups,
+                               d, x, out);
+        return;
+    }
+    pthread_mutex_lock(&pool_mu);
+    int want = (int)(n_threads - 1);
+    if ((int64_t)want > n_tasks - 1) want = (int)(n_tasks - 1);
+    const int helpers = pool_ensure(want);
+    if (helpers == 0) {
+        pthread_mutex_unlock(&pool_mu);
+        predict_leaves_grouped(nodes, offsets, tree_counts, row_counts,
+                               tree_depths, depths, depth_limit, n_groups,
+                               d, x, out);
+        return;
+    }
+    pool_job.nodes = nodes;
+    pool_job.offsets = offsets;
+    pool_job.tree_counts = tree_counts;
+    pool_job.row_counts = row_counts;
+    pool_job.tree_depths = tree_depths;
+    pool_job.depths = depths;
+    pool_job.tree_starts = tree_starts;
+    pool_job.row_starts = row_starts;
+    pool_job.out_starts = out_starts;
+    pool_job.chunk_starts = chunk_starts;
+    pool_job.depth_limit = depth_limit;
+    pool_job.n_groups = n_groups;
+    pool_job.d = d;
+    pool_job.x = x;
+    pool_job.out = out;
+    pool_job.n_tasks = n_tasks;
+    __atomic_store_n(&pool_cursor, 0, __ATOMIC_RELAXED);
+    pool_helpers = helpers;
+    pool_active = pool_size;  /* every parked helper wakes and reports */
+    pool_generation++;
+    pthread_cond_broadcast(&pool_start_cv);
+    pthread_mutex_unlock(&pool_mu);
+
+    pool_run_tasks(&pool_job);  /* the caller is thread 0 */
+
+    pthread_mutex_lock(&pool_mu);
+    while (pool_active != 0)
+        pthread_cond_wait(&pool_done_cv, &pool_mu);
+    pthread_mutex_unlock(&pool_mu);
 }
 """
 
@@ -780,8 +1032,8 @@ def _build_library() -> ctypes.CDLL | None:
                 # repro-lint: allow[atomic-write] reason=scratch file in a private TemporaryDirectory, published below via an atomic replace
                 c_path.write_text(_C_SOURCE)
                 tmp_so = pathlib.Path(tmp) / "forest_kernel.so"
-                flags = ["-O2", "-fPIC", "-shared", "-ffp-contract=off",
-                         *_STRICT_FLAGS]
+                flags = ["-O2", "-fPIC", "-shared", "-pthread",
+                         "-ffp-contract=off", *_STRICT_FLAGS]
                 if _sanitize_requested():
                     flags += _SANITIZE_FLAGS
                 for compiler in ("cc", "gcc", "clang"):
@@ -846,6 +1098,25 @@ def _build_library() -> ctypes.CDLL | None:
         ctypes.c_void_p,  # x (stacked row slabs)
         ctypes.c_void_p,  # out
     ]
+    lib.predict_leaves_grouped_mt.restype = None
+    lib.predict_leaves_grouped_mt.argtypes = [
+        ctypes.c_void_p,  # nodes
+        ctypes.c_void_p,  # offsets (all groups, rebased)
+        ctypes.c_void_p,  # tree_counts
+        ctypes.c_void_p,  # row_counts
+        ctypes.c_void_p,  # tree_depths (all groups, concatenated)
+        ctypes.c_void_p,  # depths (per-group max, for dispatch)
+        ctypes.c_int64,   # depth_limit
+        ctypes.c_int64,   # n_groups
+        ctypes.c_int64,   # d
+        ctypes.c_void_p,  # x (stacked row slabs)
+        ctypes.c_void_p,  # out
+        ctypes.c_void_p,  # tree_starts (n_groups+1 prefix)
+        ctypes.c_void_p,  # row_starts (n_groups+1 prefix)
+        ctypes.c_void_p,  # out_starts (n_groups+1 prefix)
+        ctypes.c_void_p,  # chunk_starts (n_groups+1 prefix)
+        ctypes.c_int64,   # n_threads
+    ]
     return lib
 
 
@@ -855,9 +1126,16 @@ def _build_library() -> ctypes.CDLL | None:
 #: depth instead of the maximum.
 DEPTH_WALK_LIMIT = 16
 
+#: Row granularity of the threaded grouped walk's work items — must match
+#: the C kernel's ``MT_ROW_CHUNK``.  Each task walks one group's 64-row
+#: slice, so the worker pool load-balances across groups of uneven size
+#: while every (tree, row) output cell keeps exactly one writer.
+MT_ROW_CHUNK = 64
+
 
 def load_kernel() -> ctypes.CDLL | None:
     """The compiled kernel, or ``None`` when disabled or unavailable."""
+    # repro-lint: allow[module-state] reason=process-wide compiled-kernel cache; both rebinds happen under _lib_lock and the value is schedule-independent
     global _lib, _lib_failed
     if os.environ.get("REPRO_FOREST_KERNEL", "1") == "0":
         return None
@@ -1092,12 +1370,19 @@ def predict_leaves_grouped(
     tree_depths: np.ndarray,
     depths: np.ndarray,
     X: np.ndarray,
+    n_threads: int = 1,
 ) -> np.ndarray:
     """Stacked leaf lookup: group ``g`` owns ``tree_counts[g]`` trees of
     the concatenated super-table and scores rows
     ``[sum(row_counts[:g]), sum(row_counts[:g+1]))`` of ``X``.  Returns the
     concatenation of each group's tree-major leaf block — byte-identical
     to calling :func:`predict_leaves` per group on the same super-table.
+
+    With ``n_threads > 1`` the walk is partitioned into (group, 64-row
+    chunk) tasks claimed by the kernel's persistent worker pool.  The
+    walk is pure comparisons with one writer per output cell, so the
+    result bytes are identical under any schedule; ``n_threads=1`` takes
+    the serial entry point, untouched.
     """
     nodes = np.ascontiguousarray(nodes, dtype=np.int64)
     offsets = np.ascontiguousarray(offsets, dtype=np.int64)
@@ -1108,6 +1393,32 @@ def predict_leaves_grouped(
     X = np.ascontiguousarray(X, dtype=float)
     d = X.shape[1]
     out = np.empty(int((tree_counts * row_counts).sum()), dtype=np.int64)
+    if n_threads > 1:
+        zero = np.zeros(1, dtype=np.int64)
+        tree_starts = np.concatenate([zero, np.cumsum(tree_counts)])
+        row_starts = np.concatenate([zero, np.cumsum(row_counts)])
+        out_starts = np.concatenate([zero, np.cumsum(tree_counts * row_counts)])
+        chunks = (row_counts + MT_ROW_CHUNK - 1) // MT_ROW_CHUNK
+        chunk_starts = np.concatenate([zero, np.cumsum(chunks)])
+        lib.predict_leaves_grouped_mt(
+            nodes.ctypes.data,
+            offsets.ctypes.data,
+            tree_counts.ctypes.data,
+            row_counts.ctypes.data,
+            tree_depths.ctypes.data,
+            depths.ctypes.data,
+            DEPTH_WALK_LIMIT,
+            len(tree_counts),
+            d,
+            X.ctypes.data,
+            out.ctypes.data,
+            tree_starts.ctypes.data,
+            row_starts.ctypes.data,
+            out_starts.ctypes.data,
+            chunk_starts.ctypes.data,
+            int(n_threads),
+        )
+        return out
     lib.predict_leaves_grouped(
         nodes.ctypes.data,
         offsets.ctypes.data,

@@ -590,6 +590,7 @@ def predict_mean_var_stacked(
     forests: list["RandomForestRegressor"],
     X: np.ndarray,
     row_counts: np.ndarray,
+    n_threads: int = 1,
 ) -> list[tuple[np.ndarray, np.ndarray]]:
     """One stacked model-phase scoring pass across several forests.
 
@@ -605,6 +606,11 @@ def predict_mean_var_stacked(
     the same values, so each returned ``(mean, var)`` pair is
     byte-identical to ``forests[k].predict_mean_var(X_k)`` — the wave
     scheduler's cross-session contract.
+
+    ``n_threads > 1`` runs the native grouped walk on the kernel's
+    worker-thread pool; the walk has one writer per (tree, row) cell, so
+    the leaf indices — and everything downstream — are byte-identical to
+    the serial walk.  The numpy fallback ignores the thread count.
     """
     if len(forests) != len(row_counts):
         raise ValueError("forests and row_counts length mismatch")
@@ -641,7 +647,7 @@ def predict_mean_var_stacked(
     if lib is not None and len(X):
         leaves = _forest_kernel.predict_leaves_grouped(
             lib, nodes4, offsets, tree_counts, row_counts, tree_depths,
-            depths, X
+            depths, X, n_threads=n_threads
         )
     else:
         leaves = _stacked_leaves_numpy(

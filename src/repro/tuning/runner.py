@@ -34,6 +34,7 @@ from repro.tuning.fault_injection import FaultInjectingSimulator
 from repro.tuning.faults import FaultPolicy, VirtualClock
 from repro.tuning.metrics import ComparisonSummary, summarize_comparison
 from repro.tuning.session import TuningResult, TuningSession
+from repro.tuning import shm_transport
 from repro.tuning.wave import run_wave
 from repro.workloads.base import Workload
 from repro.workloads.catalog import get_workload
@@ -93,6 +94,10 @@ class SessionSpec:
     fault_rate: float = 0.0
     fault_seed: int = 0
     fault_policy: FaultPolicy | None = None
+    #: Wave-mode worker threads (0 = defer to ``REPRO_WAVE_THREADS``,
+    #: default 1).  Execution-strategy only — byte-identical trajectories
+    #: at any value, hence excluded from :meth:`spec_token`.
+    wave_threads: int = 0
 
     def spec_token(self) -> int:
         """Stable 32-bit digest of the trajectory-determining fields.
@@ -254,9 +259,58 @@ def _run_seed(spec: SessionSpec, seed: int) -> TuningResult:
     return spec.build(seed).run()
 
 
+def _run_seed_transport(spec: SessionSpec, seed: int):
+    """Process-pool worker with zero-copy result transport: run the
+    seed, then pack the observation matrices into a shared-memory frame
+    (:mod:`repro.tuning.shm_transport`) so only a small handle crosses
+    the pickle channel.  Falls back to returning the plain result when
+    the transport is disabled or the encode fails."""
+    session = spec.build(seed)
+    result = session.run()
+    if not shm_transport.transport_enabled():
+        return result
+    try:
+        return shm_transport.encode_result(
+            result, session.optimizer.space, session.adapter.target_space
+        )
+    except (OSError, ValueError, TypeError):
+        return result
+
+
+def _receive_transported(spec: SessionSpec, seed: int, payload):
+    """Parent-side counterpart of :func:`_run_seed_transport`: decode a
+    shared-memory handle against spaces rebuilt deterministically from
+    the spec (plain results pass through untouched)."""
+    if not isinstance(payload, shm_transport.ShmResult):
+        return payload
+    space = space_for_version(spec.version)
+    if spec.adapter is None:
+        adapter: SearchSpaceAdapter = IdentityAdapter(space)
+    else:
+        adapter = spec.adapter(space, seed)
+    return shm_transport.decode_result(
+        payload, adapter.optimizer_space, adapter.target_space
+    )
+
+
+def available_cpus() -> int:
+    """CPUs actually available to *this process*: ``os.process_cpu_count``
+    (3.13+) when present, else the scheduler affinity mask, else the raw
+    CPU count — so a cgroup/taskset-restricted runner sizes its pools by
+    what it may schedule on instead of oversubscribing the host."""
+    counter = getattr(os, "process_cpu_count", None)
+    if counter is not None:
+        return int(counter() or 1)
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
 #: Active :func:`spec_overrides` fields, applied to every spec entering
 #: :func:`run_spec` (before pool dispatch, so process pools pickle the
 #: already-overridden spec).
+# repro-lint: allow[module-state] reason=deliberate seam: mutated only by the spec_overrides context manager, entered sequentially before any pool dispatch (documented there)
 _SPEC_OVERRIDES: dict[str, object] = {}
 
 
@@ -323,6 +377,14 @@ def run_spec(
     ``wave_shared_pool``/``wave_pool_seed`` opt into the wave scheduler's
     shared candidate-pool protocol (trajectories then differ from
     sequential but remain reproducible per ``(spec, seed, pool_seed)``).
+
+    In ``"wave"`` mode ``max_workers`` sets the wave's worker-thread
+    count (``spec.wave_threads``/``REPRO_WAVE_THREADS`` otherwise;
+    byte-identical trajectories at any value).  In ``"process"`` mode
+    each worker ships its result back through a shared-memory frame
+    instead of pickling every configuration
+    (:mod:`repro.tuning.shm_transport`; ``REPRO_SHM_TRANSPORT=0`` falls
+    back to plain pickling, identical results).
     """
     if mode not in ("thread", "process", "wave"):
         raise ValueError(
@@ -336,15 +398,21 @@ def run_spec(
             )
         return run_wave(
             spec, seeds, shared_pool=wave_shared_pool,
-            pool_seed=wave_pool_seed,
+            pool_seed=wave_pool_seed, threads=max_workers,
         )
     if parallel and len(seeds) > 1:
-        workers = max_workers or min(len(seeds), os.cpu_count() or 1)
+        workers = max_workers or min(len(seeds), available_cpus())
         if mode == "process":
             with ProcessPoolExecutor(max_workers=workers) as executor:
-                return list(
-                    executor.map(_run_seed, [spec] * len(seeds), seeds)
+                payloads = list(
+                    executor.map(
+                        _run_seed_transport, [spec] * len(seeds), seeds
+                    )
                 )
+            return [
+                _receive_transported(spec, seed, payload)
+                for seed, payload in zip(seeds, payloads)
+            ]
         with ThreadPoolExecutor(max_workers=workers) as executor:
             return list(executor.map(lambda seed: spec.build(seed).run(), seeds))
     return [spec.build(seed).run() for seed in seeds]
@@ -369,10 +437,15 @@ def compare_specs(
     treatment: SessionSpec,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     parallel: bool = False,
+    max_workers: int | None = None,
 ) -> tuple[ComparisonSummary, list[TuningResult], list[TuningResult]]:
     """Run both arms and summarize treatment vs. baseline."""
-    baseline_results = run_spec(baseline, seeds, parallel=parallel)
-    treatment_results = run_spec(treatment, seeds, parallel=parallel)
+    baseline_results = run_spec(
+        baseline, seeds, parallel=parallel, max_workers=max_workers
+    )
+    treatment_results = run_spec(
+        treatment, seeds, parallel=parallel, max_workers=max_workers
+    )
     summary = summarize_comparison(
         baseline.workload,
         [r.best_curve for r in baseline_results],

@@ -1,0 +1,304 @@
+"""Zero-copy result transport for process-pool sweeps.
+
+``run_spec(mode="process")`` historically returned each seed's
+:class:`~repro.tuning.session.TuningResult` through the pool's pickle
+channel — every ``Configuration`` object serialized knob by knob, twice
+per observation (optimizer and target spaces), for every row of every
+seed.  This module moves the numeric bulk through one
+``multiprocessing.shared_memory`` segment per result instead: the worker
+packs the observation matrices into a small framed block, ships only a
+tiny picklable handle, and the parent reconstructs the result against
+spaces it rebuilds deterministically from the spec — the same
+``Configuration._trusted`` restore the checkpoint loader uses.
+
+**Frame layout.**  One segment holds a fixed-size header followed by
+8-byte-aligned array payloads::
+
+    magic "RSHM" | version u32 | n_arrays u32
+    per array: dtype-code u32 | ndim u32 | dim0 u64 | dim1 u64 | offset u64
+
+The arrays, in fixed order: iteration, value, crashed, suggest_seconds,
+throughput (+ presence mask), p95 latency (+ presence mask), then the
+integer and float knob-column matrices of the optimizer and target
+configurations.  Integer and categorical knobs travel as int64 columns
+(categoricals as indices into the knob's ``choices`` tuple — restored by
+lookup, so string identity is exact); float knobs travel as float64
+columns whose bytes round-trip bit-for-bit.  ``None`` metrics travel as
+a masked 0.0, so crash rows restore to exactly ``None``.
+
+**Lifetime.**  The worker creates the segment, copies its arrays in,
+closes its mapping, and deregisters the segment from its own
+``resource_tracker`` (the parent, not the worker's exit handler, owns
+the unlink).  The parent attaches, copies the payloads out, closes, and
+unlinks — every decode releases the segment even on partial failure.
+``REPRO_SHM_TRANSPORT=0`` disables the path; the pool then falls back to
+plain pickling with identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.space.configspace import Configuration, ConfigurationSpace
+from repro.space.knob import CategoricalKnob, FloatKnob, IntegerKnob
+from repro.tuning.knowledge_base import KnowledgeBase, Observation
+from repro.tuning.session import TuningResult
+
+_MAGIC = b"RSHM"
+_VERSION = 1
+_HEADER = struct.Struct("<4sII")
+_RECORD = struct.Struct("<IIQQQ")
+_DTYPES = (np.dtype(np.int64), np.dtype(np.float64), np.dtype(np.uint8))
+
+
+@dataclass(frozen=True)
+class ShmResult:
+    """Picklable handle to one result's shared-memory frame (the scalar
+    fields ride along here; the observation matrices live in the
+    segment)."""
+
+    shm_name: str
+    n_observations: int
+    objective: str
+    default_value: float
+    stopped_early_at: int | None
+    quarantined_at: int | None
+
+
+def transport_enabled() -> bool:
+    """Shared-memory transport gate (``REPRO_SHM_TRANSPORT=0`` disables,
+    mirroring ``REPRO_FOREST_KERNEL=0``'s opt-out semantics)."""
+    return os.environ.get("REPRO_SHM_TRANSPORT", "1") != "0"
+
+
+def _column_kinds(
+    space: ConfigurationSpace,
+) -> list[tuple[str, tuple[str, ...] | None]]:
+    """Per-knob transport kind, in space order: ``("int", None)``,
+    ``("float", None)``, or ``("cat", choices)``."""
+    kinds: list[tuple[str, tuple[str, ...] | None]] = []
+    for knob in space.knobs:
+        if isinstance(knob, CategoricalKnob):
+            kinds.append(("cat", knob.choices))
+        elif isinstance(knob, IntegerKnob):
+            kinds.append(("int", None))
+        elif isinstance(knob, FloatKnob):
+            kinds.append(("float", None))
+        else:
+            raise TypeError(f"untransportable knob type {type(knob)!r}")
+    return kinds
+
+
+def _encode_configs(
+    configs: list[Configuration], space: ConfigurationSpace
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pack configurations into (int64, float64) column matrices —
+    integer and categorical knobs in the int matrix (categoricals as
+    choice indices), float knobs in the float matrix, both in knob
+    order."""
+    kinds = _column_kinds(space)
+    names = space.names
+    n = len(configs)
+    int_cols = [i for i, (kind, __) in enumerate(kinds) if kind != "float"]
+    float_cols = [i for i, (kind, __) in enumerate(kinds) if kind == "float"]
+    ints = np.empty((n, len(int_cols)), dtype=np.int64)
+    floats = np.empty((n, len(float_cols)), dtype=np.float64)
+    for row, config in enumerate(configs):
+        for out_j, j in enumerate(int_cols):
+            kind, choices = kinds[j]
+            value = config[names[j]]
+            if kind == "cat":
+                ints[row, out_j] = choices.index(value)  # type: ignore[union-attr]
+            else:
+                ints[row, out_j] = int(value)
+        for out_j, j in enumerate(float_cols):
+            floats[row, out_j] = float(config[names[j]])
+    return ints, floats
+
+
+def _decode_configs(
+    ints: np.ndarray, floats: np.ndarray, space: ConfigurationSpace
+) -> list[Configuration]:
+    """Inverse of :func:`_encode_configs`: the values were legal when
+    encoded and round-trip exactly, so the trusted constructor applies
+    (the same contract as the checkpoint loader's row decoder)."""
+    kinds = _column_kinds(space)
+    names = space.names
+    int_cols = [i for i, (kind, __) in enumerate(kinds) if kind != "float"]
+    float_cols = [i for i, (kind, __) in enumerate(kinds) if kind == "float"]
+    if ints.shape[1] != len(int_cols) or floats.shape[1] != len(float_cols):
+        raise ValueError("shared-memory frame does not match the space")
+    configs = []
+    for row in range(len(ints)):
+        values: dict[str, object] = {}
+        for out_j, j in enumerate(int_cols):
+            kind, choices = kinds[j]
+            raw = int(ints[row, out_j])
+            values[names[j]] = choices[raw] if kind == "cat" else raw  # type: ignore[index]
+        for out_j, j in enumerate(float_cols):
+            values[names[j]] = float(floats[row, out_j])
+        configs.append(Configuration._trusted(space, values))
+    return configs
+
+
+def _result_arrays(
+    result: TuningResult,
+    opt_space: ConfigurationSpace,
+    target_space: ConfigurationSpace,
+) -> list[np.ndarray]:
+    obs = result.knowledge_base.observations
+    opt_ints, opt_floats = _encode_configs(
+        [o.optimizer_config for o in obs], opt_space
+    )
+    tgt_ints, tgt_floats = _encode_configs(
+        [o.target_config for o in obs], target_space
+    )
+    return [
+        np.array([o.iteration for o in obs], dtype=np.int64),
+        np.array([o.value for o in obs], dtype=np.float64),
+        np.array([o.crashed for o in obs], dtype=np.uint8),
+        np.array([o.suggest_seconds for o in obs], dtype=np.float64),
+        np.array(
+            [0.0 if o.throughput is None else o.throughput for o in obs],
+            dtype=np.float64,
+        ),
+        np.array([o.throughput is not None for o in obs], dtype=np.uint8),
+        np.array(
+            [
+                0.0 if o.p95_latency_ms is None else o.p95_latency_ms
+                for o in obs
+            ],
+            dtype=np.float64,
+        ),
+        np.array([o.p95_latency_ms is not None for o in obs], dtype=np.uint8),
+        opt_ints,
+        opt_floats,
+        tgt_ints,
+        tgt_floats,
+    ]
+
+
+def _frame(arrays: list[np.ndarray]) -> tuple[bytes, list[int], int]:
+    """Build the frame header; returns (header bytes, payload offsets,
+    total segment size)."""
+    offset = _HEADER.size + _RECORD.size * len(arrays)
+    offset = (offset + 7) & ~7
+    records = []
+    offsets = []
+    for array in arrays:
+        if array.ndim not in (1, 2):
+            raise ValueError("frame arrays must be 1- or 2-dimensional")
+        code = _DTYPES.index(array.dtype)
+        dim0 = array.shape[0]
+        dim1 = array.shape[1] if array.ndim == 2 else 0
+        records.append(_RECORD.pack(code, array.ndim, dim0, dim1, offset))
+        offsets.append(offset)
+        offset += int(array.nbytes)
+        offset = (offset + 7) & ~7
+    header = _HEADER.pack(_MAGIC, _VERSION, len(arrays)) + b"".join(records)
+    return header, offsets, max(offset, 1)
+
+
+def encode_result(
+    result: TuningResult,
+    opt_space: ConfigurationSpace,
+    target_space: ConfigurationSpace,
+) -> ShmResult:
+    """Pack ``result`` into a fresh shared-memory segment (worker side).
+
+    The caller-side mapping is closed before returning; ownership of the
+    segment passes to whoever decodes the returned handle.
+    """
+    arrays = [
+        np.ascontiguousarray(a)
+        for a in _result_arrays(result, opt_space, target_space)
+    ]
+    header, offsets, total = _frame(arrays)
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    try:
+        shm.buf[: len(header)] = header
+        for array, offset in zip(arrays, offsets):
+            if array.nbytes:
+                shm.buf[offset:offset + array.nbytes] = array.tobytes()
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    handle = ShmResult(
+        shm_name=shm.name,
+        n_observations=len(result.knowledge_base),
+        objective=result.objective,
+        default_value=result.default_value,
+        stopped_early_at=result.stopped_early_at,
+        quarantined_at=result.quarantined_at,
+    )
+    # The parent (decoder) owns the unlink; deregister the segment from
+    # this process's resource tracker so a worker exiting between jobs
+    # neither unlinks it early nor warns about a "leak".
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except (AttributeError, OSError):  # pragma: no cover - advisory only
+        pass
+    shm.close()
+    return handle
+
+
+def decode_result(
+    handle: ShmResult,
+    opt_space: ConfigurationSpace,
+    target_space: ConfigurationSpace,
+) -> TuningResult:
+    """Rebuild the :class:`TuningResult` from a worker's frame (parent
+    side) and release the segment."""
+    shm = shared_memory.SharedMemory(name=handle.shm_name)
+    try:
+        magic, version, n_arrays = _HEADER.unpack_from(shm.buf, 0)
+        if magic != _MAGIC or version != _VERSION:
+            raise ValueError("unrecognized shared-memory frame")
+        arrays = []
+        for i in range(n_arrays):
+            code, ndim, dim0, dim1, offset = _RECORD.unpack_from(
+                shm.buf, _HEADER.size + _RECORD.size * i
+            )
+            dtype = _DTYPES[code]
+            shape = (dim0, dim1) if ndim == 2 else (dim0,)
+            count = int(np.prod(shape, dtype=np.int64))
+            view = np.frombuffer(
+                shm.buf, dtype=dtype, count=count, offset=offset
+            )
+            arrays.append(view.reshape(shape).copy())
+            del view  # release the buffer export before closing
+    finally:
+        shm.close()
+        shm.unlink()
+
+    (iteration, value, crashed, suggest, thr, thr_mask, p95, p95_mask,
+     opt_ints, opt_floats, tgt_ints, tgt_floats) = arrays
+    opt_configs = _decode_configs(opt_ints, opt_floats, opt_space)
+    tgt_configs = _decode_configs(tgt_ints, tgt_floats, target_space)
+    kb = KnowledgeBase(maximize=handle.objective == "throughput")
+    for row in range(handle.n_observations):
+        kb.record(
+            Observation(
+                iteration=int(iteration[row]),
+                optimizer_config=opt_configs[row],
+                target_config=tgt_configs[row],
+                value=float(value[row]),
+                crashed=bool(crashed[row]),
+                suggest_seconds=float(suggest[row]),
+                throughput=float(thr[row]) if thr_mask[row] else None,
+                p95_latency_ms=float(p95[row]) if p95_mask[row] else None,
+            )
+        )
+    return TuningResult(
+        knowledge_base=kb,
+        objective=handle.objective,
+        default_value=handle.default_value,
+        stopped_early_at=handle.stopped_early_at,
+        quarantined_at=handle.quarantined_at,
+    )

@@ -51,11 +51,28 @@ replayed standalone (``run_wave(spec, [seed], shared_pool=True)``) and
 match its trajectory from the full sweep.  The mode amortizes the pool
 generation S-fold; use it for throughput sweeps where cross-seed pool
 independence is not required.
+
+**Multicore mode** (``REPRO_WAVE_THREADS=N``, or ``wave_threads`` on the
+spec, or ``--workers`` with ``--wave``): the per-member
+``suggest_prepare`` calls — dominated by each session's one
+``build_forest`` ctypes call, which drops the GIL — run on a thread
+pool, and the stacked grouped leaf walk runs on the C kernel's
+persistent worker pool.  Each fit consumes only its own session's PCG64
+stream and writes only its own packed-forest slab, and the walk keeps
+one writer per (tree, row) output cell, so per-seed trajectories,
+forests, leaf indices, and stream positions are byte-identical to
+``N=1`` under any thread schedule (pinned by
+``tests/test_wave_threads.py``).  ``N=1`` — the default — takes exactly
+the sequential code path, mirroring ``REPRO_FOREST_KERNEL=0``'s
+fallback semantics.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -97,17 +114,39 @@ class _Round:
     score_seconds: float = 0.0
 
 
+def wave_thread_count(spec=None, override: int | None = None) -> int:
+    """Resolve the wave's worker-thread count: an explicit ``override``
+    wins, then the spec's ``wave_threads`` field, then the
+    ``REPRO_WAVE_THREADS`` environment knob; 1 (fully sequential — the
+    byte-for-bit unchanged code path) is the default."""
+    if override is not None and int(override) > 0:
+        return int(override)
+    configured = int(getattr(spec, "wave_threads", 0) or 0)
+    if configured > 0:
+        return configured
+    env = os.environ.get("REPRO_WAVE_THREADS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            return 1
+    return 1
+
+
 def run_wave(
     spec,
     seeds: Sequence[int],
     shared_pool: bool = False,
     pool_seed: int = 0,
+    threads: int | None = None,
 ) -> list[TuningResult]:
     """Run one arm's seeds in lockstep waves (see the module docstring).
 
     ``spec`` is a :class:`repro.tuning.runner.SessionSpec` (duck-typed:
     anything with ``build(seed) -> TuningSession``).  Returns one
-    :class:`TuningResult` per seed, in ``seeds`` order.
+    :class:`TuningResult` per seed, in ``seeds`` order.  ``threads``
+    overrides the spec/environment thread count (byte-identical results
+    at any value; see the module docstring's multicore section).
     """
     members: list[_Member] = []
     for seed in seeds:
@@ -137,12 +176,22 @@ def run_wave(
     ):
         evaluator = members[0].session.simulator
     pool_rng = np.random.default_rng(pool_seed) if shared_pool else None
-
-    _stacked_init(members, evaluator)
-    live = [m for m in members if m.live]
-    while live:
-        _wave_round(live, evaluator, pool_rng)
-        live = [m for m in live if m.live]
+    n_threads = wave_thread_count(spec, threads)
+    executor = (
+        ThreadPoolExecutor(max_workers=n_threads,
+                           thread_name_prefix="wave-fit")
+        if n_threads > 1
+        else None
+    )
+    try:
+        _stacked_init(members, evaluator)
+        live = [m for m in members if m.live]
+        while live:
+            _wave_round(live, evaluator, pool_rng, executor, n_threads)
+            live = [m for m in live if m.live]
+    finally:
+        if executor is not None:
+            executor.shutdown()
 
     return [m.session.result() for m in members]
 
@@ -219,20 +268,31 @@ def _stacked_init(members: list[_Member], evaluator) -> None:
 
 
 def _pool_provider(
-    optimizer, cache: dict, pool_rng: np.random.Generator
+    optimizer,
+    cache: dict,
+    pool_rng: np.random.Generator,
+    lock: threading.Lock | None = None,
 ) -> Callable[[], np.ndarray] | None:
     """Lazy per-wave shared pool: generated on the first round that
     actually reaches its pool draw (random interleaves don't), once per
-    wave, from the dedicated pool stream."""
+    wave, from the dedicated pool stream.  Under threaded prepares the
+    check-and-generate is serialized by ``lock``: same-spec members all
+    request the same pool size, so exactly one draw happens per wave and
+    the pool stream's position is schedule-independent."""
     n = getattr(optimizer, "n_random_candidates", None)
     if n is None:
         return None
     encoding = optimizer.encoding
 
     def provide() -> np.ndarray:
-        if n not in cache:
-            cache[n] = encoding.random_vectors(n, pool_rng)
-        return cache[n]
+        if lock is None:
+            if n not in cache:
+                cache[n] = encoding.random_vectors(n, pool_rng)
+            return cache[n]
+        with lock:
+            if n not in cache:
+                cache[n] = encoding.random_vectors(n, pool_rng)
+            return cache[n]
 
     return provide
 
@@ -241,27 +301,42 @@ def _wave_round(
     live: list[_Member],
     evaluator,
     pool_rng: np.random.Generator | None,
+    executor: ThreadPoolExecutor | None = None,
+    n_threads: int = 1,
 ) -> None:
     """One lockstep wave: prepare every live session's round, score all
     scorable rounds in one stacked pass, evaluate every suggestion in one
-    cross-session simulator pass, and feed the outcomes back."""
+    cross-session simulator pass, and feed the outcomes back.
+
+    With an ``executor``, the per-member prepares (each dominated by one
+    GIL-dropping ``build_forest`` call) run concurrently.  Every member's
+    prepare consumes only its own session's RNG stream and touches only
+    its own optimizer state, and the shared-pool draw is serialized and
+    generated exactly once per wave, so results are byte-identical to
+    the serial loop in member order."""
     pool_cache: dict = {}
-    rounds: list[_Round] = []
-    for member in live:
+    pool_lock = threading.Lock() if executor is not None else None
+
+    def prepare(member: _Member) -> _Round:
         session = member.session
         q = min(
             session.suggest_batch,
             session.n_iterations - session.iteration,
         )
         provider = (
-            _pool_provider(session.optimizer, pool_cache, pool_rng)
+            _pool_provider(session.optimizer, pool_cache, pool_rng, pool_lock)
             if pool_rng is not None
             else None
         )
         started = time.perf_counter()
         prepared = session.optimizer.suggest_prepare(q, shared_pool=provider)
         elapsed = time.perf_counter() - started
-        rounds.append(_Round(member, q, prepared, elapsed))
+        return _Round(member, q, prepared, elapsed)
+
+    if executor is None:
+        rounds = [prepare(member) for member in live]
+    else:
+        rounds = list(executor.map(prepare, live))
 
     scorable = [r for r in rounds if not r.prepared.resolved]
     if scorable:
@@ -278,6 +353,7 @@ def _wave_round(
                     [len(r.prepared.candidates) for r in forest_rounds],
                     dtype=np.int64,
                 ),
+                n_threads=n_threads,
             )
             for r, (mean, var) in zip(forest_rounds, stacked):
                 r.mean, r.var = mean, var

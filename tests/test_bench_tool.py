@@ -106,3 +106,70 @@ class TestMainPlumbing:
             tool, "run_benchmarks", lambda min_rounds: {"bench_a": 1.2}
         )
         assert tool.main(["--baseline", str(baseline)]) == 0
+
+
+class TestBestOfRuns:
+    def test_per_benchmark_minimum(self):
+        assert tool.best_of_runs(
+            [{"a": 3.0, "b": 1.0}, {"a": 1.0, "b": 2.0}]
+        ) == {"a": 1.0, "b": 1.0}
+
+    def test_union_of_names(self):
+        """A bench skipped in one run (host-dependent skips) still reports
+        from the runs that had it."""
+        assert tool.best_of_runs(
+            [{"a": 2.0}, {"b": 3.0}, {"a": 1.5}]
+        ) == {"a": 1.5, "b": 3.0}
+
+    def test_single_run_identity(self):
+        assert tool.best_of_runs([{"a": 1.0}]) == {"a": 1.0}
+
+    def test_empty(self):
+        assert tool.best_of_runs([]) == {}
+
+
+class TestRepeats:
+    def test_repeats_runs_suite_k_times_and_takes_minimum(
+        self, tmp_path, monkeypatch
+    ):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps({"means": {"bench_a": 1.0}}))
+        runs = iter([{"bench_a": 2.0}, {"bench_a": 1.4}, {"bench_a": 1.9}])
+        calls = []
+        monkeypatch.setattr(
+            tool, "run_benchmarks",
+            lambda min_rounds: calls.append(min_rounds) or next(runs),
+        )
+        # best-of-3 is 1.4x the baseline: within the default 1.5x limit
+        # even though two of the three runs were over it.
+        assert tool.main(
+            ["--baseline", str(baseline), "--repeats", "3"]
+        ) == 0
+        assert calls == [5, 5, 5]
+
+    def test_repeats_default_is_one_run(self, tmp_path, monkeypatch):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps({"means": {"bench_a": 1.0}}))
+        calls = []
+        monkeypatch.setattr(
+            tool, "run_benchmarks",
+            lambda min_rounds: calls.append(min_rounds) or {"bench_a": 1.0},
+        )
+        assert tool.main(["--baseline", str(baseline)]) == 0
+        assert len(calls) == 1
+
+    def test_repeats_applies_to_update(self, tmp_path, monkeypatch):
+        baseline = tmp_path / "base.json"
+        runs = iter([{"bench_a": 2.0}, {"bench_a": 1.0}])
+        monkeypatch.setattr(
+            tool, "run_benchmarks", lambda min_rounds: next(runs)
+        )
+        assert tool.main(
+            ["--baseline", str(baseline), "--update", "--repeats", "2"]
+        ) == 0
+        payload = json.loads(baseline.read_text())
+        assert payload["means"] == {"bench_a": 1.0}
+
+    def test_repeats_must_be_positive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            tool.main(["--baseline", str(tmp_path / "b.json"), "--repeats", "0"])

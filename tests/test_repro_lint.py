@@ -192,6 +192,87 @@ class TestBroadExceptRule:
         assert findings == []
 
 
+def tuning_rules_of(source: str) -> list[str]:
+    """Like :func:`rules_of` but with a path inside ``tuning/`` so the
+    path-scoped module-state rule engages."""
+    findings = lint_source(
+        textwrap.dedent(source),
+        path="src/repro/tuning/example.py",
+        scope="src",
+    )
+    return [f.rule for f in findings]
+
+
+class TestModuleStateRule:
+    def test_empty_dict_and_list_flagged(self):
+        assert tuning_rules_of("_CACHE: dict[str, int] = {}\n") == [
+            "module-state"
+        ]
+        assert tuning_rules_of("_SEEN = []\n") == ["module-state"]
+        assert tuning_rules_of("_PENDING = set()\n") == ["module-state"]
+
+    def test_empty_factory_calls_flagged(self):
+        assert tuning_rules_of(
+            "import collections\n_BY_KEY = collections.defaultdict(list)\n"
+        ) == ["module-state"]
+        assert tuning_rules_of("_Q = dict()\n") == ["module-state"]
+
+    def test_global_statement_flagged(self):
+        src = (
+            "_handle = None\n"
+            "def load():\n"
+            "    global _handle\n"
+            "    _handle = 1\n"
+        )
+        assert tuning_rules_of(src) == ["module-state"]
+
+    def test_populated_registry_clean(self):
+        src = (
+            "OPTIMIZERS = {'smac': 1, 'gp-bo': 2}\n"
+            "__all__ = ['OPTIMIZERS']\n"
+            "NAMES = list(OPTIMIZERS)\n"
+        )
+        assert tuning_rules_of(src) == []
+
+    def test_function_local_and_class_state_clean(self):
+        src = (
+            "class Cache:\n"
+            "    def __init__(self):\n"
+            "        self.items = {}\n"
+            "def f():\n"
+            "    seen = []\n"
+            "    return seen\n"
+        )
+        assert tuning_rules_of(src) == []
+
+    def test_gated_definition_still_flagged(self):
+        src = (
+            "import sys\n"
+            "if sys.platform == 'linux':\n"
+            "    _STATE = {}\n"
+        )
+        assert tuning_rules_of(src) == ["module-state"]
+
+    def test_only_polices_optimizers_and_tuning_paths(self):
+        findings = lint_source(
+            "_CACHE = {}\n",
+            path="src/repro/analysis/example.py",
+            scope="src",
+        )
+        assert findings == []
+        assert rules_of("_CACHE = {}\n") == []  # default "<string>" path
+
+    def test_pragma_names_the_guard(self):
+        src = (
+            "# repro-lint: allow[module-state] reason=guarded by _lock\n"
+            "_CACHE = {}\n"
+        )
+        findings = lint_source(
+            src, path="src/repro/optimizers/example.py", scope="src"
+        )
+        assert findings == []
+
+
 class TestPragmas:
     def test_trailing_pragma_suppresses(self):
         src = (

@@ -80,6 +80,23 @@ def load_baseline(path: pathlib.Path) -> tuple[dict[str, float], dict[str, float
     return dict(payload), {}  # legacy flat {name: mean}
 
 
+def best_of_runs(runs: list[dict[str, float]]) -> dict[str, float]:
+    """Per-benchmark minimum across repeated runs (union of names, so a
+    bench skipped in one run still reports from the runs that had it).
+
+    Best-of-K is the right reducer for regression *checks*: scheduler
+    noise, cache warmup, and — for the multicore benches — thread-pool
+    contention only ever make a run slower, so the minimum is the least
+    noisy estimate of the code's actual cost.
+    """
+    best: dict[str, float] = {}
+    for run in runs:
+        for name, mean in run.items():
+            if name not in best or mean < best[name]:
+                best[name] = mean
+    return best
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
@@ -89,6 +106,11 @@ def main(argv: list[str] | None = None) -> int:
                              "baseline (per-benchmark thresholds in the "
                              "baseline file override this)")
     parser.add_argument("--min-rounds", type=int, default=5)
+    parser.add_argument("--repeats", type=int, default=1, metavar="K",
+                        help="run the whole suite K times and judge (or "
+                             "record) each benchmark's best-of-K mean — "
+                             "one noisy run then neither fails the check "
+                             "nor pollutes the baseline (default: 1)")
     parser.add_argument("--fail-missing", action="store_true",
                         help="treat baseline benchmarks absent from the run "
                              "as a failure (default: report-only, so "
@@ -98,8 +120,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="baseline JSON to read/write (CI records one on "
                              "its own hardware; default: the committed file)")
     args = parser.parse_args(argv)
+    if args.repeats < 1:
+        sys.exit("--repeats must be >= 1")
 
-    means = run_benchmarks(args.min_rounds)
+    means = best_of_runs(
+        [run_benchmarks(args.min_rounds) for __ in range(args.repeats)]
+    )
 
     if args.update:
         thresholds: dict[str, float] = {}

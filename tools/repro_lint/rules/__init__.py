@@ -52,6 +52,7 @@ def dotted_name(node: ast.AST) -> str | None:
 from tools.repro_lint.rules.atomic_write import AtomicWriteRule  # noqa: E402
 from tools.repro_lint.rules.cache_key import IdKeyRule, SetIterationRule  # noqa: E402
 from tools.repro_lint.rules.excepts import BroadExceptRule  # noqa: E402
+from tools.repro_lint.rules.module_state import ModuleStateRule  # noqa: E402
 from tools.repro_lint.rules.rng import (  # noqa: E402
     LegacyGlobalRule,
     StdlibRandomRule,
@@ -68,6 +69,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SetIterationRule(),
     AtomicWriteRule(),
     BroadExceptRule(),
+    ModuleStateRule(),
 )
 
 
