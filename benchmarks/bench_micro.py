@@ -5,6 +5,8 @@ projection, surrogate fit/predict, full suggest step) so performance
 regressions show up independently of the end-to-end experiment benches.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -298,3 +300,64 @@ def test_simulator_evaluate_batch_256(benchmark, space):
     configs = uniform_configurations(space, 256, rng)
     simulator.evaluate_batch(configs, on_crash="none")  # warm calibration
     benchmark(simulator.evaluate_batch, configs, None, "none")
+
+
+def test_session_server_traffic(benchmark):
+    """The serving headline: 100 concurrent tenant sessions (10 tenants x
+    10 seeds, SMAC+LlamaTune) drive suggest/observe traffic through the
+    asyncio :class:`~repro.tuning.server.SessionServer`, whose batcher
+    coalesces every concurrently-pending suggest into one heterogeneous
+    wave.  Observations are synthetic (the tenants report externally
+    measured values) so the bench isolates the serving path: gather
+    window, stacked model phase, protocol bookkeeping.  The acceptance
+    floor is 1,000 requests/sec; each suggest + each observe counts as
+    one request.  Per-tenant trajectories stay byte-identical to solo
+    runs regardless of batching (``tests/test_server.py`` pins that)."""
+    import asyncio
+
+    from repro.tuning.server import SessionServer
+
+    spec = SessionSpec(
+        workload="ycsb-a", optimizer="smac", adapter=llamatune_factory(),
+        n_iterations=12, n_init=8,
+    )
+    run_spec(spec, [1])  # warm calibration + kernel
+    n_tenants, n_seeds = 10, 10
+    requests = n_tenants * n_seeds * spec.n_iterations * 2
+
+    def serve() -> float:
+        async def go():
+            async with SessionServer(gather_window=0.002) as server:
+                keys = [
+                    await server.open(f"tenant-{t}", spec, seed)
+                    for t in range(n_tenants)
+                    for seed in range(1, n_seeds + 1)
+                ]
+
+                async def drive(key, base):
+                    session = server.session(key)
+                    value = base
+                    while session.live:
+                        await server.suggest(key)
+                        value += 1.0
+                        await server.observe(key, value)
+
+                await asyncio.gather(
+                    *(drive(key, 1000.0 * i) for i, key in enumerate(keys))
+                )
+                for key in keys:
+                    await server.close(key, checkpoint=False)
+
+        started = time.perf_counter()
+        asyncio.run(go())
+        return time.perf_counter() - started
+
+    elapsed = serve()  # warm + floor check outside the timed rounds
+    rate = requests / elapsed
+    benchmark.extra_info["requests"] = requests
+    benchmark.extra_info["requests_per_second"] = round(rate)
+    assert rate >= 1000, (
+        f"serving floor: {rate:,.0f} req/s < 1,000 req/s "
+        f"({requests} requests in {elapsed:.2f}s)"
+    )
+    benchmark.pedantic(serve, rounds=3, warmup_rounds=1)

@@ -14,12 +14,21 @@ Examples::
     python -m repro --workload ycsb-b --conf-out best.conf --kb-out kb.json
     python -m repro --workload tpcc --seeds 1,2,3,4,5 --parallel
     python -m repro --workload ycsb-a --seeds 1,2,3,4,5,6,7,8 --wave
+    python -m repro serve --workloads ycsb-a,tpcc --tenants 4 --seeds 1,2
+
+The ``serve`` subcommand runs the asyncio tuning-as-a-service front end
+(:class:`repro.tuning.server.SessionServer`) with in-process demo
+tenants: every tenant session's suggest calls are batched into
+heterogeneous waves, clients evaluate against the simulator, and the
+run reports requests/sec, p95 suggest latency, and per-tenant results.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
+import time
 
 from repro.analysis.textplot import ascii_plot
 from repro.dbms.versions import V96, V136
@@ -32,6 +41,7 @@ from repro.tuning.runner import (
     mean_best_curve,
     run_spec,
 )
+from repro.tuning.session import QuarantinedSessionError
 
 
 def _seed_list(text: str) -> list[int]:
@@ -114,6 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "--checkpoint-dir before running; the "
                              "continuation is byte-identical to the "
                              "uninterrupted run")
+    parser.add_argument("--force-resume", action="store_true",
+                        help="with --resume, also restore *quarantined* "
+                             "checkpoints and retry the fault envelope at "
+                             "the quarantine cursor (refused by default: "
+                             "the envelope already exhausted its retries "
+                             "there)")
     parser.add_argument("--fault-rate", type=float, default=0.0, metavar="P",
                         help="inject evaluation faults (transient errors, "
                              "hangs, flaky crashes, corrupted measurements) "
@@ -132,7 +148,173 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the asyncio tuning session server with in-process "
+                    "demo tenants (suggest/observe traffic batched into "
+                    "heterogeneous waves).",
+    )
+    parser.add_argument("--workloads", default="ycsb-a",
+                        metavar="W1,W2,...",
+                        help="workloads cycled across tenants; two or more "
+                             "distinct workloads make the waves "
+                             "heterogeneous (per-tenant trajectories stay "
+                             "byte-identical to solo runs either way)")
+    parser.add_argument("--optimizer", default="smac",
+                        choices=["smac", "gp-bo", "random"])
+    parser.add_argument("--iterations", type=int, default=30)
+    parser.add_argument("--n-init", type=int, default=10)
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--seeds", metavar="S1,S2,...", type=_seed_list,
+                        default=[1],
+                        help="one session per (tenant, seed) pair")
+    parser.add_argument("--gather-window", type=float, default=0.001,
+                        metavar="SEC",
+                        help="how long the batcher waits after the first "
+                             "pending suggest so concurrent requests "
+                             "coalesce into one wave")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="threads for the stacked leaf walk "
+                             "(byte-identical results at any N)")
+    parser.add_argument("--checkpoint-root", metavar="DIR", default=None,
+                        help="per-tenant checkpoint namespace: each "
+                             "tenant's snapshots land under DIR/<tenant>")
+    parser.add_argument("--checkpoint-every", type=int, default=0, metavar="K",
+                        help="checkpoint every session at every "
+                             "K-iteration round boundary (requires "
+                             "--checkpoint-root)")
+    parser.add_argument("--resume", action="store_true",
+                        help="reopen sessions from their per-tenant "
+                             "checkpoints (requires --checkpoint-root)")
+    parser.add_argument("--force-resume", action="store_true",
+                        help="with --resume, also reopen quarantined "
+                             "sessions and retry their envelopes")
+    return parser
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    from repro.dbms.errors import DbmsCrashError
+    from repro.tuning.server import SessionServer
+
+    args = build_serve_parser().parse_args(argv)
+    if args.tenants < 1:
+        print("error: --tenants must be >= 1", file=sys.stderr)
+        return 2
+    if (args.checkpoint_every > 0 or args.resume) and not args.checkpoint_root:
+        print(
+            "error: --checkpoint-every/--resume require --checkpoint-root",
+            file=sys.stderr,
+        )
+        return 2
+    if args.force_resume and not args.resume:
+        print("error: --force-resume requires --resume", file=sys.stderr)
+        return 2
+    workloads = [w for w in args.workloads.split(",") if w]
+    if not workloads:
+        print("error: --workloads is empty", file=sys.stderr)
+        return 2
+
+    tasks = []
+    for tenant in range(args.tenants):
+        spec = SessionSpec(
+            workload=workloads[tenant % len(workloads)],
+            optimizer=args.optimizer,
+            adapter=llamatune_factory(),
+            n_iterations=args.iterations,
+            n_init=args.n_init,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            force_resume=args.force_resume,
+        )
+        for seed in args.seeds:
+            tasks.append((f"tenant-{tenant}", spec, seed))
+    print(
+        f"Serving {len(tasks)} session{'s' if len(tasks) > 1 else ''} "
+        f"({args.tenants} tenant{'s' if args.tenants > 1 else ''} x "
+        f"{len(args.seeds)} seed{'s' if len(args.seeds) > 1 else ''}, "
+        f"workloads {', '.join(dict.fromkeys(workloads))}; "
+        f"gather window {args.gather_window * 1000:.1f} ms)"
+    )
+
+    latencies: list[float] = []
+    requests = 0
+
+    async def serve() -> tuple[list, list, float]:
+        nonlocal requests
+        async with SessionServer(
+            checkpoint_root=args.checkpoint_root,
+            gather_window=args.gather_window,
+            wave_threads=args.workers,
+        ) as server:
+            keys = [
+                await server.open(tenant_id, spec, seed)
+                for tenant_id, spec, seed in tasks
+            ]
+
+            async def drive(key):
+                nonlocal requests
+                session = server.session(key)
+                while session.live:
+                    started = time.perf_counter()
+                    config = await server.suggest(key)
+                    latencies.append(time.perf_counter() - started)
+                    try:
+                        outcome = session.simulator.evaluate(
+                            config, rng=session.rng
+                        )
+                        await server.observe(key, measurement=outcome)
+                    except DbmsCrashError:
+                        await server.observe(key, crashed=True)
+                    requests += 2
+
+            started = time.perf_counter()
+            await asyncio.gather(*(drive(key) for key in keys))
+            elapsed = time.perf_counter() - started
+            quarantined = server.quarantined()
+            results = [await server.close(key) for key in keys]
+            return results, quarantined, elapsed
+
+    try:
+        results, quarantined, elapsed = asyncio.run(serve())
+    except QuarantinedSessionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "hint: fix the evaluation environment, then reopen with "
+            "--force-resume",
+            file=sys.stderr,
+        )
+        return 3
+
+    latencies.sort()
+    p95 = latencies[min(len(latencies) - 1, int(0.95 * len(latencies)))]
+    print()
+    print(
+        f"{requests} requests in {elapsed:.2f}s "
+        f"({requests / max(elapsed, 1e-9):,.0f} req/s); "
+        f"suggest p95 {p95 * 1000:.2f} ms"
+    )
+    for (tenant_id, spec, seed), result in zip(tasks, results):
+        unit = "reqs/sec" if spec.objective == "throughput" else "ms (p95)"
+        line = (
+            f"  {tenant_id} {spec.workload} seed {seed}: "
+            f"best {result.best_value:,.1f} {unit}"
+        )
+        if result.quarantined_at is not None:
+            line += f" [quarantined at iteration {result.quarantined_at}]"
+        print(line)
+    for status in quarantined:
+        print(
+            f"quarantined: {status.key} at iteration {status.quarantined_at}"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.objective == "latency" and args.rate is None:
@@ -177,6 +359,9 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.force_resume and not args.resume:
+        print("error: --force-resume requires --resume", file=sys.stderr)
+        return 2
     if args.checkpoint_every > 0 and args.optimizer == "ddpg":
         print(
             "error: ddpg is not checkpointable (its neural state is outside "
@@ -219,6 +404,7 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        force_resume=args.force_resume,
         fault_rate=args.fault_rate,
         fault_seed=args.fault_seed,
     )
@@ -237,25 +423,53 @@ def main(argv: list[str] | None = None) -> int:
         mode = "process"
     else:
         mode = "thread"
-    results = run_spec(
-        spec,
-        seeds,
-        parallel=args.parallel,
-        max_workers=args.workers,
-        mode=mode,
-        wave_shared_pool=args.wave_shared_pool,
-    )
+    try:
+        results = run_spec(
+            spec,
+            seeds,
+            parallel=args.parallel,
+            max_workers=args.workers,
+            mode=mode,
+            wave_shared_pool=args.wave_shared_pool,
+        )
+    except QuarantinedSessionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "hint: fix the evaluation environment, then retry with "
+            "--force-resume to re-enter the quarantined session",
+            file=sys.stderr,
+        )
+        return 3
+    # A seed quarantined before its first measurement has an empty
+    # knowledge base — no best value or curve to summarize.  Score only
+    # the seeds that observed something; if none did, report the
+    # quarantines and exit 3 instead of crashing on an empty reduction.
+    scored = [r for r in results if len(r.knowledge_base) > 0]
+    if not scored:
+        for r, seed in zip(results, seeds):
+            if r.quarantined_at is not None:
+                print(
+                    f"seed {seed} quarantined at iteration "
+                    f"{r.quarantined_at} (an evaluation exhausted its "
+                    "fault-envelope retries)"
+                )
+        print(
+            "error: no observations recorded — every session quarantined "
+            "before its first measurement",
+            file=sys.stderr,
+        )
+        return 3
     maximize = args.objective == "throughput"
     pick = max if maximize else min
-    result = pick(results, key=lambda r: r.best_value)
-    curve = mean_best_curve(results) if len(results) > 1 else result.best_curve
+    result = pick(scored, key=lambda r: r.best_value)
+    curve = mean_best_curve(scored) if len(scored) > 1 else result.best_curve
 
     unit = "reqs/sec" if args.objective == "throughput" else "ms (p95)"
     if not args.no_plot:
         print()
         title = f"best {args.objective} so far"
-        if len(results) > 1:
-            title += f" (mean of {len(results)} seeds)"
+        if len(scored) > 1:
+            title += f" (mean of {len(scored)} seeds)"
         print(ascii_plot({label: curve}, title=title))
     print()
     print(f"default: {result.default_value:>12,.1f} {unit}")

@@ -134,6 +134,25 @@ class PostgresSimulator:
 
     # --- internals ---------------------------------------------------------
 
+    def stack_key(self) -> tuple:
+        """Value identity for cross-session stacking: two simulators with
+        equal keys produce identical component scores and calibration for
+        any configuration row, so their sessions' evaluations may share
+        one :meth:`evaluate_batch_stacked` matrix pass (noise stays
+        per-session via rng blocks).  The key extends the calibration
+        cache's ``(class, workload, version, hardware)`` identity with the
+        two evaluation parameters calibration does not capture
+        (``noise_std`` scales the per-row draws; ``target_rate`` switches
+        the latency model)."""
+        return (
+            type(self),
+            _profile_key(self.workload),
+            _profile_key(self.version),
+            _profile_key(self.hardware),
+            float(self.noise_std),
+            self.target_rate,
+        )
+
     def _batch_context(
         self, rows: Sequence[Mapping[str, KnobValue]]
     ) -> BatchEvalContext:

@@ -88,6 +88,12 @@ def main(argv: list[str] | None = None) -> int:
              "continuing interrupted experiments byte-identically",
     )
     parser.add_argument(
+        "--force-resume",
+        action="store_true",
+        help="with --resume, also restore quarantined checkpoints and "
+             "retry their failed evaluations",
+    )
+    parser.add_argument(
         "--fault-rate",
         type=float,
         default=None,
@@ -104,6 +110,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if (args.checkpoint_every or args.resume) and not args.checkpoint_dir:
         parser.error("--checkpoint-every/--resume require --checkpoint-dir")
+    if args.force_resume and not args.resume:
+        parser.error("--force-resume requires --resume")
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be >= 1")
     if args.workers is not None and not args.parallel:
@@ -124,6 +132,7 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir,
         resume=True if args.resume else None,
+        force_resume=True if args.force_resume else None,
         fault_rate=args.fault_rate,
         fault_seed=args.fault_seed,
     ):

@@ -37,7 +37,18 @@ from repro.tuning.runner import (
     space_for_version,
     spec_overrides,
 )
-from repro.tuning.session import TuningResult, TuningSession
+from repro.tuning.server import (
+    ExternalMeasurement,
+    ServerProtocolError,
+    SessionKey,
+    SessionServer,
+    SessionStatus,
+)
+from repro.tuning.session import (
+    QuarantinedSessionError,
+    TuningResult,
+    TuningSession,
+)
 
 __all__ = [
     "ComparisonSummary",
@@ -45,6 +56,7 @@ __all__ = [
     "DEFAULT_SEEDS",
     "EXHAUSTED",
     "EarlyStoppingPolicy",
+    "ExternalMeasurement",
     "FaultEnvelope",
     "FaultInjectingSimulator",
     "FaultPolicy",
@@ -52,7 +64,12 @@ __all__ = [
     "KnowledgeBase",
     "MonotonicClock",
     "Observation",
+    "QuarantinedSessionError",
+    "ServerProtocolError",
+    "SessionKey",
+    "SessionServer",
     "SessionSpec",
+    "SessionStatus",
     "TuningResult",
     "TuningSession",
     "VirtualClock",

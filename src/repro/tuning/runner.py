@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import hashlib
 import os
 import pathlib
 import zlib
@@ -65,9 +66,13 @@ class SessionSpec:
 
     **Resilience knobs.**  ``checkpoint_every`` + ``checkpoint_dir``
     periodically snapshot each seed's session to
-    ``<dir>/<workload>-<optimizer>-<token>-seed<seed>.ckpt.json``;
-    ``resume`` makes ``build`` restore any existing snapshot so a killed
-    sweep continues byte-identically.  ``fault_rate`` swaps the simulator
+    ``<dir>/<workload>-<optimizer>-<fingerprint>-seed<seed>.ckpt.json``
+    (``fingerprint`` = :meth:`spec_fingerprint`, 64 collision-resistant
+    bits; checkpoints also carry it as a header, so loading a file from
+    the wrong spec fails loudly); ``resume`` makes ``build`` restore any
+    existing snapshot so a killed sweep continues byte-identically —
+    unless the snapshot is *quarantined*, which ``resume`` refuses
+    without ``force_resume``.  ``fault_rate`` swaps the simulator
     for a :class:`~repro.tuning.fault_injection.FaultInjectingSimulator`
     (fault schedule keyed by ``(spec_token, seed, fault_seed)``, never
     touching the evaluation or optimizer streams) and runs evaluations
@@ -91,6 +96,13 @@ class SessionSpec:
     checkpoint_every: int = 0
     checkpoint_dir: str | None = None
     resume: bool = False
+    #: Allow ``resume`` to restore a *quarantined* checkpoint and retry
+    #: the fault envelope at the quarantine cursor.  Off by default:
+    #: resuming a quarantined session silently re-enters the very
+    #: evaluation that exhausted its retries, so ``build`` refuses with
+    #: :class:`~repro.tuning.session.QuarantinedSessionError` unless this
+    #: is set (``--force-resume`` on the CLIs).
+    force_resume: bool = False
     fault_rate: float = 0.0
     fault_seed: int = 0
     fault_policy: FaultPolicy | None = None
@@ -99,15 +111,13 @@ class SessionSpec:
     #: at any value, hence excluded from :meth:`spec_token`.
     wave_threads: int = 0
 
-    def spec_token(self) -> int:
-        """Stable 32-bit digest of the trajectory-determining fields.
+    def spec_canonical(self) -> str:
+        """Canonical string of the trajectory-determining fields — the
+        shared input of :meth:`spec_token` and :meth:`spec_fingerprint`.
 
-        Keys the fault-injection stream (with the seed and ``fault_seed``)
-        and names checkpoint files.  ``zlib.crc32`` of a canonical string
-        — not ``hash()``, which is salted per process and would break
-        cross-process reproducibility.  ``fault_seed`` itself is excluded
-        (it is the key's own third component), as are the checkpoint/
-        resume fields (resuming must not change the fault schedule) and
+        ``fault_seed`` is excluded (it is the fault-schedule key's own
+        third component), as are the checkpoint/resume fields (resuming
+        must not change the fault schedule) and
         ``n_iterations``/``early_stopping`` — they only decide where a
         trajectory *ends*, so a resumed session may extend the budget and
         still find its checkpoint and replay its fault schedule.
@@ -116,7 +126,7 @@ class SessionSpec:
         adapter_token = (
             getattr(adapter, "__qualname__", None) or repr(adapter)
         )
-        canonical = "|".join(
+        return "|".join(
             [
                 self.workload,
                 self.optimizer,
@@ -131,15 +141,37 @@ class SessionSpec:
                 repr(self.fault_rate),
             ]
         )
-        return zlib.crc32(canonical.encode())
+
+    def spec_token(self) -> int:
+        """Stable 32-bit digest of :meth:`spec_canonical`.
+
+        Keys the fault-injection stream (with the seed and ``fault_seed``)
+        — ``zlib.crc32``, not ``hash()``, which is salted per process and
+        would break cross-process reproducibility.  32 bits are plenty
+        for decorrelating fault schedules but NOT for naming files: two
+        distinct specs sharing a checkpoint directory can crc32-collide
+        and silently resume each other's state, which is why checkpoint
+        paths use :meth:`spec_fingerprint` instead.
+        """
+        return zlib.crc32(self.spec_canonical().encode())
+
+    def spec_fingerprint(self) -> str:
+        """Collision-resistant spec digest (sha256 of
+        :meth:`spec_canonical`, first 16 hex chars = 64 bits): names
+        checkpoint files and is stamped into every checkpoint header so
+        a load against the wrong spec fails loudly instead of silently
+        restoring a look-alike trajectory."""
+        return hashlib.sha256(self.spec_canonical().encode()).hexdigest()[:16]
 
     def checkpoint_path(self, seed: int) -> pathlib.Path | None:
         """This seed's checkpoint file under ``checkpoint_dir`` (None
-        when checkpointing is not configured)."""
+        when checkpointing is not configured).  Named by the 64-bit
+        :meth:`spec_fingerprint`, so distinct specs sharing a directory
+        cannot collide the way the 32-bit crc32 token could."""
         if self.checkpoint_dir is None:
             return None
         return pathlib.Path(self.checkpoint_dir) / (
-            f"{self.workload}-{self.optimizer}-{self.spec_token():08x}"
+            f"{self.workload}-{self.optimizer}-{self.spec_fingerprint()}"
             f"-seed{seed}.ckpt.json"
         )
 
@@ -204,13 +236,16 @@ class SessionSpec:
             checkpoint_path=checkpoint_path,
             fault_policy=fault_policy,
             fault_clock=fault_clock,
+            spec_fingerprint=self.spec_fingerprint(),
         )
         if (
             self.resume
             and checkpoint_path is not None
             and checkpoint_path.exists()
         ):
-            session.load_checkpoint(checkpoint_path)
+            session.load_checkpoint(
+                checkpoint_path, force_quarantined=self.force_resume
+            )
         return session
 
 

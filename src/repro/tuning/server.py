@@ -1,0 +1,500 @@
+"""Tuning-as-a-service: an asyncio session server over the wave engine.
+
+:class:`SessionServer` turns the repo's tuning stack into a long-lived
+controller in the E2ETune mold: many tenants hold concurrent
+:class:`~repro.tuning.session.TuningSession`\\ s open against one server,
+drive them through ``suggest``/``observe`` coroutines, and the server
+multiplexes every concurrently-pending ``suggest`` into one
+**heterogeneous wave** model phase
+(:func:`~repro.tuning.wave.score_rounds`): all forest-backed tenants —
+regardless of spec — score in a single stacked ``predict_mean_var``
+super-table call plus one EI pass, exactly as the offline wave scheduler
+does for same-host sweeps.
+
+**Protocol.**  Sessions are keyed by ``(tenant_id, spec_token, seed)``
+(:class:`SessionKey`).  Per key, at most one suggestion may be
+outstanding: ``suggest`` → evaluate it however the tenant likes (the
+server never runs the simulator for model rounds — evaluation is the
+client's job, which is what makes this *service* shaped) → ``observe``
+the outcome (a measured value, a crash, or retry exhaustion).  The
+server drives scalar rounds (one configuration per ``suggest``), so
+sessions must be built with ``suggest_batch=1``.
+
+**Determinism.**  The split-phase optimizer API guarantees
+``suggest_prepare`` + stacked scoring + ``suggest_select`` is
+byte-identical to the sequential ``suggest()`` — so a tenant that
+evaluates its suggestions with its session's own simulator and noise
+stream reproduces its solo ``run_spec`` trajectory *exactly*, no matter
+how many other tenants' rounds were batched into the same waves or how
+requests interleaved (``tests/test_server.py`` pins this).  Wall-clock
+``suggest_seconds`` follows the wave scheduler's attribution rules —
+metadata, outside the contract.
+
+**Gather window.**  A ``suggest`` does not execute immediately: the
+batcher sleeps ``gather_window`` seconds after the first pending request
+so concurrent tenants' rounds coalesce into one wave (amortizing the
+stacked model phase), then runs the batch on the event-loop thread.
+``gather_window=0`` still batches whatever arrived in the same loop
+tick.  Latency cost: at most one window per round; throughput gain:
+fixed per-wave costs paid once per wave instead of once per tenant
+(``benchmarks/bench_micro.py::test_session_server_traffic`` measures
+requests/sec and p95 latency at 100 concurrent sessions).
+
+**Tenancy.**  With ``checkpoint_root`` set, every tenant's checkpoints
+land under ``<root>/<tenant_id>/`` — combined with the spec-fingerprint
+file naming and checkpoint header this makes cross-tenant checkpoint
+collisions structurally impossible (the PR 9 collision bugfix).
+Quarantines propagate loudly: an ``observe(exhausted=True)`` quarantines
+the session, subsequent ``suggest`` calls raise
+:class:`~repro.tuning.session.QuarantinedSessionError`, and
+:meth:`SessionServer.quarantined` reports every quarantined key.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import pathlib
+import re
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.tuning.faults import EXHAUSTED
+from repro.tuning.session import (
+    QuarantinedSessionError,
+    TuningResult,
+    TuningSession,
+)
+from repro.tuning.wave import SuggestRound, score_rounds
+
+#: Tenant ids become checkpoint directory names; keep them path-safe.
+_TENANT_ID = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*\Z")
+
+
+class ServerProtocolError(RuntimeError):
+    """A client broke the suggest/observe protocol (double suggest,
+    observe without an outstanding suggestion, unknown session key, or
+    driving a finished session)."""
+
+
+@dataclass(frozen=True, order=True)
+class SessionKey:
+    """Identity of one tenant session: ``(tenant_id, spec_token, seed)``.
+
+    ``spec_token`` is the spec's 32-bit trajectory digest
+    (``SessionSpec.spec_token()``) — sufficient as a *key* because
+    :meth:`SessionServer.open` refuses duplicate keys loudly, while
+    checkpoint files are protected against token collisions by the
+    64-bit spec fingerprint in their names and headers.
+    """
+
+    tenant_id: str
+    spec_token: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class ExternalMeasurement:
+    """A tenant-reported measurement (duck-types
+    :class:`~repro.dbms.engine.Measurement` for the session's feedback
+    path): the objective value is whatever the tenant measured —
+    req/s for throughput tuning, milliseconds for latency tuning."""
+
+    objective_value: float
+    throughput: float | None = None
+    p95_latency_ms: float | None = None
+    metrics: Mapping[str, float] | None = None
+
+    def value(self, objective: str) -> float:
+        return self.objective_value
+
+
+@dataclass(frozen=True)
+class SessionStatus:
+    """Point-in-time view of one session (``status`` coroutine)."""
+
+    key: SessionKey
+    state: str
+    iteration: int
+    n_iterations: int
+    best_value: float | None
+    stopped_at: int | None
+    quarantined_at: int | None
+    pending: bool  # an unobserved suggestion is outstanding
+
+
+@dataclass
+class _PendingSuggest:
+    """One outstanding suggestion awaiting its ``observe``."""
+
+    opt_config: object
+    target_config: object
+    suggest_seconds: float
+
+
+@dataclass
+class _Entry:
+    """One open session plus its protocol state."""
+
+    key: SessionKey
+    spec: object
+    session: TuningSession
+    pending: _PendingSuggest | None = None
+    waiter: asyncio.Future | None = None
+
+
+@dataclass
+class _SuggestRequest:
+    entry: _Entry
+    future: asyncio.Future
+
+
+class SessionServer:
+    """Asyncio front end multiplexing tenant sessions over heterogeneous
+    waves (see the module docstring).
+
+    Args:
+        checkpoint_root: Per-tenant checkpoint namespace — each opened
+            spec's ``checkpoint_dir`` is rewritten to
+            ``<root>/<tenant_id>``.  ``None`` keeps each spec's own
+            ``checkpoint_dir`` (or none).
+        gather_window: Seconds the batcher waits after the first pending
+            ``suggest`` before running the wave, so concurrent requests
+            coalesce.
+        max_wave: Upper bound on rounds per wave (excess requests roll
+            into the next wave immediately — no extra window).
+        wave_threads: Worker threads for the stacked leaf walk
+            (:func:`~repro.tuning.wave.score_rounds` ``n_threads``;
+            byte-identical results at any value).
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`shutdown` explicitly.
+    """
+
+    def __init__(
+        self,
+        checkpoint_root: str | pathlib.Path | None = None,
+        gather_window: float = 0.001,
+        max_wave: int = 256,
+        wave_threads: int = 1,
+    ):
+        if gather_window < 0:
+            raise ValueError("gather_window must be >= 0")
+        if max_wave < 1:
+            raise ValueError("max_wave must be >= 1")
+        self._checkpoint_root = (
+            pathlib.Path(checkpoint_root) if checkpoint_root is not None else None
+        )
+        self._gather_window = float(gather_window)
+        self._max_wave = int(max_wave)
+        self._wave_threads = int(wave_threads)
+        self._entries: dict[SessionKey, _Entry] = {}
+        self._queue: asyncio.Queue[_SuggestRequest] | None = None
+        self._batcher: asyncio.Task | None = None
+
+    # --- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "SessionServer":
+        """Bind to the running event loop and start the wave batcher."""
+        if self._batcher is not None:
+            raise RuntimeError("server already started")
+        self._queue = asyncio.Queue()
+        self._batcher = asyncio.get_running_loop().create_task(
+            self._batch_loop(), name="session-server-batcher"
+        )
+        return self
+
+    async def shutdown(self, checkpoint: bool = True) -> None:
+        """Close every open session (checkpointing by default — the
+        server-side half of checkpoint-on-disconnect) and stop the
+        batcher."""
+        for key in list(self._entries):
+            await self.close(key, checkpoint=checkpoint)
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+            self._queue = None
+
+    async def __aenter__(self) -> "SessionServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.shutdown()
+
+    # --- session management --------------------------------------------------
+
+    async def open(self, tenant_id: str, spec, seed: int) -> SessionKey:
+        """Open (build, and start or resume) one tenant session.
+
+        ``spec`` is a :class:`~repro.tuning.runner.SessionSpec`.  With a
+        ``checkpoint_root``, the spec's ``checkpoint_dir`` is rewritten
+        to the tenant's namespace before building, so tenants can never
+        share checkpoint files; a spec with ``resume=True`` restores its
+        namespaced snapshot (refusing quarantined ones unless the spec
+        sets ``force_resume`` —
+        :class:`~repro.tuning.session.QuarantinedSessionError` propagates
+        to the caller).  Sessions must use ``suggest_batch=1`` (the
+        server's protocol is one configuration per ``suggest``).
+        Duplicate keys are refused loudly.
+        """
+        if not _TENANT_ID.match(tenant_id):
+            raise ValueError(
+                f"tenant_id {tenant_id!r} is not a path-safe identifier"
+            )
+        if getattr(spec, "suggest_batch", 1) != 1:
+            raise ValueError(
+                "the session server drives scalar rounds; build the spec "
+                "with suggest_batch=1"
+            )
+        if self._checkpoint_root is not None:
+            spec = dataclasses.replace(
+                spec,
+                checkpoint_dir=str(self._checkpoint_root / tenant_id),
+            )
+        key = SessionKey(tenant_id, spec.spec_token(), int(seed))
+        if key in self._entries:
+            raise ServerProtocolError(f"session {key} is already open")
+        session = spec.build(seed)
+        if session.state == "new":
+            session.start()
+        self._entries[key] = _Entry(key, spec, session)
+        return key
+
+    async def close(
+        self, key: SessionKey, checkpoint: bool = True
+    ) -> TuningResult:
+        """Disconnect one session and return its result-so-far.
+
+        By default the session is checkpointed on the way out (when its
+        spec configured a checkpoint path) — *checkpoint-on-disconnect*:
+        a tenant that drops mid-run reconnects later with ``resume=True``
+        and continues byte-identically.  A suggestion still in flight is
+        cancelled; an unobserved one is simply dropped (it was never fed
+        to the optimizer's observations, and the checkpoint cursor sits
+        at the last completed round, so resuming replays the round
+        identically)."""
+        entry = self._entry(key)
+        if entry.waiter is not None and not entry.waiter.done():
+            entry.waiter.cancel()
+        session = entry.session
+        if checkpoint and session.checkpoint_path is not None:
+            session.checkpoint()
+        del self._entries[key]
+        if session.state == "running" and not session.live:
+            return session.finish()
+        return session.result()
+
+    def session(self, key: SessionKey) -> TuningSession:
+        """The underlying session object.  For *in-process* drivers (the
+        ``serve`` CLI's demo clients, tests, benches) that evaluate
+        suggestions with the session's own simulator and noise stream to
+        reproduce solo trajectories exactly; remote tenants never need
+        it."""
+        return self._entry(key).session
+
+    # --- the four service coroutines -----------------------------------------
+
+    async def suggest(self, key: SessionKey):
+        """Next configuration for this session (target-space), batched
+        into a heterogeneous wave with every other tenant's concurrent
+        request.  Raises
+        :class:`~repro.tuning.session.QuarantinedSessionError` for
+        quarantined sessions and :class:`ServerProtocolError` for
+        double-suggests or exhausted budgets."""
+        entry = self._entry(key)
+        session = entry.session
+        if session.quarantined_at is not None:
+            raise QuarantinedSessionError(session.quarantined_at)
+        if entry.pending is not None or entry.waiter is not None:
+            raise ServerProtocolError(
+                f"session {key} already has an outstanding suggestion"
+            )
+        if not session.live:
+            raise ServerProtocolError(
+                f"session {key} is finished "
+                f"(state={session.state!r}, iteration={session.iteration})"
+            )
+        if self._queue is None:
+            raise RuntimeError("server is not started")
+        future = asyncio.get_running_loop().create_future()
+        entry.waiter = future
+        self._queue.put_nowait(_SuggestRequest(entry, future))
+        try:
+            return await future
+        finally:
+            entry.waiter = None
+
+    async def observe(
+        self,
+        key: SessionKey,
+        value: float | None = None,
+        *,
+        measurement=None,
+        crashed: bool = False,
+        exhausted: bool = False,
+        throughput: float | None = None,
+        p95_latency_ms: float | None = None,
+        metrics: Mapping[str, float] | None = None,
+    ) -> SessionStatus:
+        """Feed the outstanding suggestion's outcome back.
+
+        Exactly one of three shapes: a measured ``value`` (optionally
+        with ``throughput``/``p95_latency_ms``/``metrics``, or a full
+        ``measurement`` object), ``crashed=True`` (the paper's
+        ¼-of-worst penalty applies), or ``exhausted=True`` (the tenant's
+        retry budget ran out — the session is *quarantined*: no
+        observation is recorded and further ``suggest`` calls refuse).
+        Returns the post-observe :class:`SessionStatus` so callers see
+        early stops and quarantines immediately."""
+        entry = self._entry(key)
+        pending = entry.pending
+        if pending is None:
+            raise ServerProtocolError(
+                f"session {key} has no outstanding suggestion to observe"
+            )
+        if exhausted:
+            outcome = EXHAUSTED
+        elif crashed:
+            outcome = None
+        elif measurement is not None:
+            outcome = measurement
+        elif value is not None:
+            outcome = ExternalMeasurement(
+                float(value),
+                throughput=throughput,
+                p95_latency_ms=p95_latency_ms,
+                metrics=metrics,
+            )
+        else:
+            raise ServerProtocolError(
+                "observe needs a value, a measurement, crashed=True, or "
+                "exhausted=True"
+            )
+        entry.pending = None
+        session = entry.session
+        session._feed_outcomes(
+            [pending.opt_config],
+            [pending.target_config],
+            [outcome],
+            pending.suggest_seconds,
+        )
+        if session.state == "running" and not session.live:
+            session.finish()
+        return self._status(entry)
+
+    async def checkpoint(self, key: SessionKey) -> pathlib.Path:
+        """Snapshot one session now (its spec must configure a
+        checkpoint path)."""
+        return self._entry(key).session.checkpoint()
+
+    async def status(
+        self, key: SessionKey | None = None
+    ) -> SessionStatus | list[SessionStatus]:
+        """One session's status, or every open session's (sorted by
+        key) when ``key`` is ``None``."""
+        if key is not None:
+            return self._status(self._entry(key))
+        return [
+            self._status(self._entries[k]) for k in sorted(self._entries)
+        ]
+
+    def quarantined(self) -> list[SessionStatus]:
+        """Every open session that has been quarantined — the server's
+        quarantine report (synchronous: it only reads)."""
+        return [
+            self._status(entry)
+            for key, entry in sorted(self._entries.items())
+            if entry.session.quarantined_at is not None
+        ]
+
+    # --- internals -----------------------------------------------------------
+
+    def _entry(self, key: SessionKey) -> _Entry:
+        entry = self._entries.get(key)
+        if entry is None:
+            raise ServerProtocolError(f"unknown session {key}")
+        return entry
+
+    def _status(self, entry: _Entry) -> SessionStatus:
+        session = entry.session
+        kb = session._kb
+        best = (
+            kb.best_value() if kb is not None and len(kb) > 0 else None
+        )
+        return SessionStatus(
+            key=entry.key,
+            state=session.state,
+            iteration=session.iteration,
+            n_iterations=session.n_iterations,
+            best_value=best,
+            stopped_at=session.stopped_at,
+            quarantined_at=session.quarantined_at,
+            pending=entry.pending is not None,
+        )
+
+    async def _batch_loop(self) -> None:
+        """Gather concurrently-pending suggests into heterogeneous waves:
+        block on the first request, sleep one gather window so the rest
+        of a burst arrives, then run everything queued (capped at
+        ``max_wave``; the surplus is served next iteration without
+        another window)."""
+        assert self._queue is not None
+        window_paid = False
+        while True:
+            if self._queue.empty():
+                window_paid = False
+            first = await self._queue.get()
+            if self._gather_window > 0 and not window_paid:
+                await asyncio.sleep(self._gather_window)
+            batch = [first]
+            while not self._queue.empty() and len(batch) < self._max_wave:
+                batch.append(self._queue.get_nowait())
+            window_paid = not self._queue.empty()
+            try:
+                self._run_wave(batch)
+            except BaseException as exc:
+                # Cleanup-and-propagate: the waiters must not hang on a
+                # batcher crash, and the crash itself must stay loud.
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(
+                            RuntimeError(f"suggest wave failed: {exc!r}")
+                        )
+                raise
+
+    def _run_wave(self, batch: list[_SuggestRequest]) -> None:
+        """One heterogeneous wave over the batch: per-session
+        ``suggest_prepare`` (split-phase), one stacked
+        :func:`~repro.tuning.wave.score_rounds` model phase across all
+        tenants/specs, per-session ``suggest_select`` + adapter
+        conversion, then resolve every waiting future."""
+        rounds: list[SuggestRound] = []
+        requests: list[_SuggestRequest] = []
+        for request in batch:
+            if request.future.done():  # cancelled by close() while queued
+                continue
+            session = request.entry.session
+            started = time.perf_counter()
+            prepared = session.optimizer.suggest_prepare(1)
+            elapsed = time.perf_counter() - started
+            rounds.append(SuggestRound(session, 1, prepared, elapsed))
+            requests.append(request)
+        if not rounds:
+            return
+        score_rounds(rounds, n_threads=self._wave_threads)
+        for request, round_ in zip(requests, rounds):
+            session = request.entry.session
+            opt_config = round_.configs[0]
+            target_config = session.adapter.to_target(opt_config)
+            request.entry.pending = _PendingSuggest(
+                opt_config,
+                target_config,
+                round_.prepare_seconds + round_.score_seconds,
+            )
+            if not request.future.done():
+                request.future.set_result(target_config)

@@ -53,6 +53,30 @@ from repro.tuning.faults import EXHAUSTED, FaultEnvelope, FaultPolicy
 from repro.tuning.knowledge_base import KnowledgeBase, Observation
 
 
+class QuarantinedSessionError(RuntimeError):
+    """Raised when loading/resuming a checkpoint whose session was
+    quarantined (an evaluation exhausted its fault-envelope retries).
+
+    Resuming such a snapshot as if healthy would re-enter the loop at the
+    quarantine cursor and keep evaluating against the environment that
+    just exhausted its retries — so :meth:`TuningSession.load_checkpoint`
+    refuses by default and callers must opt in with
+    ``force_quarantined=True`` (``--force-resume`` on the CLIs) to clear
+    the marker and retry the envelope.
+    """
+
+    def __init__(self, quarantined_at: int, path=None):
+        self.quarantined_at = int(quarantined_at)
+        self.path = path
+        where = f" ({path})" if path is not None else ""
+        super().__init__(
+            f"checkpoint{where} is quarantined at iteration "
+            f"{self.quarantined_at}; resuming would retry the evaluation "
+            "environment that exhausted its fault-envelope retries — pass "
+            "force_quarantined=True (--force-resume) to do that explicitly"
+        )
+
+
 @dataclass
 class TuningResult:
     """Everything a tuning session produced."""
@@ -131,6 +155,13 @@ class TuningSession:
         fault_clock: Time source for the envelope's timeout budget and
             backoff; share it with a fault injector's clock so simulated
             hangs are observable.  Defaults to wall-clock.
+        spec_fingerprint: Collision-resistant digest of the spec this
+            session was built from (``SessionSpec.spec_fingerprint()``).
+            Stamped into every checkpoint and validated on load, so a
+            checkpoint from a different spec — even one whose knob-name
+            headers happen to match — fails loudly instead of silently
+            resuming a look-alike trajectory.  ``None`` (hand-built
+            sessions) skips both sides.
     """
 
     def __init__(
@@ -148,6 +179,7 @@ class TuningSession:
         checkpoint_path: str | pathlib.Path | None = None,
         fault_policy: FaultPolicy | None = None,
         fault_clock=None,
+        spec_fingerprint: str | None = None,
     ):
         if objective not in ("throughput", "latency"):
             raise ValueError(f"unknown objective {objective!r}")
@@ -186,6 +218,7 @@ class TuningSession:
             if fault_policy is not None
             else None
         )
+        self.spec_fingerprint = spec_fingerprint
         # --- state machine ---------------------------------------------------
         self._state = "new"
         self._kb: KnowledgeBase | None = None
@@ -307,7 +340,9 @@ class TuningSession:
         self._state = "done"
         return self.result()
 
-    def resume(self, path: str | pathlib.Path) -> TuningResult:
+    def resume(
+        self, path: str | pathlib.Path, force_quarantined: bool = False
+    ) -> TuningResult:
         """Restore the checkpoint at ``path`` and run to completion.
 
         The continuation is byte-identical to the uninterrupted run: the
@@ -315,9 +350,29 @@ class TuningSession:
         worst-seen, early-stop state, optimizer state, and both PCG64
         stream positions), and checkpoints only exist at round
         boundaries.
+
+        A *quarantined* checkpoint raises :class:`QuarantinedSessionError`
+        — its ``quarantined_at`` says where the envelope gave up —
+        unless ``force_quarantined`` clears the marker to retry the
+        envelope at that cursor (see :meth:`load_checkpoint`).
         """
-        self.load_checkpoint(path)
+        self.load_checkpoint(path, force_quarantined=force_quarantined)
         return self.run()
+
+    def finish(self) -> TuningResult:
+        """``running → done`` for externally-driven sessions: the
+        terminal transition :meth:`run`'s loop performs, exposed for
+        drivers that feed outcomes through ``_feed_outcomes`` themselves
+        (the session server).  Only legal once the loop has no more
+        rounds (``not live``); returns the result."""
+        if self._state == "running":
+            if self.live:
+                raise RuntimeError(
+                    "cannot finish a session with rounds remaining "
+                    f"(iteration {self._iteration}/{self.n_iterations})"
+                )
+            self._state = "done"
+        return self.result()
 
     def result(self) -> TuningResult:
         if self._kb is None or self._default_value is None:
@@ -515,6 +570,7 @@ class TuningSession:
             }
         return {
             "objective": self.objective,
+            "spec_fingerprint": self.spec_fingerprint,
             "n_iterations": self.n_iterations,
             "iteration": self._iteration,
             "default_value": self._default_value,
@@ -529,13 +585,27 @@ class TuningSession:
             "observations": observations,
         }
 
-    def load_checkpoint(self, path: str | pathlib.Path) -> "TuningSession":
+    def load_checkpoint(
+        self, path: str | pathlib.Path, force_quarantined: bool = False
+    ) -> "TuningSession":
         """``new → running`` from an on-disk snapshot.
 
         The session must be freshly built over the *same* spec the
-        checkpoint came from: spaces are validated by knob-name header,
-        the optimizer by type, the early-stopping policy by presence; the
-        objective must match.  Returns ``self`` for chaining.
+        checkpoint came from: the spec fingerprint header is compared
+        first (when both sides carry one — the collision-proof check),
+        then spaces are validated by knob-name header, the optimizer by
+        type, the early-stopping policy by presence; the objective must
+        match.  Returns ``self`` for chaining.
+
+        A snapshot whose session was quarantined raises
+        :class:`QuarantinedSessionError` by default: the envelope already
+        exhausted its retries there, and silently re-entering ``run()``
+        at that cursor would just re-evaluate against the same failing
+        environment.  ``force_quarantined=True`` clears the marker so the
+        restored session is live again and ``run()`` retries the envelope
+        from the quarantine cursor (the optimizer stream has already
+        advanced past the suggestion that exhausted — no observation was
+        recorded for it — so the retry draws the next suggestion).
         """
         from repro.tuning import persistence  # lazy: persistence imports us
 
@@ -544,11 +614,25 @@ class TuningSession:
                 f"cannot load a checkpoint into a {self._state!r} session"
             )
         payload = persistence.load_checkpoint(path)
+        stored_fingerprint = payload.get("spec_fingerprint")
+        if (
+            stored_fingerprint is not None
+            and self.spec_fingerprint is not None
+            and stored_fingerprint != self.spec_fingerprint
+        ):
+            raise ValueError(
+                f"checkpoint {path} was written by spec "
+                f"{stored_fingerprint}, session was built from "
+                f"{self.spec_fingerprint} — refusing to resume another "
+                "spec's state"
+            )
         if payload["objective"] != self.objective:
             raise ValueError(
                 f"checkpoint tunes {payload['objective']!r}, "
                 f"session tunes {self.objective!r}"
             )
+        if payload["quarantined_at"] is not None and not force_quarantined:
+            raise QuarantinedSessionError(payload["quarantined_at"], path)
         opt_space = self.optimizer.space
         target_space = self.adapter.target_space
         if payload["optimizer_knobs"] != list(opt_space.names):
@@ -582,7 +666,11 @@ class TuningSession:
         self._worst_seen = payload["worst_seen"]
         self._iteration = int(payload["iteration"])
         self._stopped_at = payload["stopped_early_at"]
-        self._quarantined_at = payload["quarantined_at"]
+        # force_quarantined clears the marker: the session is live again
+        # and run() retries the envelope from the quarantine cursor.
+        self._quarantined_at = (
+            None if force_quarantined else payload["quarantined_at"]
+        )
         self.rng.bit_generator.state = payload["session_rng"]
         if self.early_stopping is not None:
             early = payload["early_stopping"]

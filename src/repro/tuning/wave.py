@@ -1,4 +1,4 @@
-"""Wave scheduler: lockstep multi-seed sweeps with one stacked model phase.
+"""Wave scheduler: lockstep multi-session sweeps with one stacked model phase.
 
 ``run_spec(spec, seeds, mode="wave")`` runs S same-spec sessions in
 *waves*: every iteration still fits S surrogates (each on its own seed's
@@ -12,19 +12,52 @@ of the round is executed **once** across all sessions:
   super-table (per-session node-offset slabs; GP surrogates score
   per-session — dense linear algebra has no shared table to stack);
 * expected improvement runs as one pass with per-row incumbents;
-* all S suggestions evaluate in one simulator matrix pass, with each
-  session's noise pairs drawn from its own stream.
+* all suggestions evaluate in one simulator matrix pass per *simulator
+  group*, with each session's noise pairs drawn from its own stream.
+
+**Heterogeneous waves** (:func:`run_wave_mixed`): a wave is not limited
+to one spec.  Members are grouped by *simulator identity* —
+:meth:`~repro.dbms.engine.PostgresSimulator.stack_key`, the calibration
+value-cache key extended with the evaluation parameters — and each group
+shares one ``evaluate_batch_stacked`` matrix pass (two sessions tuning
+the same workload/version/hardware profile stack even when the rest of
+their specs differ; different profiles simply evaluate in separate
+passes within the same wave).  The stacked *model* phase is
+group-agnostic: every forest-backed member of the wave joins one
+``predict_mean_var_stacked`` super-table regardless of spec — candidate
+matrices of different widths are zero-padded to the widest, which is
+byte-identical because each forest's leaf walk only ever indexes its own
+training features, never the pad columns — and one EI pass scores all
+of them with per-row incumbents.  This is what lets a session server
+multiplex many tenants' different specs over one wave engine.
 
 **Determinism contract.**  Per-seed trajectories — knob values, crash
 rows, penalties, early-stop iterations, and every optimizer/evaluation
 PCG64 stream position — are *byte-identical* to sequential
-``run_spec(spec, seeds)``: each session's RNG-consuming calls happen in
-exactly the sequential order (``suggest_prepare`` + ``suggest_select``
-compose to ``suggest_batch``; stacked evaluation stitches per-session
-noise blocks; stacked scoring and EI are elementwise-identical per
-slice).  ``tests/test_wave.py`` pins this across SMAC, GP-BO, and random
-search; DDPG degrades to per-session stepping (its actions pair with
+``run_spec(spec, seeds)``, for every member of a wave, mixed specs or
+not: each session's RNG-consuming calls happen in exactly the sequential
+order (``suggest_prepare`` + ``suggest_select`` compose to
+``suggest_batch``; stacked evaluation stitches per-session noise blocks;
+stacked scoring and EI are elementwise-identical per slice).
+``tests/test_wave.py`` pins this across SMAC, GP-BO, and random search,
+``tests/test_wave_hetero.py`` across mixed specs and optimizers in one
+wave; DDPG degrades to per-session stepping (its actions pair with
 observes step by step) while still sharing the stacked evaluation.
+
+**Timing attribution** (``suggest_seconds``).  Wall-clock is *metadata*,
+outside the determinism contract — no pin compares it, and checkpoint
+equivalence checks ignore it.  It is still recorded consistently: each
+member's round is attributed its own ``suggest_prepare`` wall-clock,
+its *row-proportional* share of the two stacked passes (the forest
+super-table predict and the single EI pass — proportional to the
+member's candidate-row count, since stacked cost scales with rows), its
+own individually-timed GP predict (GPs score per-session), and its own
+individually-timed ``suggest_select``.  Earlier releases split the
+whole scoring block equally across members, which misattributed large
+members' cost to small ones and, under threaded prepares, double-counted
+overlapped wall-clock into the equal shares.  Note that per-member
+wall-clock of *concurrent* prepares still sums to more than elapsed
+time — that is what "metadata" means here.
 
 **Session-owned state.**  Each member's progress — iteration cursor,
 knowledge base, early-stop/quarantine markers — lives on its
@@ -37,7 +70,8 @@ design contributes nothing to the stacked init pass); a member whose
 evaluation exhausts its fault-envelope retries is quarantined out of
 later waves exactly like early-stop dropout — and because every member
 owns its simulator, envelope, and streams (fault-handling members never
-share the stacked evaluator), the survivors' trajectories are untouched.
+join a stacked-evaluation group), the survivors' trajectories are
+untouched.
 
 **Shared-pool protocol** (``shared_pool=True``): the random candidate
 pool is generated once per wave from a *dedicated* pool PCG64 stream
@@ -48,9 +82,12 @@ each seed's trajectory depends only on ``(spec, seed, pool_seed)`` — the
 pool stream advances on exactly the waves whose rounds reach a pool draw,
 a schedule all same-spec sessions share — so any single seed can be
 replayed standalone (``run_wave(spec, [seed], shared_pool=True)``) and
-match its trajectory from the full sweep.  The mode amortizes the pool
-generation S-fold; use it for throughput sweeps where cross-seed pool
-independence is not required.
+match its trajectory from the full sweep.  That replay property is a
+*same-spec* property: sessions from different specs reach pool draws on
+different wave schedules and may request different pool sizes, so a
+cross-spec shared pool would make every member's trajectory depend on
+the whole wave roster.  :func:`run_wave_mixed` therefore rejects
+``shared_pool=True`` across distinct specs.
 
 **Multicore mode** (``REPRO_WAVE_THREADS=N``, or ``wave_threads`` on the
 spec, or ``--workers`` with ``--wave``): the per-member
@@ -64,7 +101,8 @@ forests, leaf indices, and stream positions are byte-identical to
 ``N=1`` under any thread schedule (pinned by
 ``tests/test_wave_threads.py``).  ``N=1`` — the default — takes exactly
 the sequential code path, mirroring ``REPRO_FOREST_KERNEL=0``'s
-fallback semantics.
+fallback semantics.  A mixed wave resolves the count as the maximum over
+its specs (execution-strategy only; byte-identical at any value).
 """
 
 from __future__ import annotations
@@ -73,7 +111,7 @@ import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
@@ -90,10 +128,21 @@ from repro.tuning.session import TuningResult, TuningSession
 
 @dataclass
 class _Member:
-    """One seed's session within the wave (state lives on the session)."""
+    """One session within the wave (state lives on the session).
+
+    ``group`` is the member's stacked-evaluation group key
+    (:meth:`~repro.dbms.engine.PostgresSimulator.stack_key`), or ``None``
+    when the member must evaluate through its own session's dispatch —
+    simulator subclasses that customize the evaluation path (failure
+    injection, real-DBMS drivers) and sessions running under a fault
+    envelope make the very calls sequential ``run_spec`` makes, so the
+    byte-identity contract holds for them too, and one member's faults
+    can never touch another member's streams.
+    """
 
     seed: int
     session: TuningSession
+    group: tuple | None = None
 
     @property
     def live(self) -> bool:
@@ -101,17 +150,32 @@ class _Member:
 
 
 @dataclass
-class _Round:
-    """One member's suggestion round within the current wave."""
+class SuggestRound:
+    """One session's prepared suggestion round within a stacked model
+    phase — the unit :func:`score_rounds` operates on.  The wave driver
+    attaches its ``member``; the session server scores bare rounds."""
 
-    member: _Member
+    session: TuningSession
     q: int
     prepared: PreparedSuggest
     prepare_seconds: float
+    member: _Member | None = None
     mean: np.ndarray | None = None
     var: np.ndarray | None = None
     configs: list | None = None
-    score_seconds: float = 0.0
+    score_seconds: float = field(default=0.0)
+
+
+def _member_group(session: TuningSession) -> tuple | None:
+    """The session's stacked-evaluation group key (None = own dispatch)."""
+    simulator = session.simulator
+    if (
+        type(simulator).evaluate is PostgresSimulator.evaluate
+        and type(simulator).evaluate_batch is PostgresSimulator.evaluate_batch
+        and session.envelope is None
+    ):
+        return simulator.stack_key()
+    return None
 
 
 def wave_thread_count(spec=None, override: int | None = None) -> int:
@@ -148,35 +212,59 @@ def run_wave(
     overrides the spec/environment thread count (byte-identical results
     at any value; see the module docstring's multicore section).
     """
+    return run_wave_mixed(
+        [(spec, seed) for seed in seeds],
+        shared_pool=shared_pool,
+        pool_seed=pool_seed,
+        threads=threads,
+    )
+
+
+def run_wave_mixed(
+    tasks: Sequence[tuple],
+    shared_pool: bool = False,
+    pool_seed: int = 0,
+    threads: int | None = None,
+) -> list[TuningResult]:
+    """Run ``(spec, seed)`` pairs — possibly of *different* specs — in one
+    heterogeneous wave (see the module docstring's heterogeneous-waves
+    section).  Returns one :class:`TuningResult` per task, in order.
+
+    ``shared_pool=True`` requires every task to share one spec: the
+    shared pool stream's advance schedule (and the standalone-replay
+    property it buys) is a per-spec invariant, so a cross-spec pool is
+    rejected rather than silently entangling every member's trajectory
+    with the wave roster.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    specs: list = []
+    for spec, __ in tasks:
+        if not any(existing is spec for existing in specs):
+            specs.append(spec)
+    if shared_pool and len(specs) > 1:
+        # Distinct spec *objects* may still describe one trajectory
+        # (duck-typed wrappers); compare trajectory tokens when every
+        # spec can produce one, else distinct objects mean distinct specs.
+        if all(hasattr(spec, "spec_token") for spec in specs):
+            distinct = len({spec.spec_token() for spec in specs}) > 1
+        else:
+            distinct = True
+        if distinct:
+            raise ValueError(
+                "shared_pool requires all wave members to share one spec: "
+                "the pool stream's advance schedule — and the per-seed "
+                "standalone-replay property — is defined per spec"
+            )
     members: list[_Member] = []
-    for seed in seeds:
+    for spec, seed in tasks:
         session = spec.build(seed)
         if session.state == "new":
             session.start()
-        members.append(_Member(seed, session))
-    if not members:
-        return []
-    # All sessions share one workload/version/hardware profile, so any
-    # member's simulator can evaluate the stacked rows (calibration is
-    # cached by profile value); noise stays per-session via rng blocks.
-    # Simulator subclasses that customize the evaluation path (failure
-    # injection, real-DBMS drivers) — and sessions running under a fault
-    # envelope — opt every member out of the stacked pass: each member
-    # then evaluates its own rows through its own session's dispatch —
-    # the very calls sequential ``run_spec`` makes — so the byte-identity
-    # contract holds for them too, and one member's faults can never
-    # touch another member's streams.
-    evaluator = None
-    if all(
-        type(m.session.simulator).evaluate is PostgresSimulator.evaluate
-        and type(m.session.simulator).evaluate_batch
-        is PostgresSimulator.evaluate_batch
-        and m.session.envelope is None
-        for m in members
-    ):
-        evaluator = members[0].session.simulator
+        members.append(_Member(seed, session, _member_group(session)))
     pool_rng = np.random.default_rng(pool_seed) if shared_pool else None
-    n_threads = wave_thread_count(spec, threads)
+    n_threads = max(wave_thread_count(spec, threads) for spec in specs)
     executor = (
         ThreadPoolExecutor(max_workers=n_threads,
                            thread_name_prefix="wave-fit")
@@ -184,10 +272,10 @@ def run_wave(
         else None
     )
     try:
-        _stacked_init(members, evaluator)
+        _stacked_init(members)
         live = [m for m in members if m.live]
         while live:
-            _wave_round(live, evaluator, pool_rng, executor, n_threads)
+            _wave_round(live, pool_rng, executor, n_threads)
             live = [m for m in live if m.live]
     finally:
         if executor is not None:
@@ -196,51 +284,66 @@ def run_wave(
     return [m.session.result() for m in members]
 
 
-def _evaluate_blocks(evaluator, batches, blocks):
-    """All members' rows in one stacked pass when the simulators are
-    stock and no fault envelope is active; otherwise each member's rows
-    through its *own* session's evaluation dispatch (which honors
-    subclass overrides row by row and runs the fault envelope) — the
-    exact calls the sequential runner would make."""
-    if evaluator is not None:
-        all_targets = [t for __, targets in batches for t in targets]
-        return evaluator.evaluate_batch_stacked(all_targets, blocks)
-    outcomes = []
-    for member, targets in batches:
-        outcomes.append(member.session._evaluate_batch(targets))
-    return outcomes
+def _evaluate_and_feed(feeds) -> None:
+    """Evaluate one wave's rows — one ``evaluate_batch_stacked`` matrix
+    pass per simulator group, own-session dispatch for ungrouped members
+    (fault envelopes, subclassed simulators) — then feed each member's
+    outcomes through its session's ``_feed_outcomes`` in member order.
 
+    ``feeds`` rows are ``(member, opt_configs, target_configs,
+    per_suggest_seconds)``.  Each member's noise block is drawn from its
+    own session stream regardless of grouping (stacked passes stitch
+    per-block streams; own dispatch consumes the same stream directly),
+    so outcomes and stream positions are byte-identical to each session
+    evaluating alone, in any grouping.
+    """
+    grouped: dict[tuple, list[int]] = {}
+    order: list[tuple] = []
+    solo: list[int] = []
+    for index, (member, __, __, __) in enumerate(feeds):
+        if member.group is None:
+            solo.append(index)
+            continue
+        if member.group not in grouped:
+            grouped[member.group] = []
+            order.append(member.group)
+        grouped[member.group].append(index)
 
-def _feed_evaluated(evaluator, feeds, outcomes) -> None:
-    """Slice one stacked result back into per-member feeds (stacked
-    passes return a flat row list; per-member dispatch returns one
-    outcome list per member, possibly short when a row exhausted its
-    retries)."""
-    if evaluator is not None:
+    outcomes: dict[int, list] = {}
+    for key in order:
+        indices = grouped[key]
+        all_targets = [t for i in indices for t in feeds[i][2]]
+        blocks = [
+            (feeds[i][0].session.rng, len(feeds[i][2])) for i in indices
+        ]
+        # Any group member's simulator can evaluate the group's stacked
+        # rows: the group key is the simulator's value identity
+        # (calibration is cached by profile value), so the first member's
+        # instance produces bit-identical rows for all of them.
+        evaluator = feeds[indices[0]][0].session.simulator
+        stacked = evaluator.evaluate_batch_stacked(all_targets, blocks)
         pos = 0
-        for member, configs, targets, per_suggest in feeds:
-            count = len(targets)
-            member.session._feed_outcomes(
-                configs, targets, outcomes[pos:pos + count], per_suggest
-            )
+        for i in indices:
+            count = len(feeds[i][2])
+            outcomes[i] = stacked[pos:pos + count]
             pos += count
-    else:
-        for (member, configs, targets, per_suggest), member_outcomes in zip(
-            feeds, outcomes
-        ):
-            member.session._feed_outcomes(
-                configs, targets, member_outcomes, per_suggest
-            )
+    for i in solo:
+        member, __, targets, __ = feeds[i]
+        outcomes[i] = member.session._evaluate_batch(targets)
+
+    for i, (member, configs, targets, per_suggest) in enumerate(feeds):
+        member.session._feed_outcomes(
+            configs, targets, outcomes[i], per_suggest
+        )
 
 
-def _stacked_init(members: list[_Member], evaluator) -> None:
+def _stacked_init(members: list[_Member]) -> None:
     """The batched LHS init phase of every session, evaluated in one
-    cross-session simulator pass (sessions with ``batch_init`` disabled —
-    or optimizers that cannot batch their init, e.g. DDPG — run their
-    init iterations through the generic wave rounds instead; resumed
-    sessions past their init contribute an empty design)."""
+    cross-session simulator pass per group (sessions with ``batch_init``
+    disabled — or optimizers that cannot batch their init, e.g. DDPG —
+    run their init iterations through the generic wave rounds instead;
+    resumed sessions past their init contribute an empty design)."""
     feeds = []
-    blocks = []
     for member in members:
         session = member.session
         if not session.batch_init or not member.live:
@@ -256,15 +359,8 @@ def _stacked_init(members: list[_Member], evaluator) -> None:
         feeds.append(
             (member, init_configs, target_configs, elapsed / len(init_configs))
         )
-        blocks.append((session.rng, len(init_configs)))
-    if not feeds:
-        return
-    outcomes = _evaluate_blocks(
-        evaluator,
-        [(member, targets) for member, __, targets, __ in feeds],
-        blocks,
-    )
-    _feed_evaluated(evaluator, feeds, outcomes)
+    if feeds:
+        _evaluate_and_feed(feeds)
 
 
 def _pool_provider(
@@ -297,16 +393,113 @@ def _pool_provider(
     return provide
 
 
+def _stack_candidates(rounds: list[SuggestRound]) -> np.ndarray:
+    """One candidate super-matrix across possibly mixed-width specs.
+
+    Same-width matrices concatenate directly (the fast path).  Mixed
+    widths zero-pad to the widest: forest ``k``'s leaf walk indexes
+    ``X[row, feature]`` only for features the forest was trained on
+    (all ``< k``'s own width), so the pad columns are never read and
+    every slice's result is byte-identical to its solo predict.
+    """
+    candidates = [np.asarray(r.prepared.candidates, dtype=float)
+                  for r in rounds]
+    width = max(c.shape[1] for c in candidates)
+    if all(c.shape[1] == width for c in candidates):
+        return np.concatenate(candidates)
+    stacked = np.zeros((sum(len(c) for c in candidates), width))
+    pos = 0
+    for c in candidates:
+        stacked[pos:pos + len(c), : c.shape[1]] = c
+        pos += len(c)
+    return stacked
+
+
+def score_rounds(rounds: Sequence[SuggestRound], n_threads: int = 1) -> None:
+    """One stacked model phase over prepared rounds from any mix of
+    sessions/specs: forest-backed rounds score in one
+    ``predict_mean_var_stacked`` super-table call (mixed candidate
+    widths zero-padded — byte-identical per slice), GP and other
+    non-stackable surrogates score per-session, expected improvement
+    runs as one pass with per-row incumbents, and each round's
+    ``suggest_select`` finalizes its configs.  Resolved rounds (random
+    interleaves, DDPG) pass through untouched.
+
+    Fills each round's ``configs`` and ``score_seconds`` in place
+    (``score_seconds`` per the module docstring's timing-attribution
+    rules: row-proportional shares of the stacked passes plus the
+    round's own individually-timed calls — metadata, outside the
+    determinism contract).  Shared by the wave scheduler and the
+    session server, so both drivers' model phases are the same code.
+    """
+    scorable = [r for r in rounds if not r.prepared.resolved]
+    if scorable:
+        forest_rounds = [
+            r for r in scorable
+            if isinstance(r.prepared.model, RandomForestRegressor)
+        ]
+        if forest_rounds:
+            started = time.perf_counter()
+            stacked = predict_mean_var_stacked(
+                [r.prepared.model for r in forest_rounds],
+                _stack_candidates(forest_rounds),
+                np.array(
+                    [len(r.prepared.candidates) for r in forest_rounds],
+                    dtype=np.int64,
+                ),
+                n_threads=n_threads,
+            )
+            elapsed = time.perf_counter() - started
+            total_rows = sum(len(r.prepared.candidates) for r in forest_rounds)
+            for r, (mean, var) in zip(forest_rounds, stacked):
+                r.mean, r.var = mean, var
+                r.score_seconds += elapsed * (
+                    len(r.prepared.candidates) / total_rows
+                )
+        for r in scorable:
+            if r.mean is None:  # GP and other non-stackable surrogates
+                started = time.perf_counter()
+                r.mean, r.var = r.prepared.model.predict_mean_var(
+                    r.prepared.candidates
+                )
+                r.score_seconds += time.perf_counter() - started
+        # One EI pass with per-row incumbents; each slice is elementwise-
+        # identical to the per-session call, so selection is unchanged.
+        ei_started = time.perf_counter()
+        ei_all = expected_improvement(
+            np.concatenate([r.mean for r in scorable]),
+            np.sqrt(np.concatenate([r.var for r in scorable])),
+            np.concatenate(
+                [np.full(len(r.mean), r.prepared.best) for r in scorable]
+            ),
+        )
+        ei_elapsed = time.perf_counter() - ei_started
+        ei_rows = sum(len(r.mean) for r in scorable)
+        pos = 0
+        for r in scorable:
+            count = len(r.mean)
+            started = time.perf_counter()
+            r.configs = r.session.optimizer.suggest_select(
+                r.prepared, ei_all[pos:pos + count]
+            )
+            r.score_seconds += (
+                time.perf_counter() - started + ei_elapsed * (count / ei_rows)
+            )
+            pos += count
+    for r in rounds:
+        if r.configs is None:
+            r.configs = r.prepared.configs
+
+
 def _wave_round(
     live: list[_Member],
-    evaluator,
     pool_rng: np.random.Generator | None,
     executor: ThreadPoolExecutor | None = None,
     n_threads: int = 1,
 ) -> None:
     """One lockstep wave: prepare every live session's round, score all
     scorable rounds in one stacked pass, evaluate every suggestion in one
-    cross-session simulator pass, and feed the outcomes back.
+    cross-session simulator pass per group, and feed the outcomes back.
 
     With an ``executor``, the per-member prepares (each dominated by one
     GIL-dropping ``build_forest`` call) run concurrently.  Every member's
@@ -317,7 +510,7 @@ def _wave_round(
     pool_cache: dict = {}
     pool_lock = threading.Lock() if executor is not None else None
 
-    def prepare(member: _Member) -> _Round:
+    def prepare(member: _Member) -> SuggestRound:
         session = member.session
         q = min(
             session.suggest_batch,
@@ -331,64 +524,18 @@ def _wave_round(
         started = time.perf_counter()
         prepared = session.optimizer.suggest_prepare(q, shared_pool=provider)
         elapsed = time.perf_counter() - started
-        return _Round(member, q, prepared, elapsed)
+        return SuggestRound(session, q, prepared, elapsed, member=member)
 
     if executor is None:
         rounds = [prepare(member) for member in live]
     else:
         rounds = list(executor.map(prepare, live))
 
-    scorable = [r for r in rounds if not r.prepared.resolved]
-    if scorable:
-        score_started = time.perf_counter()
-        forest_rounds = [
-            r for r in scorable
-            if isinstance(r.prepared.model, RandomForestRegressor)
-        ]
-        if forest_rounds:
-            stacked = predict_mean_var_stacked(
-                [r.prepared.model for r in forest_rounds],
-                np.concatenate([r.prepared.candidates for r in forest_rounds]),
-                np.array(
-                    [len(r.prepared.candidates) for r in forest_rounds],
-                    dtype=np.int64,
-                ),
-                n_threads=n_threads,
-            )
-            for r, (mean, var) in zip(forest_rounds, stacked):
-                r.mean, r.var = mean, var
-        for r in scorable:
-            if r.mean is None:  # GP and other non-stackable surrogates
-                r.mean, r.var = r.prepared.model.predict_mean_var(
-                    r.prepared.candidates
-                )
-        # One EI pass with per-row incumbents; each slice is elementwise-
-        # identical to the per-session call, so selection is unchanged.
-        ei_all = expected_improvement(
-            np.concatenate([r.mean for r in scorable]),
-            np.sqrt(np.concatenate([r.var for r in scorable])),
-            np.concatenate(
-                [np.full(len(r.mean), r.prepared.best) for r in scorable]
-            ),
-        )
-        pos = 0
-        for r in scorable:
-            count = len(r.mean)
-            r.configs = r.member.session.optimizer.suggest_select(
-                r.prepared, ei_all[pos:pos + count]
-            )
-            pos += count
-        score_share = (time.perf_counter() - score_started) / len(scorable)
-        for r in scorable:
-            r.score_seconds = score_share
-    for r in rounds:
-        if r.configs is None:
-            r.configs = r.prepared.configs
+    score_rounds(rounds, n_threads=n_threads)
 
     feeds = []
-    blocks = []
     for r in rounds:
-        session = r.member.session
+        session = r.session
         # Mirror the sequential loop's conversion choice: the scalar plan
         # for one-suggestion rounds, the batch pass otherwise (both are
         # pinned bit-identical).
@@ -398,11 +545,5 @@ def _wave_round(
             targets = session.adapter.to_target_batch(r.configs)
         per_suggest = (r.prepare_seconds + r.score_seconds) / len(r.configs)
         feeds.append((r.member, r.configs, targets, per_suggest))
-        blocks.append((session.rng, len(targets)))
 
-    outcomes = _evaluate_blocks(
-        evaluator,
-        [(member, targets) for member, __, targets, __ in feeds],
-        blocks,
-    )
-    _feed_evaluated(evaluator, feeds, outcomes)
+    _evaluate_and_feed(feeds)

@@ -306,3 +306,99 @@ class TestAtomicWrites:
         )
         values = [row[3] for row in payload["observations"]]
         assert values == [float(v) for v in session.result().values]
+
+
+class TestSpecFingerprintGuards:
+    """PR 9 collision bugfix: checkpoint files are named by the 64-bit
+    spec fingerprint (not the 32-bit crc32 trajectory token), and every
+    checkpoint header carries the fingerprint so loading a look-alike
+    spec's snapshot fails loudly instead of silently restoring it."""
+
+    def test_distinct_specs_use_distinct_files(self, tmp_path):
+        a = make_spec("smac", tmp_path)
+        b = make_spec("smac", tmp_path, n_init=7)
+        assert a.checkpoint_path(1) != b.checkpoint_path(1)
+        assert a.spec_fingerprint() in a.checkpoint_path(1).name
+        # Same spec, different seeds: same fingerprint, different files.
+        assert a.checkpoint_path(1) != a.checkpoint_path(2)
+
+    def test_spec_token_is_still_the_crc32_of_the_canonical_form(self):
+        # The 32-bit token keys fault schedules and wave identities;
+        # the fingerprint rename must not shift it.
+        import zlib
+
+        spec = make_spec("smac")
+        assert spec.spec_token() == (
+            zlib.crc32(spec.spec_canonical().encode()) & 0xFFFFFFFF
+        )
+
+    def test_header_mismatch_fails_loudly(self, tmp_path):
+        writer = make_spec(
+            "smac", tmp_path, n_iterations=8, checkpoint_every=8
+        )
+        writer.build(1).run()
+        path = writer.checkpoint_path(1)
+        # Same spaces, same objective — only n_init differs.  The old
+        # header (objective + knob names) could not tell these apart;
+        # the fingerprint must.
+        loader = make_spec("smac", tmp_path, n_iterations=8, n_init=7)
+        session = loader.build(1)
+        with pytest.raises(ValueError, match="another spec's state"):
+            session.load_checkpoint(path)
+
+    def test_legacy_checkpoint_without_fingerprint_loads(self, tmp_path):
+        # Pre-PR-9 snapshots have no spec_fingerprint header; both-sides
+        # validation means they still restore.
+        spec = make_spec("smac", tmp_path, n_iterations=8, checkpoint_every=8)
+        spec.build(1).run()
+        path = spec.checkpoint_path(1)
+        payload = json.loads(path.read_text())
+        del payload["spec_fingerprint"]
+        path.write_text(json.dumps(payload))
+        session = spec.build(1)  # resume=False: build fresh, load manually
+        session.load_checkpoint(path)
+        assert session.iteration == 8
+
+
+class TestQuarantinedCheckpoints:
+    """Satellite: resuming a *quarantined* snapshot must refuse by
+    default (the envelope already exhausted its retries there) and only
+    re-enter under the explicit ``force_resume`` escape hatch."""
+
+    @staticmethod
+    def quarantined_spec(tmp_dir, **kwargs):
+        # fault_rate=1.0 with the default profile faults every
+        # evaluation; the envelope exhausts its retries on the first
+        # round and quarantines at iteration 0, and the terminal
+        # checkpoint hook snapshots the quarantined state.
+        return make_spec(
+            "smac", tmp_dir, n_iterations=8, checkpoint_every=4,
+            fault_rate=1.0, **kwargs
+        )
+
+    def test_resume_refuses_quarantined_checkpoint(self, tmp_path):
+        from repro.tuning.session import QuarantinedSessionError
+
+        spec = self.quarantined_spec(tmp_path)
+        result = spec.build(1).run()
+        assert result.quarantined_at == 0
+        assert spec.checkpoint_path(1).exists()
+        with pytest.raises(QuarantinedSessionError, match="force"):
+            self.quarantined_spec(tmp_path, resume=True).build(1)
+
+    def test_force_resume_reenters_and_retries(self, tmp_path):
+        spec = self.quarantined_spec(tmp_path)
+        spec.build(1).run()
+        session = self.quarantined_spec(
+            tmp_path, resume=True, force_resume=True
+        ).build(1)
+        # The marker is cleared: the session is live again at the
+        # quarantine cursor and run() retries the envelope (the failing
+        # environment is unchanged here, so it re-quarantines — the
+        # point is that the retry *happened*).
+        assert session.state == "running"
+        assert session.iteration == 0
+        assert session.quarantined_at is None
+        assert session.live
+        result = session.run()
+        assert result.quarantined_at == 0

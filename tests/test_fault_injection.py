@@ -348,3 +348,22 @@ class TestWaveQuarantine:
         # that the flags parse and run end to end.
         assert code == 0
         assert "Tuning ycsb-a" in capsys.readouterr().out
+
+    def test_all_quarantined_run_reports_instead_of_crashing(self, capsys):
+        from repro.cli import main
+
+        # fault_rate=1.0 quarantines at iteration 0 with an EMPTY
+        # knowledge base; the summary used to hit best_value() on it and
+        # traceback.  The fixed CLI prints the quarantine report and
+        # exits 3.
+        code = main(
+            [
+                "--workload", "ycsb-a", "--iterations", "8",
+                "--seed", "1", "--dim", "4",
+                "--fault-rate", "1.0", "--no-plot",
+            ]
+        )
+        assert code == 3
+        out = capsys.readouterr()
+        assert "quarantined at iteration 0" in out.out
+        assert "no observations recorded" in out.err
