@@ -302,6 +302,27 @@ def test_simulator_evaluate_batch_256(benchmark, space):
     benchmark(simulator.evaluate_batch, configs, None, "none")
 
 
+def test_trace_replay_evaluate(benchmark, tmp_path):
+    """The hermetic live-backend hot path: one replay-mode
+    :meth:`LiveDbmsDriver.evaluate` — a fingerprint lookup into the
+    recorded :class:`EvalTrace` plus measurement reconstruction, no
+    transport I/O.  Replay must stay in the same cost class as the
+    simulator's scalar evaluate so swapping ``backend="replay"`` into a
+    session never moves its wall-clock profile."""
+    from repro.dbms.live import EvalTrace, FakePg, LiveDbmsDriver
+
+    workload = get_workload("ycsb-a")
+    trace_path = tmp_path / "trace.json"
+    recorder = LiveDbmsDriver(
+        workload, transport=FakePg(), record_path=trace_path
+    )
+    config = recorder.space.default_configuration()
+    recorder.evaluate(config)
+    driver = LiveDbmsDriver(workload, trace=EvalTrace.load(trace_path))
+    driver.evaluate(config)  # warm the lookup path
+    benchmark(driver.evaluate, config)
+
+
 def test_session_server_traffic(benchmark):
     """The serving headline: 100 concurrent tenant sessions (10 tenants x
     10 seeds, SMAC+LlamaTune) drive suggest/observe traffic through the

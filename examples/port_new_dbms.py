@@ -16,31 +16,43 @@ Fault handling for real drivers
 -------------------------------
 
 A driver for a *real* DBMS talks to flaky infrastructure: benchmark
-harness restarts, connection resets, cloud-VM hiccups.  The tuning
-session's fault envelope handles those for free — the driver only has to
-classify its failures.  Raise
-:class:`repro.dbms.errors.TransientEvalError` for anything retryable and
-the envelope retries the evaluation with deterministic exponential
-backoff instead of recording a crash penalty::
+harness restarts, connection resets, cloud-VM hiccups.  The reference
+implementation is :class:`repro.dbms.live.LiveDbmsDriver` — subclass the
+simulator's ``evaluate`` seam exactly as it does (batch calls then route
+row by row through your override, and heterogeneous waves route your
+sessions down the per-session path automatically), talk to the server
+through a :class:`repro.dbms.live.PgTransport` (or your own equivalent),
+and classify every failure into the existing taxonomy; the session's
+fault envelope does the rest:
 
-    from repro.dbms.errors import DbmsCrashError, TransientEvalError
+==========================================  ============================
+``TransientEvalError`` — connection reset,  envelope retries with
+harness flake, recovery failure             deterministic backoff
+``EvalTimeoutError`` (a TransientEvalError  retried the same way; raise
+subclass) — a phase deadline overran the    it from per-phase budgets
+driver's budget, measured on an injected    measured on the transport's
+clock, never a raw ``time.sleep``           clock (see ``PhaseBudgets``)
+``DbmsCrashError`` — the *configuration*    no retry: the paper's
+prevented startup                           ¼-of-worst penalty applies
+retries exhausted / circuit breaker open    envelope returns EXHAUSTED →
+                                            session quarantines, with the
+                                            failing row + config
+                                            fingerprint in the report
+==========================================  ============================
 
-    class MiniDbDriver:
-        def evaluate(self, config, rng=None):
-            try:
-                return self._run_benchmark(config)
-            except ConnectionResetError as exc:
-                # Infrastructure flake, not the config's fault: the
-                # envelope retries (bounded, backed off) for free.
-                raise TransientEvalError(str(exc)) from exc
-            except MiniDbStartupFailure as exc:
-                # The configuration genuinely killed the server: a real
-                # crash, penalized per the paper's protocol.
-                raise DbmsCrashError(str(exc)) from exc
-
-Reserve :class:`~repro.dbms.errors.DbmsCrashError` for failures *caused
-by the configuration* — those feed the crash-penalty protocol and teach
-the optimizer to avoid the region.
+Two contract details are easy to miss.  First, reserve
+:class:`~repro.dbms.errors.DbmsCrashError` for failures *caused by the
+configuration* — and **recover before raising it** (remove the bad
+``postgresql.auto.conf`` equivalent, restart on the last-good settings,
+verify liveness) so a poisonous config never wedges the rest of the
+session; if recovery itself fails, that is infrastructure, so raise
+``TransientEvalError`` instead.  Second, never consume the session's
+``rng`` argument: live measurements carry physical noise, and keeping
+the stream untouched is what makes record/replay runs
+(``--backend live --record-trace`` / ``--backend replay --trace``)
+byte-identical.  See ``tests/test_live_backend.py`` for the full failure
+matrix pinned against the scripted :class:`~repro.dbms.live.FlakyPg`
+fake.
 
 Usage::
 

@@ -49,6 +49,18 @@ def _seed_list(text: str) -> list[int]:
     return [int(s) for s in text.split(",") if s]
 
 
+def _quarantine_detail(row: int | None, fingerprint: str | None) -> str:
+    """Attribution suffix for quarantine report lines: which batch row and
+    which configuration (by fingerprint) exhausted the retries, when the
+    envelope recorded them."""
+    parts = []
+    if row is not None:
+        parts.append(f"row {row}")
+    if fingerprint is not None:
+        parts.append(f"config {fingerprint}")
+    return f" ({', '.join(parts)})" if parts else ""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -140,6 +152,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fault-seed", type=int, default=0,
                         help="dedicated seed for the fault schedule "
                              "(independent of evaluation/optimizer streams)")
+    parser.add_argument("--backend", default="sim",
+                        choices=["sim", "live", "replay"],
+                        help="execution backend: 'sim' (analytical "
+                             "simulator, default), 'live' (a real Postgres "
+                             "server via --dsn), or 'replay' (hermetic "
+                             "deterministic replay of a recorded trace, "
+                             "--trace)")
+    parser.add_argument("--dsn", metavar="DSN", default=None,
+                        help="libpq connection string for --backend live "
+                             "(requires psycopg/psycopg2)")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="recorded evaluation trace for --backend replay")
+    parser.add_argument("--record-trace", metavar="FILE", default=None,
+                        help="with --backend live, record every evaluation "
+                             "outcome to FILE for later hermetic replay "
+                             "(sequential execution only)")
     parser.add_argument("--conf-out", metavar="FILE", default=None,
                         help="write the best configuration as postgresql.conf")
     parser.add_argument("--kb-out", metavar="FILE", default=None,
@@ -301,11 +329,17 @@ def serve_main(argv: list[str] | None = None) -> int:
             f"best {result.best_value:,.1f} {unit}"
         )
         if result.quarantined_at is not None:
-            line += f" [quarantined at iteration {result.quarantined_at}]"
+            line += (
+                f" [quarantined at iteration {result.quarantined_at}"
+                f"{_quarantine_detail(result.quarantined_row, result.quarantined_fingerprint)}]"
+            )
         print(line)
     for status in quarantined:
         print(
             f"quarantined: {status.key} at iteration {status.quarantined_at}"
+            + _quarantine_detail(
+                status.quarantined_row, status.quarantined_fingerprint
+            )
         )
     return 0
 
@@ -372,6 +406,32 @@ def main(argv: list[str] | None = None) -> int:
     if not 0.0 <= args.fault_rate <= 1.0:
         print("error: --fault-rate must be in [0, 1]", file=sys.stderr)
         return 2
+    if args.backend == "replay" and not args.trace:
+        print("error: --backend replay requires --trace", file=sys.stderr)
+        return 2
+    if args.backend == "live" and not args.dsn:
+        print("error: --backend live requires --dsn", file=sys.stderr)
+        return 2
+    if args.record_trace and args.backend != "live":
+        print("error: --record-trace requires --backend live", file=sys.stderr)
+        return 2
+    if args.backend != "sim" and args.fault_rate > 0:
+        print(
+            "error: --fault-rate injects faults into the simulator backend; "
+            "use a FlakyPg transport for live-backend chaos",
+            file=sys.stderr,
+        )
+        return 2
+    if args.record_trace and (args.parallel or args.process_pool or args.wave):
+        print(
+            "error: --record-trace captures traces sequentially; drop "
+            "--parallel/--process-pool/--wave",
+            file=sys.stderr,
+        )
+        return 2
+    if args.trace and args.backend != "replay":
+        print("error: --trace requires --backend replay", file=sys.stderr)
+        return 2
 
     early_stopping = None
     if args.early_stop:
@@ -407,6 +467,10 @@ def main(argv: list[str] | None = None) -> int:
         force_resume=args.force_resume,
         fault_rate=args.fault_rate,
         fault_seed=args.fault_seed,
+        backend=args.backend,
+        trace=args.trace,
+        record_trace=args.record_trace,
+        dsn=args.dsn,
     )
     label = "vanilla" if args.no_llamatune else "LlamaTune"
     seeds = args.seeds if args.seeds else [args.seed]
@@ -450,8 +514,9 @@ def main(argv: list[str] | None = None) -> int:
             if r.quarantined_at is not None:
                 print(
                     f"seed {seed} quarantined at iteration "
-                    f"{r.quarantined_at} (an evaluation exhausted its "
-                    "fault-envelope retries)"
+                    f"{r.quarantined_at}"
+                    f"{_quarantine_detail(r.quarantined_row, r.quarantined_fingerprint)}"
+                    " (an evaluation exhausted its fault-envelope retries)"
                 )
         print(
             "error: no observations recorded — every session quarantined "
@@ -480,8 +545,9 @@ def main(argv: list[str] | None = None) -> int:
     for r, seed in zip(results, seeds):
         if r.quarantined_at is not None:
             print(
-                f"seed {seed} quarantined at iteration {r.quarantined_at} "
-                "(an evaluation exhausted its fault-envelope retries)"
+                f"seed {seed} quarantined at iteration {r.quarantined_at}"
+                f"{_quarantine_detail(r.quarantined_row, r.quarantined_fingerprint)}"
+                " (an evaluation exhausted its fault-envelope retries)"
             )
 
     best = result.knowledge_base.best_observation().target_config

@@ -4,7 +4,18 @@ from __future__ import annotations
 
 
 class DbmsError(Exception):
-    """Base class for simulated-DBMS failures."""
+    """Base class for simulated-DBMS failures.
+
+    When a failure escapes the fault envelope's batch→row degradation,
+    the envelope stamps *which* row raised onto the exception:
+    ``row_index`` (position within the degraded batch) and
+    ``config_fingerprint`` (the failing configuration's 64-bit digest,
+    :func:`repro.space.configspace.config_fingerprint`) — ``None`` until
+    then.
+    """
+
+    row_index: int | None = None
+    config_fingerprint: str | None = None
 
 
 class DbmsCrashError(DbmsError):

@@ -1,0 +1,35 @@
+"""Live-DBMS execution backend: real-server driver + hermetic trace replay.
+
+See :mod:`repro.dbms.live.driver` for the failure-classification
+contract, :mod:`repro.dbms.live.transport` for the connection seam, and
+:mod:`repro.dbms.live.trace` for the recorded-trace format.
+"""
+
+from repro.dbms.live.driver import (
+    LiveDbmsDriver,
+    PhaseBudgets,
+    synthetic_workload_queries,
+)
+from repro.dbms.live.fakes import FakePg, FaultScript, FlakyPg
+from repro.dbms.live.trace import (
+    TRACE_FORMAT_VERSION,
+    EvalTrace,
+    TraceEntry,
+    TraceMissError,
+)
+from repro.dbms.live.transport import PgTransport, RealPg
+
+__all__ = [
+    "LiveDbmsDriver",
+    "PhaseBudgets",
+    "synthetic_workload_queries",
+    "FakePg",
+    "FlakyPg",
+    "FaultScript",
+    "EvalTrace",
+    "TraceEntry",
+    "TraceMissError",
+    "TRACE_FORMAT_VERSION",
+    "PgTransport",
+    "RealPg",
+]

@@ -1,0 +1,405 @@
+"""The live-DBMS execution backend: apply knobs, restart, replay, measure.
+
+:class:`LiveDbmsDriver` is the paper's actual experiment controller
+(Figure 1, step 3) implemented over the simulator's subclass-override
+seam: it replaces :meth:`PostgresSimulator.evaluate` with a real
+evaluation — ``ALTER SYSTEM`` every knob through the injected transport,
+restart the server, replay the workload's query stream, snapshot
+``pg_stat_*`` — and inherits everything else (batch calls route row by
+row through the override; heterogeneous waves route driver-backed
+sessions down the per-session evaluation path).
+
+**Failure contract.**  Every failure is classified into the existing
+taxonomy so the fault envelope and session semantics apply unchanged:
+
+====================================  =================================
+connection reset / harness flake      ``TransientEvalError`` → envelope
+                                      retries with deterministic backoff
+phase deadline exceeded (connect,     ``EvalTimeoutError`` (a
+restart, or query replay, measured    ``TransientEvalError`` subclass)
+on the transport's injected clock)    → retried like any transient
+config-caused startup failure         ``DbmsCrashError`` → the paper's
+                                      ¼-of-worst penalty, after
+                                      **recovery** (below)
+retries exhausted / breaker open      envelope returns ``EXHAUSTED`` →
+                                      session quarantines
+====================================  =================================
+
+**Crash recovery.**  A config that prevents startup must not wedge the
+session: before raising ``DbmsCrashError`` the driver removes the bad
+``postgresql.auto.conf``, restarts, re-applies the last-good settings,
+restarts again, and verifies liveness with ``SELECT 1`` — so the next
+evaluation faces a healthy server.  If recovery itself fails the driver
+raises ``TransientEvalError`` (infrastructure, not the config) and the
+envelope's exhaustion path quarantines the session.
+
+**Modes.**  Live (transport given; optionally recording every outcome
+to a trace via ``record_path``) or replay (an
+:class:`~repro.dbms.live.trace.EvalTrace` given; evaluations are pure
+lookups and a miss fails loudly).  The driver never consumes the
+session's noise stream — live measurements carry physical noise, traces
+replay it — so record and replay runs keep identical stream positions.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.dbms.engine import Measurement, PostgresSimulator
+from repro.dbms.errors import (
+    DbmsCrashError,
+    EvalTimeoutError,
+    TransientEvalError,
+)
+from repro.dbms.live.trace import EvalTrace, TraceEntry
+from repro.dbms.live.transport import PgTransport
+from repro.dbms.versions import V96, PostgresVersion
+from repro.space.configspace import config_fingerprint
+from repro.space.postgres import postgres_space_for_version
+from repro.space.render import render_knob_value
+from repro.workloads.base import Workload
+
+#: ``pg_stat_*`` snapshot queries: (table, SQL).  Column names are parsed
+#: from the SQL itself so driver and fakes cannot drift apart.
+PG_STAT_QUERIES: tuple[tuple[str, str], ...] = (
+    (
+        "pg_stat_database",
+        "SELECT xact_commit, xact_rollback, blks_read, blks_hit, "
+        "tup_returned, tup_fetched, tup_inserted, tup_updated, "
+        "tup_deleted, deadlocks, temp_files, temp_bytes "
+        "FROM pg_stat_database WHERE datname = current_database()",
+    ),
+    (
+        "pg_stat_bgwriter",
+        "SELECT checkpoints_timed, checkpoints_req, buffers_checkpoint, "
+        "buffers_clean, buffers_backend, buffers_alloc "
+        "FROM pg_stat_bgwriter",
+    ),
+)
+
+
+def _stat_columns(sql: str) -> list[str]:
+    select_list = sql.split("SELECT", 1)[1].split("FROM", 1)[0]
+    return [column.strip() for column in select_list.split(",")]
+
+
+def synthetic_workload_queries(workload: Workload, n_queries: int = 12) -> tuple[str, ...]:
+    """Stand-in replay script for workloads that do not carry their own
+    query stream: stable texts keyed by workload name, enough for the
+    fake server model to produce configuration-dependent timings.  Real
+    deployments pass the benchmark's actual statements via ``queries=``."""
+    return tuple(
+        f"SELECT /* {workload.name} q{i:02d} */ count(*) "
+        f"FROM workload_table_{i % 4}"
+        for i in range(n_queries)
+    )
+
+
+@dataclass(frozen=True)
+class PhaseBudgets:
+    """Per-phase deadline budgets, measured on the transport's clock."""
+
+    connect_seconds: float = 10.0
+    restart_seconds: float = 60.0
+    replay_seconds: float = 600.0
+
+    def __post_init__(self) -> None:
+        for name in ("connect_seconds", "restart_seconds", "replay_seconds"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+
+
+class LiveDbmsDriver(PostgresSimulator):
+    """Execute evaluations against a (possibly fake) PostgreSQL server,
+    or replay them from a recorded trace.
+
+    Args:
+        workload: Workload descriptor (names the trace header and the
+            synthetic query stream).
+        version: Knob catalog the configurations come from.
+        transport: Live mode — a :class:`PgTransport`.
+        trace: Replay mode — an :class:`EvalTrace` (exactly one of
+            ``transport``/``trace`` must be given).
+        record_path: With ``transport``, persist every outcome to this
+            trace file (atomic write after each evaluation).
+        budgets: Per-phase deadline budgets.
+        queries: The workload's query stream; defaults to
+            :func:`synthetic_workload_queries`.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        version: PostgresVersion = V96,
+        transport: PgTransport | None = None,
+        trace: EvalTrace | None = None,
+        record_path: str | pathlib.Path | None = None,
+        budgets: PhaseBudgets | None = None,
+        queries: Sequence[str] | None = None,
+        target_rate: float | None = None,
+    ):
+        super().__init__(
+            workload, version=version, noise_std=0.0, target_rate=target_rate
+        )
+        if (transport is None) == (trace is None):
+            raise ValueError(
+                "exactly one of transport= (live mode) or trace= (replay "
+                "mode) must be given"
+            )
+        if record_path is not None and transport is None:
+            raise ValueError("record_path requires a transport (live mode)")
+        if trace is not None and trace.workload != workload.name:
+            raise ValueError(
+                f"trace records workload {trace.workload!r}, driver runs "
+                f"{workload.name!r}"
+            )
+        if trace is not None and trace.dbms_version != version.name:
+            raise ValueError(
+                f"trace records DBMS {trace.dbms_version!r}, driver runs "
+                f"{version.name!r}"
+            )
+        self.transport = transport
+        self.replay_trace = trace
+        self.record_path = (
+            pathlib.Path(record_path) if record_path is not None else None
+        )
+        self.budgets = budgets if budgets is not None else PhaseBudgets()
+        self.queries = (
+            tuple(queries)
+            if queries is not None
+            else synthetic_workload_queries(workload)
+        )
+        self.space = postgres_space_for_version(version.name)
+        self._last_good: dict[str, str] | None = None
+        self.recoveries = 0
+        self.evaluations = 0
+        self._recorded = (
+            EvalTrace(workload.name, version.name)
+            if self.record_path is not None
+            else None
+        )
+        if self.transport is not None:
+            # Concrete transports widen this with their driver's error
+            # types (psycopg's OperationalError etc.); catching exactly
+            # these tuples keeps the broad-except contract intact.  The
+            # raw tuple guards query execution (so a deliberately raised
+            # EvalTimeoutError passes through unwrapped); recovery also
+            # absorbs the transport's own TransientEvalError.
+            self._raw_transient = tuple(self.transport.transient_exceptions)
+            self._transient = (TransientEvalError, *self._raw_transient)
+
+    # --- the override seam ---------------------------------------------------
+
+    def evaluate(
+        self,
+        config: Mapping[str, object],
+        rng: np.random.Generator | None = None,
+    ) -> Measurement:
+        """One real (or replayed) evaluation.
+
+        ``rng`` is accepted for seam compatibility but never consumed:
+        live measurements carry the server's physical noise and replay
+        serves the recorded values, so the session's noise-stream
+        position stays identical between live, record, and replay runs.
+        """
+        self.evaluations += 1
+        fingerprint = config_fingerprint(config)
+        if self.replay_trace is not None:
+            return self._replay_evaluate(fingerprint)
+        return self._live_evaluate(config, fingerprint)
+
+    # --- replay --------------------------------------------------------------
+
+    def _replay_evaluate(self, fingerprint: str) -> Measurement:
+        entry = self.replay_trace.lookup(fingerprint)  # TraceMissError: loud
+        if entry.crashed:
+            raise DbmsCrashError(
+                entry.crash_reason
+                or f"recorded startup failure under config {fingerprint}"
+            )
+        return self._measurement_from(entry.query_ms, entry.metrics)
+
+    # --- live ---------------------------------------------------------------
+
+    def _live_evaluate(self, config, fingerprint: str) -> Measurement:
+        clock = self.transport.clock
+        settings = self._settings(config)
+
+        # Phase 1: connect + apply knobs (ALTER SYSTEM into auto.conf).
+        started = clock.now()
+        connection = self.transport.connect()
+        try:
+            for name, value in settings.items():
+                connection.execute(
+                    f"ALTER SYSTEM SET {name} = '{_quote(value)}'"
+                )
+        except self._raw_transient as exc:
+            raise TransientEvalError(
+                f"connection lost while applying config {fingerprint}: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+        self._check_budget("connect/apply", started, self.budgets.connect_seconds)
+
+        # Phase 2: restart so the settings take effect.
+        started = clock.now()
+        self.transport.restart()
+        self._check_budget("restart", started, self.budgets.restart_seconds)
+        if not self.transport.server_running():
+            # The configuration prevented startup: recover first so the
+            # poisonous auto.conf never wedges the session, then report
+            # the crash for the paper's penalty.
+            reason = (
+                f"server failed to start under config {fingerprint}; "
+                "recovered on last-good settings"
+            )
+            self._recover_from_crash()
+            self._record_outcome(
+                fingerprint, config, crashed=True, crash_reason=reason
+            )
+            raise DbmsCrashError(reason)
+
+        # Phase 3: replay the workload and snapshot pg_stat_*.
+        started = clock.now()
+        connection = self.transport.connect()
+        query_ms: list[float] = []
+        try:
+            for sql in self.queries:
+                query_started = clock.now()
+                connection.execute(sql)
+                # Quantized to 1 µs: far below any real measurement's
+                # noise floor, and it keeps timings independent of the
+                # clock's absolute offset (float subtraction picks up
+                # offset-dependent ULP noise, which would make recorded
+                # traces depend on how many retries preceded them).
+                query_ms.append(
+                    round((clock.now() - query_started) * 1000.0, 3)
+                )
+                if clock.now() - started > self.budgets.replay_seconds:
+                    raise EvalTimeoutError(
+                        f"workload replay exceeded its "
+                        f"{self.budgets.replay_seconds:.1f}s budget after "
+                        f"{len(query_ms)}/{len(self.queries)} queries"
+                    )
+            metrics = self._collect_stats(connection)
+        except self._raw_transient as exc:
+            raise TransientEvalError(
+                f"connection lost at query {len(query_ms)} under config "
+                f"{fingerprint}: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+
+        self._last_good = settings
+        self._record_outcome(
+            fingerprint, config, query_ms=query_ms, metrics=metrics
+        )
+        return self._measurement_from(query_ms, metrics)
+
+    def _check_budget(self, phase: str, started: float, budget: float) -> None:
+        elapsed = self.transport.clock.now() - started
+        if elapsed > budget:
+            raise EvalTimeoutError(
+                f"{phase} phase exceeded its {budget:.1f}s budget "
+                f"({elapsed:.1f}s on the transport clock)"
+            )
+
+    def _recover_from_crash(self) -> None:
+        """Un-wedge the server after a config-caused startup failure:
+        drop the bad auto.conf, restore last-good knobs, verify liveness.
+        Infrastructure failures here are *not* the config's fault —
+        they surface as ``TransientEvalError`` and, if persistent, the
+        envelope's exhaustion quarantines the session."""
+        try:
+            self.transport.remove_auto_conf()
+            self.transport.restart()
+            if self._last_good is not None:
+                connection = self.transport.connect()
+                try:
+                    for name, value in self._last_good.items():
+                        connection.execute(
+                            f"ALTER SYSTEM SET {name} = '{_quote(value)}'"
+                        )
+                finally:
+                    connection.close()
+                self.transport.restart()
+            connection = self.transport.connect()
+            try:
+                connection.execute("SELECT 1")
+            finally:
+                connection.close()
+        except self._transient as exc:
+            raise TransientEvalError(
+                f"recovery after a config-caused startup failure failed: {exc}"
+            ) from exc
+        if not self.transport.server_running():
+            raise TransientEvalError(
+                "server still down after crash recovery (auto.conf removed, "
+                "last-good settings re-applied)"
+            )
+        self.recoveries += 1
+
+    # --- measurement assembly ------------------------------------------------
+
+    def _settings(self, config) -> dict[str, str]:
+        return {
+            name: render_knob_value(self.space[name], config[name])
+            for name in self.space.names
+        }
+
+    def _collect_stats(self, connection) -> dict[str, float]:
+        metrics: dict[str, float] = {}
+        for table, sql in PG_STAT_QUERIES:
+            rows = connection.execute(sql)
+            row = rows[0] if rows else ()
+            for column, value in zip(_stat_columns(sql), row):
+                metrics[f"{table}.{column}"] = float(value)
+        return metrics
+
+    def _measurement_from(
+        self, query_ms: Sequence[float], metrics: Mapping[str, float]
+    ) -> Measurement:
+        if not query_ms:
+            raise TransientEvalError("workload replay produced no timings")
+        total_seconds = sum(query_ms) / 1000.0
+        throughput = (
+            self.workload.clients * len(query_ms) / max(total_seconds, 1e-9)
+        )
+        p95 = float(np.percentile(np.asarray(query_ms, dtype=float), 95.0))
+        return Measurement(
+            throughput=float(throughput),
+            p95_latency_ms=p95,
+            metrics=dict(metrics),
+            component_scores={},
+        )
+
+    def _record_outcome(
+        self,
+        fingerprint: str,
+        config,
+        query_ms: Sequence[float] = (),
+        metrics: Mapping[str, float] | None = None,
+        crashed: bool = False,
+        crash_reason: str | None = None,
+    ) -> None:
+        if self._recorded is None:
+            return
+        self._recorded.record(
+            fingerprint,
+            TraceEntry(
+                config={name: config[name] for name in self.space.names},
+                query_ms=list(query_ms),
+                metrics=dict(metrics or {}),
+                crashed=crashed,
+                crash_reason=crash_reason,
+            ),
+        )
+        self._recorded.save(self.record_path)
+
+
+def _quote(value: str) -> str:
+    return value.replace("'", "''")

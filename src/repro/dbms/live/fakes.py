@@ -1,0 +1,235 @@
+"""Deterministic in-process PostgreSQL stand-ins for the live backend.
+
+:class:`FakePg` models exactly the server behavior the driver depends
+on: ``ALTER SYSTEM`` writes land in an ``auto_conf`` dict, a restart
+applies them, query timings and ``pg_stat_*`` rows derive
+deterministically from a digest of the *applied* settings (no RNG, no
+wall clock — the transport's :class:`~repro.tuning.faults.VirtualClock`
+carries the simulated timeline).  Two runs against fresh fakes are
+therefore byte-identical, which is what lets tests record a trace and
+pin replay equality.
+
+:class:`FlakyPg` layers failures on top: a *scripted* queue (drop the
+next N connects, hang or wedge the next N restarts, drop the next N
+workload queries) for pinning the exact failure matrix, plus an optional
+*rate* mode drawing from a dedicated PCG64 stream keyed by
+``(spec_token, session_seed, fault_seed)`` — the same convention as
+:class:`~repro.tuning.fault_injection.FaultInjectingSimulator` — so
+chaos runs are reproducible per spec and seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dbms.live.transport import PgTransport
+from repro.tuning.faults import VirtualClock
+
+
+def _digest(text: str) -> int:
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+class FakeConnection:
+    """One live connection to a :class:`FakePg` server."""
+
+    def __init__(self, server: "FakePg"):
+        self._server = server
+        self._closed = False
+
+    def execute(self, sql: str) -> list[tuple]:
+        if self._closed:
+            raise ConnectionError("connection is closed")
+        return self._server._execute(sql)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class FakePg(PgTransport):
+    """In-process server model implementing the transport seam.
+
+    Args:
+        wedge_when: Optional predicate over the pending ``auto_conf``
+            dict; when it returns True the next restart leaves the
+            server down — a config-caused startup failure, exactly what
+            the driver classifies as ``DbmsCrashError``.
+        connect_seconds / restart_seconds / base_query_ms: Simulated
+            durations advanced on the transport clock.
+    """
+
+    def __init__(
+        self,
+        clock=None,
+        wedge_when=None,
+        connect_seconds: float = 0.005,
+        restart_seconds: float = 0.25,
+        base_query_ms: float = 2.0,
+        **transport_kwargs,
+    ):
+        super().__init__(
+            clock=clock if clock is not None else VirtualClock(),
+            **transport_kwargs,
+        )
+        self.wedge_when = wedge_when
+        self.connect_seconds = float(connect_seconds)
+        self.restart_seconds = float(restart_seconds)
+        self.base_query_ms = float(base_query_ms)
+        #: Pending settings (the postgresql.auto.conf contents).
+        self.auto_conf: dict[str, str] = {}
+        #: Settings in effect since the last successful start.
+        self.applied: dict[str, str] = {}
+        self.running = True
+        self.restarts = 0
+        self.queries_executed = 0
+
+    # --- transport seam ------------------------------------------------------
+
+    def _raw_connect(self) -> FakeConnection:
+        self.clock.sleep(self.connect_seconds)
+        if not self.running:
+            raise ConnectionRefusedError("server is not running")
+        return FakeConnection(self)
+
+    def restart(self) -> None:
+        self.running = False
+        self.clock.sleep(self.restart_seconds)
+        self.restarts += 1
+        if self.wedge_when is not None and self.wedge_when(self.auto_conf):
+            return  # startup failure: server stays down
+        self.applied = dict(self.auto_conf)
+        self.running = True
+
+    def server_running(self) -> bool:
+        return self.running
+
+    def remove_auto_conf(self) -> None:
+        self.auto_conf.clear()
+
+    # --- server model --------------------------------------------------------
+
+    def _execute(self, sql: str) -> list[tuple]:
+        if not self.running:
+            raise ConnectionResetError("server went away")
+        if sql.startswith("ALTER SYSTEM SET "):
+            body = sql[len("ALTER SYSTEM SET "):]
+            name, __, value = body.partition("=")
+            self.auto_conf[name.strip()] = value.strip().strip("'")
+            return []
+        if sql.strip() == "SELECT 1":
+            return [(1,)]
+        if "pg_stat_" in sql:
+            return [tuple(self._stat_row(sql))]
+        return self._workload_query(sql)
+
+    def _workload_query(self, sql: str) -> list[tuple]:
+        self._before_workload_query(sql)
+        self.clock.sleep(self.query_ms(sql) / 1000.0)
+        self.queries_executed += 1
+        return [(0,)]
+
+    def _before_workload_query(self, sql: str) -> None:
+        """Fault hook (no-op here; FlakyPg drops connections from it)."""
+
+    def _applied_digest(self) -> str:
+        return hashlib.sha256(
+            "\n".join(f"{k}={v}" for k, v in sorted(self.applied.items())).encode()
+        ).hexdigest()
+
+    def query_ms(self, sql: str) -> float:
+        """Deterministic per (applied settings, query text): the knob
+        configuration moves every query's latency by up to ~60%, so the
+        optimizer sees real signal through the live driver."""
+        h = _digest(f"{sql}|{self._applied_digest()}")
+        return self.base_query_ms * (0.7 + 0.6 * ((h % 10_000) / 10_000.0))
+
+    def _stat_row(self, sql: str) -> list[float]:
+        select_list = sql.split("SELECT", 1)[1].split("FROM", 1)[0]
+        table = "pg_stat_" + sql.split("pg_stat_", 1)[1].split()[0]
+        return [
+            float(_digest(f"{table}.{column.strip()}|{self._applied_digest()}") % 1_000_000)
+            for column in select_list.split(",")
+        ]
+
+
+@dataclass
+class FaultScript:
+    """Scripted failure queue: each counter consumes one fault per event."""
+
+    drop_connects: int = 0
+    hang_restarts: int = 0
+    wedge_restarts: int = 0
+    drop_queries: int = 0
+
+
+class FlakyPg(FakePg):
+    """A :class:`FakePg` that misbehaves on schedule.
+
+    Scripted faults come first (deterministic by construction); with
+    ``fault_rate > 0`` an independent PCG64 stream keyed by
+    ``(spec_token, session_seed, fault_seed)`` also drops connects,
+    hangs restarts, and drops queries at the given per-event probability
+    — reproducible chaos, following ``tuning/fault_injection.py``.
+    """
+
+    def __init__(
+        self,
+        script: FaultScript | None = None,
+        hang_seconds: float = 120.0,
+        fault_rate: float = 0.0,
+        spec_token: int = 0,
+        session_seed: int = 0,
+        fault_seed: int = 0,
+        **fake_kwargs,
+    ):
+        super().__init__(**fake_kwargs)
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError("fault_rate must be in [0, 1]")
+        self.script = script if script is not None else FaultScript()
+        self.hang_seconds = float(hang_seconds)
+        self.fault_rate = float(fault_rate)
+        self.fault_rng = np.random.default_rng(
+            [spec_token & 0xFFFFFFFF, session_seed, fault_seed]
+        )
+        self.injected_faults = 0
+
+    def _draw(self) -> bool:
+        if self.fault_rate <= 0.0:
+            return False
+        return bool(self.fault_rng.random() < self.fault_rate)
+
+    def _raw_connect(self) -> FakeConnection:
+        if self.script.drop_connects > 0 or self._draw():
+            if self.script.drop_connects > 0:
+                self.script.drop_connects -= 1
+            self.injected_faults += 1
+            self.clock.sleep(self.connect_seconds)
+            raise ConnectionResetError("injected connect failure")
+        return super()._raw_connect()
+
+    def restart(self) -> None:
+        if self.script.hang_restarts > 0 or self._draw():
+            if self.script.hang_restarts > 0:
+                self.script.hang_restarts -= 1
+            self.injected_faults += 1
+            self.clock.sleep(self.hang_seconds)  # then completes normally
+        if self.script.wedge_restarts > 0:
+            self.script.wedge_restarts -= 1
+            self.injected_faults += 1
+            self.running = False
+            self.clock.sleep(self.restart_seconds)
+            self.restarts += 1
+            return  # startup failure: server stays down
+        super().restart()
+
+    def _before_workload_query(self, sql: str) -> None:
+        if self.script.drop_queries > 0 or self._draw():
+            if self.script.drop_queries > 0:
+                self.script.drop_queries -= 1
+            self.injected_faults += 1
+            # One backend died; the server itself stays up, so the
+            # envelope's retry reconnects successfully.
+            raise ConnectionResetError("injected query failure")

@@ -18,12 +18,30 @@ caller (optimizers, adapters, samplers) shares the same array-native code.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.space.knob import CategoricalKnob, IntegerKnob, Knob, KnobError, KnobValue
+
+
+def config_fingerprint(values: Mapping[str, KnobValue]) -> str:
+    """Collision-resistant 64-bit digest of a knob-value assignment.
+
+    The canonical form sorts by knob name and uses ``repr`` for values
+    (``repr`` round-trips binary64 floats exactly and keeps ints and
+    floats distinct), so a :class:`Configuration` and a plain dict with
+    the same values — e.g. one restored from a JSON trace — fingerprint
+    identically.  Used to key recorded evaluation traces and to name the
+    configuration in quarantine reports.
+    """
+    method = getattr(values, "fingerprint", None)
+    if callable(method):
+        return method()
+    text = "\n".join(f"{name}={value!r}" for name, value in sorted(values.items()))
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
 
 
 class Configuration(Mapping[str, KnobValue]):
@@ -100,6 +118,15 @@ class Configuration(Mapping[str, KnobValue]):
 
     def to_dict(self) -> dict[str, KnobValue]:
         return dict(self._values)
+
+    def fingerprint(self) -> str:
+        """Collision-resistant 64-bit digest of this assignment (see
+        :func:`config_fingerprint`; equal values — even via a plain dict
+        or a JSON round trip — produce equal fingerprints)."""
+        text = "\n".join(
+            f"{name}={value!r}" for name, value in sorted(self._values.items())
+        )
+        return hashlib.sha256(text.encode()).hexdigest()[:16]
 
 
 @dataclass(frozen=True)

@@ -36,7 +36,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.dbms.engine import Measurement, PostgresSimulator
-from repro.dbms.errors import DbmsCrashError, TransientEvalError
+from repro.dbms.errors import DbmsCrashError, DbmsError, TransientEvalError
+from repro.space.configspace import config_fingerprint
 
 
 class MonotonicClock:
@@ -229,7 +230,7 @@ class FaultEnvelope:
             self.batch_fallbacks += 1
             return self._rows(simulator, configs, rng)
         outcomes: list = []
-        for config, measurement in zip(configs, measurements):
+        for row, (config, measurement) in enumerate(zip(configs, measurements)):
             if measurement is not None and _corrupted(measurement):
                 # Re-run just this row (first failure already spent); the
                 # extra noise draws append after the batch's, in row order.
@@ -239,9 +240,14 @@ class FaultEnvelope:
                     outcomes.append(EXHAUSTED)
                     break
                 self.clock.sleep(self.policy.backoff_delay(1))
-                measurement = self.evaluate(
-                    simulator, config, rng=rng, _failures=1
-                )
+                try:
+                    measurement = self.evaluate(
+                        simulator, config, rng=rng, _failures=1
+                    )
+                except DbmsError as exc:
+                    exc.row_index = row
+                    exc.config_fingerprint = config_fingerprint(config)
+                    raise
                 if measurement is EXHAUSTED:
                     outcomes.append(EXHAUSTED)
                     break
@@ -250,8 +256,17 @@ class FaultEnvelope:
 
     def _rows(self, simulator, configs, rng) -> list:
         outcomes: list = []
-        for config in configs:
-            outcome = self.evaluate(simulator, config, rng=rng)
+        for row, config in enumerate(configs):
+            try:
+                outcome = self.evaluate(simulator, config, rng=rng)
+            except DbmsError as exc:
+                # The batch degraded to rows precisely so failures are
+                # attributable; anything the per-row envelope does not
+                # absorb (e.g. a replay trace miss) escapes stamped with
+                # the row that raised it.
+                exc.row_index = row
+                exc.config_fingerprint = config_fingerprint(config)
+                raise
             outcomes.append(outcome)
             if outcome is EXHAUSTED:
                 break

@@ -35,7 +35,10 @@ from repro.tuning.knowledge_base import KnowledgeBase, Observation
 from repro.tuning.session import TuningResult
 
 FORMAT_VERSION = 1
-CHECKPOINT_FORMAT_VERSION = 1
+#: v2: quarantine attribution (``quarantined_row``/``quarantined_fingerprint``)
+#: joined the payload.  Shape changes bump this and invalidate older
+#: checkpoints — no migration shims (see the module docstring).
+CHECKPOINT_FORMAT_VERSION = 2
 
 
 def atomic_write_text(path: str | pathlib.Path, text: str) -> None:
@@ -89,6 +92,8 @@ def result_to_dict(result: TuningResult) -> dict[str, Any]:
         "default_value": result.default_value,
         "stopped_early_at": result.stopped_early_at,
         "quarantined_at": result.quarantined_at,
+        "quarantined_row": result.quarantined_row,
+        "quarantined_fingerprint": result.quarantined_fingerprint,
         "optimizer_space": result.knowledge_base.observations[0]
         .optimizer_config.space.name
         if result.knowledge_base.observations
@@ -160,6 +165,8 @@ def load_result(
         default_value=float(payload["default_value"]),
         stopped_early_at=payload.get("stopped_early_at"),
         quarantined_at=payload.get("quarantined_at"),
+        quarantined_row=payload.get("quarantined_row"),
+        quarantined_fingerprint=payload.get("quarantined_fingerprint"),
     )
 
 

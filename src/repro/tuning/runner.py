@@ -26,6 +26,7 @@ from repro.core.pipeline import (
     SearchSpaceAdapter,
 )
 from repro.dbms.engine import PostgresSimulator
+from repro.dbms.live import EvalTrace, LiveDbmsDriver, RealPg
 from repro.dbms.versions import V96, PostgresVersion
 from repro.optimizers import make_optimizer
 from repro.space.configspace import ConfigurationSpace
@@ -106,6 +107,29 @@ class SessionSpec:
     fault_rate: float = 0.0
     fault_seed: int = 0
     fault_policy: FaultPolicy | None = None
+    #: Execution backend: ``"sim"`` (the default analytical simulator),
+    #: ``"live"`` (a real server through
+    #: :class:`~repro.dbms.live.driver.LiveDbmsDriver` — requires ``dsn``
+    #: or an injected ``live_transport``), or ``"replay"`` (hermetic
+    #: deterministic replay of the recorded trace at ``trace``).  Live
+    #: and replay sessions always run under a fault envelope
+    #: (``fault_policy`` or the default policy) so driver failures get
+    #: retries/quarantine instead of crashing the sweep; reproducibility
+    #: for replay is per ``(trace-id, spec, seed)``.
+    backend: str = "sim"
+    #: Replay source (a trace file path; required for ``backend="replay"``).
+    trace: str | None = None
+    #: With ``backend="live"``, record every evaluation outcome to this
+    #: trace file (sequential execution only — the file is read-modify-
+    #: write merged after each evaluation).
+    record_trace: str | None = None
+    #: libpq DSN for the live backend's :class:`RealPg` transport.
+    dsn: str | None = None
+    #: Test/deployment seam: zero-argument factory returning a
+    #: :class:`~repro.dbms.live.transport.PgTransport` — takes precedence
+    #: over ``dsn``.  Infrastructure plumbing, excluded from
+    #: :meth:`spec_canonical` like ``dsn`` and ``record_trace``.
+    live_transport: Callable[[], object] | None = None
     #: Wave-mode worker threads (0 = defer to ``REPRO_WAVE_THREADS``,
     #: default 1).  Execution-strategy only — byte-identical trajectories
     #: at any value, hence excluded from :meth:`spec_token`.
@@ -126,21 +150,28 @@ class SessionSpec:
         adapter_token = (
             getattr(adapter, "__qualname__", None) or repr(adapter)
         )
-        return "|".join(
-            [
-                self.workload,
-                self.optimizer,
-                adapter_token,
-                self.objective,
-                self.version.name,
-                str(self.n_init),
-                str(self.target_rate),
-                repr(sorted(self.optimizer_kwargs)),
-                str(self.batch_init),
-                str(self.suggest_batch),
-                repr(self.fault_rate),
-            ]
-        )
+        parts = [
+            self.workload,
+            self.optimizer,
+            adapter_token,
+            self.objective,
+            self.version.name,
+            str(self.n_init),
+            str(self.target_rate),
+            repr(sorted(self.optimizer_kwargs)),
+            str(self.batch_init),
+            str(self.suggest_batch),
+            repr(self.fault_rate),
+        ]
+        if self.backend != "sim":
+            # Appended conditionally so every pre-existing sim spec keeps
+            # its token/fingerprint (fault schedules and checkpoint names
+            # stay stable).  The *paths* (trace/record_trace/dsn) are
+            # infrastructure, not trajectory inputs — a replay trajectory
+            # is identified by (trace-id, spec, seed), with the trace-id
+            # carried by the trace file itself.
+            parts.append(f"backend={self.backend}")
+        return "|".join(parts)
 
     def spec_token(self) -> int:
         """Stable 32-bit digest of :meth:`spec_canonical`.
@@ -175,12 +206,63 @@ class SessionSpec:
             f"-seed{seed}.ckpt.json"
         )
 
+    def _build_live_simulator(self, seed: int):
+        """Simulator + envelope clock for the live/replay backends."""
+        workload = get_workload(self.workload)
+        if self.backend == "replay":
+            if self.trace is None:
+                raise ValueError("backend='replay' requires trace=")
+            return (
+                LiveDbmsDriver(
+                    workload,
+                    version=self.version,
+                    trace=EvalTrace.load(self.trace),
+                    target_rate=self.target_rate,
+                ),
+                None,
+            )
+        if self.live_transport is not None:
+            transport = self.live_transport()
+        elif self.dsn is not None:
+            transport = RealPg(self.dsn)
+        else:
+            raise ValueError(
+                "backend='live' requires dsn= (RealPg) or an injected "
+                "live_transport factory"
+            )
+        driver = LiveDbmsDriver(
+            workload,
+            version=self.version,
+            transport=transport,
+            record_path=self.record_trace,
+            target_rate=self.target_rate,
+        )
+        # The envelope measures timeouts/backoff on the transport's own
+        # clock, so fakes on a VirtualClock stay sleep-free end to end.
+        return driver, transport.clock
+
     def build(self, seed: int) -> TuningSession:
         space = space_for_version(self.version)
         workload = get_workload(self.workload)
         fault_policy = self.fault_policy
         fault_clock = None
-        if self.fault_rate > 0:
+        if self.backend not in ("sim", "live", "replay"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; use 'sim', 'live', or "
+                "'replay'"
+            )
+        if self.backend != "sim":
+            if self.fault_rate > 0:
+                raise ValueError(
+                    "fault_rate injects faults into the *simulator*; for "
+                    "live-backend chaos use a FlakyPg transport "
+                    "(repro.dbms.live.fakes) via live_transport="
+                )
+            simulator, fault_clock = self._build_live_simulator(seed)
+            if fault_policy is None:
+                # Live infrastructure flakes; never run a driver naked.
+                fault_policy = FaultPolicy()
+        elif self.fault_rate > 0:
             # One virtual clock shared by the injector (hangs advance it)
             # and the envelope (timeouts/backoff measure it): fault
             # handling is then deterministic and sleep-free.
@@ -426,6 +508,14 @@ def run_spec(
             f"unknown mode {mode!r}; use 'thread', 'process', or 'wave'"
         )
     spec = _apply_overrides(spec)
+    if spec.record_trace is not None and (parallel or mode != "thread"):
+        # Each seed's driver would merge-save into the same trace file
+        # concurrently (or from another process); record sequentially,
+        # then replay scales out freely.
+        raise ValueError(
+            "record_trace captures traces sequentially; drop parallel=True "
+            "and use the default mode='thread'"
+        )
     if mode == "wave":
         if parallel:
             raise ValueError(

@@ -122,6 +122,11 @@ class SessionStatus:
     stopped_at: int | None
     quarantined_at: int | None
     pending: bool  # an unobserved suggestion is outstanding
+    #: Quarantine attribution (None unless quarantined): which row of the
+    #: quarantining round exhausted its retries, and the fingerprint of
+    #: the configuration it was evaluating.
+    quarantined_row: int | None = None
+    quarantined_fingerprint: str | None = None
 
 
 @dataclass
@@ -435,6 +440,8 @@ class SessionServer:
             stopped_at=session.stopped_at,
             quarantined_at=session.quarantined_at,
             pending=entry.pending is not None,
+            quarantined_row=session.quarantined_row,
+            quarantined_fingerprint=session.quarantined_fingerprint,
         )
 
     async def _batch_loop(self) -> None:

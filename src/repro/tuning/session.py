@@ -47,6 +47,7 @@ import numpy as np
 from repro.core.pipeline import IdentityAdapter, SearchSpaceAdapter
 from repro.dbms.engine import PostgresSimulator
 from repro.dbms.errors import DbmsCrashError, DbmsError
+from repro.space.configspace import config_fingerprint
 from repro.optimizers.base import Optimizer
 from repro.tuning.early_stopping import EarlyStoppingPolicy
 from repro.tuning.faults import EXHAUSTED, FaultEnvelope, FaultPolicy
@@ -86,6 +87,11 @@ class TuningResult:
     default_value: float
     stopped_early_at: int | None = None
     quarantined_at: int | None = None
+    #: Which row of the quarantining round exhausted its retries, and the
+    #: 64-bit fingerprint of the configuration it was evaluating — the
+    #: attribution quarantine reports print (None unless quarantined).
+    quarantined_row: int | None = None
+    quarantined_fingerprint: str | None = None
 
     @property
     def maximize(self) -> bool:
@@ -226,6 +232,8 @@ class TuningSession:
         self._iteration = 0
         self._stopped_at: int | None = None
         self._quarantined_at: int | None = None
+        self._quarantined_row: int | None = None
+        self._quarantined_fingerprint: str | None = None
         self._next_checkpoint_at = (
             self.checkpoint_every if self.checkpoint_every > 0 else None
         )
@@ -251,6 +259,18 @@ class TuningSession:
     @property
     def quarantined_at(self) -> int | None:
         return self._quarantined_at
+
+    @property
+    def quarantined_row(self) -> int | None:
+        """Row index (within its round) of the evaluation that exhausted
+        its retries, when quarantined."""
+        return self._quarantined_row
+
+    @property
+    def quarantined_fingerprint(self) -> str | None:
+        """Fingerprint of the configuration whose evaluation exhausted
+        its retries, when quarantined."""
+        return self._quarantined_fingerprint
 
     @property
     def live(self) -> bool:
@@ -383,6 +403,8 @@ class TuningSession:
             default_value=self._default_value,
             stopped_early_at=self._stopped_at,
             quarantined_at=self._quarantined_at,
+            quarantined_row=self._quarantined_row,
+            quarantined_fingerprint=self._quarantined_fingerprint,
         )
 
     # --- evaluation dispatch -------------------------------------------------
@@ -434,11 +456,18 @@ class TuningSession:
         may be written (a batch's noise is drawn up front, so an
         intra-batch snapshot could never resume byte-identically).
         """
-        for opt_config, target_config, outcome in zip(
-            opt_configs, target_configs, outcomes
+        for row, (opt_config, target_config, outcome) in enumerate(
+            zip(opt_configs, target_configs, outcomes)
         ):
             if outcome is EXHAUSTED:
+                # Attribute the quarantine: which row of this round, and
+                # which configuration, exhausted the envelope's retries —
+                # what quarantine reports (server + CLIs) print.
                 self._quarantined_at = self._iteration
+                self._quarantined_row = row
+                self._quarantined_fingerprint = config_fingerprint(
+                    target_config
+                )
                 break
             stopped = self._record(
                 self._kb, self._iteration, opt_config, target_config,
@@ -577,6 +606,8 @@ class TuningSession:
             "worst_seen": self._worst_seen,
             "stopped_early_at": self._stopped_at,
             "quarantined_at": self._quarantined_at,
+            "quarantined_row": self._quarantined_row,
+            "quarantined_fingerprint": self._quarantined_fingerprint,
             "session_rng": dict(self.rng.bit_generator.state),
             "early_stopping": early,
             "optimizer": self.optimizer.state_dict(),
@@ -668,9 +699,14 @@ class TuningSession:
         self._stopped_at = payload["stopped_early_at"]
         # force_quarantined clears the marker: the session is live again
         # and run() retries the envelope from the quarantine cursor.
-        self._quarantined_at = (
-            None if force_quarantined else payload["quarantined_at"]
-        )
+        if force_quarantined:
+            self._quarantined_at = None
+            self._quarantined_row = None
+            self._quarantined_fingerprint = None
+        else:
+            self._quarantined_at = payload["quarantined_at"]
+            self._quarantined_row = payload["quarantined_row"]
+            self._quarantined_fingerprint = payload["quarantined_fingerprint"]
         self.rng.bit_generator.state = payload["session_rng"]
         if self.early_stopping is not None:
             early = payload["early_stopping"]

@@ -192,6 +192,38 @@ class TestBroadExceptRule:
         assert findings == []
 
 
+class TestRawSleepRule:
+    def test_time_sleep_flagged(self):
+        src = "import time\ntime.sleep(0.5)\n"
+        assert rules_of(src) == ["raw-sleep"]
+
+    def test_from_import_and_alias_flagged(self):
+        src = "from time import sleep\nsleep(1)\n"
+        assert rules_of(src) == ["raw-sleep"]
+        src = "from time import sleep as zzz\nzzz(1)\n"
+        assert rules_of(src) == ["raw-sleep"]
+
+    def test_injected_clock_sleep_clean(self):
+        src = (
+            "def wait(clock, seconds):\n"
+            "    clock.sleep(seconds)\n"
+            "    self.clock.sleep(seconds)\n"
+        )
+        assert rules_of(src) == []
+
+    def test_faults_module_exempt(self):
+        findings = lint_source(
+            "import time\ntime.sleep(0.5)\n",
+            path="src/repro/tuning/faults.py",
+            scope="src",
+        )
+        assert findings == []
+
+    def test_only_polices_src(self):
+        assert rules_of("import time\ntime.sleep(0.5)\n", scope="tests") == []
+        assert rules_of("import time\ntime.sleep(0.5)\n", scope="tools") == []
+
+
 def tuning_rules_of(source: str) -> list[str]:
     """Like :func:`rules_of` but with a path inside ``tuning/`` so the
     path-scoped module-state rule engages."""

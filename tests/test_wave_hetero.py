@@ -18,6 +18,7 @@ loudly rather than silently sampling one spec's pool for another.
 import numpy as np
 import pytest
 
+from repro.dbms.live import FakePg, FlakyPg
 from repro.tuning.early_stopping import EarlyStoppingPolicy
 from repro.tuning.runner import SessionSpec, llamatune_factory, run_spec
 from repro.tuning.wave import run_wave_mixed
@@ -75,6 +76,8 @@ def assert_mixed_equivalent(tasks, expect_crash=None):
     for solo, wave in zip(solo_results, wave_results):
         assert solo.stopped_early_at == wave.stopped_early_at
         assert solo.quarantined_at == wave.quarantined_at
+        assert solo.quarantined_row == wave.quarantined_row
+        assert solo.quarantined_fingerprint == wave.quarantined_fingerprint
         assert solo.default_value == wave.default_value
         solo_obs = list(solo.knowledge_base)
         wave_obs = list(wave.knowledge_base)
@@ -198,6 +201,66 @@ class TestHeterogeneousWaves:
         solo_b = run_spec(b, [3])[0]
         np.testing.assert_array_equal(wave[0].values, solo_a.values)
         np.testing.assert_array_equal(wave[1].values, solo_b.values)
+
+
+class _FlakyAfterWarmup(FlakyPg):
+    """Drops the first tuned evaluation's connections (the session-start
+    default measurement, connects 1-2, stays clean so the un-enveloped
+    default evaluation succeeds); deterministic per build."""
+
+    def __init__(self):
+        super().__init__(connect_retries=0)
+        self._connects = 0
+
+    def _raw_connect(self):
+        self._connects += 1
+        if self._connects in (4, 5):
+            raise ConnectionResetError("injected post-warmup failure")
+        return super()._raw_connect()
+
+
+class TestLiveBackendMembers:
+    """Live/replay-backend sessions always carry a fault envelope and a
+    subclassed ``evaluate``, so a mixed wave must route them down the
+    per-session path — and the stacked simulator members must stay
+    byte-identical to their solo runs with such a member alongside."""
+
+    def test_replay_member_leaves_stacked_survivors_byte_identical(
+        self, tmp_path
+    ):
+        trace_path = tmp_path / "trace.json"
+        record = SessionSpec(
+            workload="ycsb-a", optimizer="smac", n_iterations=10, n_init=4,
+            backend="live", live_transport=FakePg,
+            record_trace=str(trace_path),
+        )
+        run_spec(record, seeds=[1])
+        replay = SessionSpec(
+            workload="ycsb-a", optimizer="smac", n_iterations=10, n_init=4,
+            backend="replay", trace=str(trace_path),
+        )
+        sim = SessionSpec(
+            workload="tpcc", optimizer="smac",
+            adapter=llamatune_factory(), n_iterations=10, n_init=4,
+        )
+        # A wave-induced divergence in the replay member would also
+        # surface as a loud TraceMissError before any assertion.
+        assert_mixed_equivalent([(replay, 1), (sim, 1), (sim, 2)])
+
+    def test_fault_enveloped_live_member_retries_without_leaking(self):
+        live = SessionSpec(
+            workload="ycsb-a", optimizer="smac", n_iterations=10, n_init=4,
+            backend="live", live_transport=_FlakyAfterWarmup,
+        )
+        sim = SessionSpec(
+            workload="tpcc", optimizer="smac",
+            adapter=llamatune_factory(), n_iterations=10, n_init=4,
+        )
+        solo, _ = assert_mixed_equivalent([(live, 1), (sim, 1)])
+        # The live member really did exercise its envelope (two dropped
+        # connections on the first tuned evaluation) and still finished.
+        assert solo[0].quarantined_at is None
+        assert len(solo[0].knowledge_base) == 10
 
 
 class TestSharedPoolBoundary:

@@ -58,6 +58,7 @@ from tools.repro_lint.rules.rng import (  # noqa: E402
     StdlibRandomRule,
     UnseededRule,
 )
+from tools.repro_lint.rules.sleep import RawSleepRule  # noqa: E402
 from tools.repro_lint.rules.ulp import UlpRule  # noqa: E402
 
 ALL_RULES: tuple[Rule, ...] = (
@@ -70,6 +71,7 @@ ALL_RULES: tuple[Rule, ...] = (
     AtomicWriteRule(),
     BroadExceptRule(),
     ModuleStateRule(),
+    RawSleepRule(),
 )
 
 

@@ -1,0 +1,62 @@
+"""Injected-clock hygiene rule.
+
+Contract (ROADMAP execution-backend contract): all of ``src/`` measures
+time and waits through an injected clock — ``MonotonicClock`` in
+production, ``VirtualClock`` in tests and the fault harness, where
+``sleep`` merely advances a counter.  A raw ``time.sleep`` anywhere else
+re-introduces real waiting: backoff schedules stop being deterministic,
+the hermetic live-backend tests (FlakyPg hangs, transport backoff, phase
+budgets) go from microseconds to wall-clock minutes, and a simulated
+two-minute restart hang actually hangs CI.  ``tuning/faults.py`` is the
+single exempt site: ``MonotonicClock.sleep`` is the one legal call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_lint.engine import Finding, Module
+from tools.repro_lint.rules import Rule, dotted_name
+
+
+class RawSleepRule(Rule):
+    rule_id = "raw-sleep"
+    title = "raw time.sleep outside the injected-clock seam"
+    scopes = ("src",)
+    exempt_files = ("repro/tuning/faults.py",)
+    contract = (
+        "Injected-clock hygiene (ROADMAP execution-backend contract): "
+        "everything in src/ that waits — retry backoff, restart polling, "
+        "workload pacing — must call clock.sleep() on an injected "
+        "MonotonicClock/VirtualClock, so tests and replay runs substitute "
+        "a virtual clock and the whole fault matrix (hangs, timeouts, "
+        "backoff schedules) executes deterministically in microseconds.  "
+        "A raw time.sleep bypasses that seam and makes the wait real.  "
+        "tuning/faults.py is exempt: MonotonicClock.sleep is the single "
+        "legal call site."
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        sleep_aliases = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        sleep_aliases.add(alias.asname or alias.name)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            raw = name.endswith(".sleep") and name.split(".", 1)[0] == "time"
+            if raw or name in sleep_aliases:
+                yield self.finding(
+                    module,
+                    node,
+                    "raw time.sleep waits in real time; route the wait "
+                    "through an injected clock (MonotonicClock/"
+                    "VirtualClock) so tests and replay stay deterministic "
+                    "and sleep-free",
+                )
